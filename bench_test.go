@@ -1,0 +1,385 @@
+// Package t2hx's benchmark harness: one testing.B benchmark per paper
+// table/figure (regenerating it at CI scale; full scale via cmd/figures),
+// plus ablation benches for the design choices called out in DESIGN.md.
+// Reported custom metrics carry the reproduction's headline numbers so a
+// `go test -bench` run doubles as a shape check.
+package t2hx
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"github.com/hpcsim/t2hx/internal/core"
+	"github.com/hpcsim/t2hx/internal/exp"
+	"github.com/hpcsim/t2hx/internal/fabric"
+	"github.com/hpcsim/t2hx/internal/figures"
+	"github.com/hpcsim/t2hx/internal/flow"
+	"github.com/hpcsim/t2hx/internal/mpi"
+	"github.com/hpcsim/t2hx/internal/route"
+	"github.com/hpcsim/t2hx/internal/sim"
+	"github.com/hpcsim/t2hx/internal/topo"
+	"github.com/hpcsim/t2hx/internal/workloads"
+)
+
+func benchSession() *figures.Session {
+	return figures.NewSession(figures.Params{
+		Out: io.Discard, Small: true, Trials: 1, Seed: 1,
+		Sizes: []int64{64, 1 << 20}, EBBSamples: 20,
+		CapacityWindow: sim.Minute,
+	})
+}
+
+// BenchmarkTable1 regenerates the PARX LID-selection matrices.
+func BenchmarkTable1(b *testing.B) {
+	s := benchSession()
+	for i := 0; i < b.N; i++ {
+		if err := s.Table1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig1MpiGraph regenerates the three mpiGraph heatmaps and
+// reports the PARX recovery over minimal routing.
+func BenchmarkFig1MpiGraph(b *testing.B) {
+	var rec float64
+	for i := 0; i < b.N; i++ {
+		s := benchSession()
+		avgs, err := s.Fig1Averages()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rec = avgs[2]/avgs[1] - 1
+	}
+	b.ReportMetric(100*rec, "%PARX-recovery")
+}
+
+// BenchmarkFig4 regenerates one IMB gain grid per collective.
+func BenchmarkFig4(b *testing.B) {
+	for _, coll := range []string{"bcast", "gather", "scatter", "reduce", "allreduce", "alltoall"} {
+		coll := coll
+		b.Run(coll, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := benchSession()
+				if err := s.Fig4(coll); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig5aBaidu regenerates the ring-allreduce gain grid.
+func BenchmarkFig5aBaidu(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSession()
+		s.P.Sizes = []int64{1024, 1 << 20}
+		if err := s.Fig5a(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5bBarrier regenerates the Barrier whiskers.
+func BenchmarkFig5bBarrier(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSession()
+		if err := s.Fig5b(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5cEBB regenerates the effective-bisection-bandwidth
+// whiskers.
+func BenchmarkFig5cEBB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSession()
+		if err := s.Fig5c(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6 regenerates one whisker panel per application (Fig. 6a-l).
+func BenchmarkFig6(b *testing.B) {
+	for _, a := range workloads.Registry() {
+		a := a
+		b.Run(a.Abbrev, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := benchSession()
+				if err := s.Fig6(a.Abbrev); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig7Capacity regenerates the capacity table at CI scale and
+// reports the HyperX/DFSSSP/linear gain over the baseline.
+func BenchmarkFig7Capacity(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		s := benchSession()
+		totals, err := s.Fig7Totals()
+		if err != nil {
+			b.Fatal(err)
+		}
+		base := totals["Fat-Tree / ftree / linear"]
+		if base > 0 {
+			gain = float64(totals["HyperX / DFSSSP / linear"])/float64(base) - 1
+		}
+	}
+	b.ReportMetric(100*gain, "%HX-throughput-gain")
+}
+
+// --- routing-engine benches (cost of the subnet-manager side) ---
+
+func benchHX() *topo.HyperX {
+	return topo.NewHyperX(topo.HyperXConfig{
+		S: []int{6, 4}, T: 4,
+		Bandwidth: topo.QDRBandwidth, Latency: topo.QDRLinkLatency,
+	})
+}
+
+// BenchmarkRoutingEngines measures full-table computation on a 6x4 HyperX
+// (96 terminals) and on the matching tree.
+func BenchmarkRoutingEngines(b *testing.B) {
+	b.Run("sssp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			hx := benchHX()
+			if _, err := route.SSSP(hx.Graph, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("dfsssp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			hx := benchHX()
+			if _, err := route.DFSSSP(hx.Graph, 0, 8); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("updown", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			hx := benchHX()
+			if _, err := route.UpDown(hx.Graph, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parx", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			hx := benchHX()
+			if _, err := core.PARX(hx, core.Config{MaxVL: 8}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ftree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ft := topo.NewKaryNTree(4, 3, topo.QDRBandwidth, topo.QDRLinkLatency)
+			if _, err := route.FTree(ft, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- ablation benches (DESIGN.md Sec. 4) ---
+
+// BenchmarkAblationFlowRecompute quantifies the max-min allocator: cost of
+// progressive filling as concurrent flows grow.
+func BenchmarkAblationFlowRecompute(b *testing.B) {
+	for _, nflows := range []int{16, 64, 256, 1024} {
+		nflows := nflows
+		b.Run(fmt.Sprintf("flows=%d", nflows), func(b *testing.B) {
+			hx := benchHX()
+			tb, err := route.DFSSSP(hx.Graph, 0, 8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			terms := hx.Terminals()
+			// Pre-resolve paths.
+			var paths [][]topo.ChannelID
+			for i := 0; len(paths) < nflows; i++ {
+				src := terms[i%len(terms)]
+				dst := terms[(i*7+3)%len(terms)]
+				if src == dst {
+					continue
+				}
+				p, err := tb.Path(src, tb.BaseLID[tb.TermIndex(dst)])
+				if err != nil {
+					b.Fatal(err)
+				}
+				paths = append(paths, p)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng := sim.NewEngine()
+				net := flow.NewNetwork(eng, hx.Graph)
+				for _, p := range paths {
+					net.Start(p, 1e6, func(sim.Time) {})
+				}
+				eng.Run()
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPMLOverhead sweeps the bfo penalty and reports the
+// resulting Barrier latency — the knob behind the paper's 2.8-6.9x
+// Barrier slowdown.
+func BenchmarkAblationPMLOverhead(b *testing.B) {
+	for _, penaltyUS := range []float64{0, 1.2, 2.4, 4.8} {
+		penaltyUS := penaltyUS
+		b.Run(fmt.Sprintf("penalty=%.1fus", penaltyUS), func(b *testing.B) {
+			hx := topo.NewHyperX(topo.HyperXConfig{
+				S: []int{4, 4}, T: 2,
+				Bandwidth: topo.QDRBandwidth, Latency: topo.QDRLinkLatency,
+			})
+			tbl, err := core.PARX(hx, core.Config{MaxVL: 8})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var lat float64
+			for i := 0; i < b.N; i++ {
+				params := fabric.DefaultParams()
+				params.BFOPenalty = sim.Duration(penaltyUS) * sim.Microsecond
+				f := fabric.New(sim.NewEngine(), tbl, params, 1)
+				if err := f.EnableBFO(hx, 0); err != nil {
+					b.Fatal(err)
+				}
+				inst, err := workloads.BuildIMB("barrier", 16, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := mpi.Run(f, "barrier", hx.Terminals()[:16], inst.Progs, mpi.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				lat = inst.Score(res.Elapsed)
+			}
+			b.ReportMetric(lat, "us/barrier")
+		})
+	}
+}
+
+// BenchmarkAblationPARXThreshold sweeps the small/large message threshold
+// (the paper fixed 512 B, Sec. 3.2.4) and reports mpiGraph average
+// bandwidth between two adjacent switches.
+func BenchmarkAblationPARXThreshold(b *testing.B) {
+	for _, thr := range []int64{64, 512, 65536, 1 << 30} {
+		thr := thr
+		b.Run(fmt.Sprintf("threshold=%d", thr), func(b *testing.B) {
+			hx := topo.NewHyperX(topo.HyperXConfig{
+				S: []int{6, 4}, T: 7,
+				Bandwidth: topo.QDRBandwidth, Latency: topo.QDRLinkLatency,
+			})
+			tbl, err := core.PARX(hx, core.Config{MaxVL: 8})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var avg float64
+			for i := 0; i < b.N; i++ {
+				f := fabric.New(sim.NewEngine(), tbl, fabric.DefaultParams(), 1)
+				if err := f.EnableBFO(hx, thr); err != nil {
+					b.Fatal(err)
+				}
+				ranks := append(hx.TerminalsOf(hx.SwitchAt(0, 0)), hx.TerminalsOf(hx.SwitchAt(1, 0))...)
+				avg = workloads.MpiGraph(f, ranks, 1<<20).AvgGiB
+			}
+			b.ReportMetric(avg, "GiB/s")
+		})
+	}
+}
+
+// BenchmarkAblationPlacement isolates the Sec. 3.1 mitigation: alltoall
+// latency under the three placements on the same DFSSSP HyperX.
+func BenchmarkAblationPlacement(b *testing.B) {
+	combos := map[string]exp.Combo{
+		"linear": exp.PaperCombos()[2],
+		"random": exp.PaperCombos()[3],
+	}
+	for name, cmb := range combos {
+		cmb := cmb
+		b.Run(name, func(b *testing.B) {
+			m, err := exp.BuildMachine(cmb, exp.MachineConfig{Small: true, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var lat float64
+			for i := 0; i < b.N; i++ {
+				vals, _, err := exp.RunTrials(exp.TrialSpec{
+					Machine: m, Nodes: 8, Trials: 1, Seed: 3,
+					Build: func(n int) (*workloads.Instance, error) {
+						return workloads.BuildIMB("alltoall", n, 1<<20)
+					},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				lat = vals[0]
+			}
+			b.ReportMetric(lat, "us/op")
+		})
+	}
+}
+
+// BenchmarkExtensionAdaptiveRouting compares the paper's future-work
+// scenario (Sec. 7): static PARX/bfo vs. idealized adaptive routing over
+// the same PARX path set, on the 7-pair adjacent-switch hotspot. Reported
+// metric: adaptive speedup factor.
+func BenchmarkExtensionAdaptiveRouting(b *testing.B) {
+	hotspot := func(adaptiveMode bool) sim.Time {
+		hx := topo.NewHyperX(topo.HyperXConfig{
+			S: []int{6, 4}, T: 7,
+			Bandwidth: topo.QDRBandwidth, Latency: topo.QDRLinkLatency,
+		})
+		tbl, err := core.PARX(hx, core.Config{MaxVL: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		f := fabric.New(sim.NewEngine(), tbl, fabric.DefaultParams(), 1)
+		if adaptiveMode {
+			if err := f.EnableAdaptive(hx); err != nil {
+				b.Fatal(err)
+			}
+		} else if err := f.EnableBFO(hx, 0); err != nil {
+			b.Fatal(err)
+		}
+		src := hx.TerminalsOf(hx.SwitchAt(0, 0))
+		dst := hx.TerminalsOf(hx.SwitchAt(1, 0))
+		var last sim.Time
+		for i := range src {
+			f.Send(src[i], dst[i], 4<<20, func(at sim.Time) {
+				if at > last {
+					last = at
+				}
+			})
+		}
+		f.Eng.Run()
+		return last
+	}
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		speedup = float64(hotspot(false)) / float64(hotspot(true))
+	}
+	b.ReportMetric(speedup, "x-speedup-vs-static-PARX")
+}
+
+// BenchmarkCDGInsertion measures the incremental cycle-detection structure
+// underlying every deadlock-freedom proof in the repository.
+func BenchmarkCDGInsertion(b *testing.B) {
+	r := sim.NewRand(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := route.NewCDG()
+		for k := 0; k < 2000; k++ {
+			g.AddEdge(topo.ChannelID(r.Intn(200)), topo.ChannelID(r.Intn(200)))
+		}
+	}
+}

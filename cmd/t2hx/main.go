@@ -1,0 +1,162 @@
+// Command t2hx runs a single benchmark on one of the paper's five
+// topology/routing/placement combinations and prints per-trial metrics
+// with whisker statistics.
+//
+// Examples:
+//
+//	t2hx -list
+//	t2hx -combo 0 -bench imb:alltoall -n 28 -size 1048576
+//	t2hx -combo 4 -bench app:MILC -n 32 -trials 5
+//	t2hx -combo 2 -bench baidu -n 56 -size 1048576
+//	t2hx -combo 2 -bench ebb -n 56 -samples 100
+//	t2hx -combo 4 -bench mpigraph -n 28
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/hpcsim/t2hx/internal/exp"
+	"github.com/hpcsim/t2hx/internal/place"
+	"github.com/hpcsim/t2hx/internal/trace"
+	"github.com/hpcsim/t2hx/internal/workloads"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list combos and benchmarks")
+	comboIdx := flag.Int("combo", 0, "combo index 0-4 (see -list)")
+	topoF := flag.String("topo", "", "custom combo: topology (fattree|hyperx); overrides -combo")
+	routing := flag.String("routing", "", "custom combo: routing (ftree|sssp|dfsssp|updown|lash|parx)")
+	placement := flag.String("placement", "linear", "custom combo: placement (linear|clustered|random)")
+	bench := flag.String("bench", "", "benchmark: imb:<op>, app:<abbrev>, baidu, ebb, mpigraph")
+	n := flag.Int("n", 28, "node count")
+	size := flag.Int64("size", 1<<20, "message size / array length in bytes")
+	trials := flag.Int("trials", 3, "repetitions")
+	samples := flag.Int("samples", 100, "eBB bisection samples")
+	small := flag.Bool("small", false, "use the 32-node test planes")
+	seed := flag.Uint64("seed", 1, "master seed")
+	noDegrade := flag.Bool("no-degrade", false, "ideal fabric without missing cables")
+	saveProfile := flag.String("save-profile", "", "capture the benchmark's communication profile to this JSON file (for PARX ingestion)")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("Combos (Sec. 4.4.3):")
+		for i, c := range exp.PaperCombos() {
+			fmt.Printf("  %d: %s\n", i, c.Name)
+		}
+		fmt.Println("Benchmarks:")
+		fmt.Println("  imb:" + strings.Join(workloads.IMBOps(), " imb:"))
+		fmt.Print("  app:")
+		for _, a := range workloads.Registry() {
+			fmt.Printf("%s ", a.Abbrev)
+		}
+		fmt.Println("\n  baidu ebb mpigraph")
+		return
+	}
+	if *bench == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	combos := exp.PaperCombos()
+	if *comboIdx < 0 || *comboIdx >= len(combos) {
+		fatal(fmt.Errorf("combo index out of range"))
+	}
+	combo := combos[*comboIdx]
+	if *topoF != "" || *routing != "" {
+		if *topoF == "" || *routing == "" {
+			fatal(fmt.Errorf("custom combos need both -topo and -routing"))
+		}
+		combo = exp.Combo{
+			Name:      fmt.Sprintf("%s / %s / %s", *topoF, *routing, *placement),
+			Topology:  *topoF,
+			Routing:   *routing,
+			Placement: place.Strategy(*placement),
+		}
+	}
+	m, err := exp.BuildMachine(combo, exp.MachineConfig{
+		Degrade: !*noDegrade, Seed: *seed, Small: *small,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("combo: %s  plane: %s (%d nodes)\n", combo.Name, m.G.Name, m.G.NumTerminals())
+
+	switch {
+	case strings.HasPrefix(*bench, "imb:"):
+		op := strings.TrimPrefix(*bench, "imb:")
+		runTrials(m, *n, *trials, *seed, "us/op", func(nn int) (*workloads.Instance, error) {
+			return workloads.BuildIMB(op, nn, *size)
+		})
+	case strings.HasPrefix(*bench, "app:"):
+		app, err := workloads.FindApp(strings.TrimPrefix(*bench, "app:"))
+		if err != nil {
+			fatal(err)
+		}
+		if *saveProfile != "" {
+			p := trace.Capture(app.Instance(*n).Progs)
+			if err := p.Save(*saveProfile); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("communication profile saved to %s\n", *saveProfile)
+		}
+		runTrials(m, *n, *trials, *seed, app.Metric, func(nn int) (*workloads.Instance, error) {
+			return app.Instance(nn), nil
+		})
+	case *bench == "baidu":
+		runTrials(m, *n, *trials, *seed, "s", func(nn int) (*workloads.Instance, error) {
+			return workloads.BuildBaiduAllreduce(nn, *size/4), nil
+		})
+	case *bench == "ebb":
+		ranks, err := m.Place(*n, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		f, err := m.NewFabric(*seed)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := workloads.EffectiveBisectionBandwidth(f, ranks, *samples, *size, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("eBB over %d samples: mean %.3f GiB/s (min %.3f, max %.3f)\n",
+			len(res.Samples), res.MeanGiB, res.MinGiB, res.MaxGiB)
+	case *bench == "mpigraph":
+		ranks, err := m.Place(*n, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		f, err := m.NewFabric(*seed)
+		if err != nil {
+			fatal(err)
+		}
+		res := workloads.MpiGraph(f, ranks, *size)
+		fmt.Printf("mpiGraph avg %.3f GiB/s (min %.3f, max %.3f)\n", res.AvgGiB, res.MinGiB, res.MaxGiB)
+	default:
+		fatal(fmt.Errorf("unknown benchmark %q", *bench))
+	}
+}
+
+func runTrials(m *exp.Machine, n, trials int, seed uint64, unit string,
+	build func(int) (*workloads.Instance, error)) {
+	vals, _, err := exp.RunTrials(exp.TrialSpec{
+		Machine: m, Nodes: n, Trials: trials, Seed: seed, Jitter: 0.02, Build: build,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	st := exp.Summarize(vals)
+	fmt.Printf("trials: ")
+	for _, v := range vals {
+		fmt.Printf("%.4g ", v)
+	}
+	fmt.Printf("\nmin %.4g | q1 %.4g | median %.4g | q3 %.4g | max %.4g  [%s]\n",
+		st.Min, st.Q1, st.Median, st.Q3, st.Max, unit)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "t2hx:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,79 @@
+// Command topocheck builds the paper's two network planes, validates every
+// routing engine on them (reachability, loop-freedom, deadlock-freedom,
+// virtual-lane budget), and prints the Sec. 2.3-style fabric inventory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"github.com/hpcsim/t2hx/internal/core"
+	"github.com/hpcsim/t2hx/internal/route"
+	"github.com/hpcsim/t2hx/internal/topo"
+)
+
+func main() {
+	degrade := flag.Bool("degrade", true, "remove the paper's missing-cable counts")
+	seed := flag.Uint64("seed", 42, "degradation seed")
+	flag.Parse()
+
+	hx := topo.NewPaperHyperX(*degrade, *seed)
+	ft := topo.NewPaperFatTree(*degrade, *seed)
+
+	fmt.Println("== Fabric inventory (cf. paper Sec. 2.3) ==")
+	inventory(hx.Graph, "HyperX 12x8 (7 nodes/switch)")
+	fmt.Printf("  worst coordinate bisection: %.1f%% (paper: 57.1%%)\n\n",
+		100*topo.HyperXWorstBisection(hx))
+	inventory(ft.Graph, "Fat-Tree XGFT(3; 14,12,4; 1,18,6)")
+	fmt.Println()
+
+	cm := topo.DefaultCostModel()
+	hxCost := topo.Cost(hx.Graph, cm, topo.PaperHyperXRack(hx))
+	ftCost := topo.Cost(ft.Graph, cm, topo.PaperFatTreeRack(ft))
+	fmt.Println("== Cost structure (Sec. 1/2.2 motivation, relative units) ==")
+	fmt.Printf("HyperX:   %3d switches, %4d copper, %4d AOC  => %7.0f\n",
+		hxCost.Switches, hxCost.Copper, hxCost.AOCs, hxCost.Total)
+	fmt.Printf("Fat-Tree: %3d switches, %4d copper, %4d AOC  => %7.0f (%.1fx)\n\n",
+		ftCost.Switches, ftCost.Copper, ftCost.AOCs, ftCost.Total, ftCost.Total/hxCost.Total)
+
+	w := tabwriter.NewWriter(os.Stdout, 4, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "plane\tengine\tpaths\tunreach\tmaxHops\tavgHops\tmaxLoad\tVLs\tdeadlockFree")
+	type job struct {
+		plane string
+		name  string
+		run   func() (*route.Tables, error)
+	}
+	jobs := []job{
+		{"fat-tree", "ftree", func() (*route.Tables, error) { return route.FTree(ft, 0) }},
+		{"fat-tree", "sssp", func() (*route.Tables, error) { return route.SSSP(ft.Graph, 0) }},
+		{"hyperx", "dfsssp", func() (*route.Tables, error) { return route.DFSSSP(hx.Graph, 0, 8) }},
+		{"hyperx", "updown", func() (*route.Tables, error) { return route.UpDown(hx.Graph, 0) }},
+		{"hyperx", "lash", func() (*route.Tables, error) { return route.LASH(hx.Graph, 0, 8) }},
+		{"hyperx", "nue-2vl", func() (*route.Tables, error) { return route.Nue(hx.Graph, 0, 2) }},
+		{"hyperx", "parx", func() (*route.Tables, error) { return core.PARX(hx, core.Config{MaxVL: 8}) }},
+	}
+	for _, j := range jobs {
+		tb, err := j.run()
+		if err != nil {
+			fmt.Fprintf(w, "%s\t%s\tERROR: %v\n", j.plane, j.name, err)
+			continue
+		}
+		rep, err := route.Validate(tb)
+		if err != nil {
+			fmt.Fprintf(w, "%s\t%s\tERROR: %v\n", j.plane, j.name, err)
+			continue
+		}
+		fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%d\t%.2f\t%d\t%d\t%v\n",
+			j.plane, j.name, rep.Paths, rep.Unreachable, rep.MaxSwitchHops,
+			rep.AvgSwitchHops, rep.MaxChannelLoad, rep.VLs, rep.DeadlockFree)
+		w.Flush()
+	}
+}
+
+func inventory(g *topo.Graph, name string) {
+	term, sw, down := topo.CountLinks(g)
+	fmt.Printf("%s:\n  switches=%d terminals=%d links(term)=%d links(switch)=%d degraded=%d diameter=%d\n",
+		name, g.NumSwitches(), g.NumTerminals(), term, sw, down, topo.Diameter(g))
+}

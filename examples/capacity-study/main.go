@@ -1,0 +1,63 @@
+// Capacity study: a scaled-down Fig. 7. Four applications run
+// back-to-back on dedicated node blocks of a 48-node machine for a
+// simulated 20 minutes, under all five topology/routing/placement combos;
+// the score is completed runs — system throughput rather than single-job
+// speed (Sec. 4.4.2).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"github.com/hpcsim/t2hx/internal/capacity"
+	"github.com/hpcsim/t2hx/internal/exp"
+	"github.com/hpcsim/t2hx/internal/sim"
+	"github.com/hpcsim/t2hx/internal/workloads"
+)
+
+func main() {
+	quick := workloads.BuildOpts{IterScale: 0.15, ComputeScale: 2, Prolog: 5 * sim.Second}
+	var mix []capacity.AppSpec
+	for _, ab := range []string{"AMG", "CoMD", "MILC", "GraD"} {
+		app, err := workloads.FindApp(ab)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mix = append(mix, capacity.AppSpec{
+			Abbrev: app.Abbrev, Nodes: 8,
+			Build: func(n int) *workloads.Instance { return app.Build(n, quick) },
+		})
+	}
+	const window = 20 * sim.Minute
+
+	w := tabwriter.NewWriter(os.Stdout, 4, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprint(w, "combo\t")
+	for _, s := range mix {
+		fmt.Fprintf(w, "%s\t", s.Abbrev)
+	}
+	fmt.Fprintln(w, "TOTAL\t")
+	var baseTotal int
+	for i, c := range exp.PaperCombos() {
+		m, err := exp.BuildMachine(c, exp.MachineConfig{Small: true, Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := capacity.Run(m, mix, window, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(w, "%s\t", c.Name)
+		for _, s := range mix {
+			fmt.Fprintf(w, "%d\t", res.Runs[s.Abbrev])
+		}
+		fmt.Fprintf(w, "%d\t\n", res.Total)
+		if i == 0 {
+			baseTotal = res.Total
+		}
+	}
+	w.Flush()
+	fmt.Printf("\n(baseline total: %d completed runs in %.0f simulated minutes)\n",
+		baseTotal, float64(window)/60)
+}

@@ -1,0 +1,94 @@
+// PARX demand optimization: the Sec. 3.2.2/4.4.3 workflow. Capture an
+// application's communication profile (as the paper's low-level IB
+// profiler does), normalize it to the [0,255] demand range, combine it
+// with the job's node allocation, and re-route PARX against it — then
+// compare the application's runtime on oblivious vs. demand-aware tables.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/hpcsim/t2hx/internal/core"
+	"github.com/hpcsim/t2hx/internal/fabric"
+	"github.com/hpcsim/t2hx/internal/mpi"
+	"github.com/hpcsim/t2hx/internal/place"
+	"github.com/hpcsim/t2hx/internal/sim"
+	"github.com/hpcsim/t2hx/internal/topo"
+	"github.com/hpcsim/t2hx/internal/trace"
+	"github.com/hpcsim/t2hx/internal/workloads"
+)
+
+func main() {
+	const nodes = 16
+	hx := topo.NewHyperX(topo.HyperXConfig{
+		S: []int{6, 4}, T: 2,
+		Bandwidth: topo.QDRBandwidth, Latency: topo.QDRLinkLatency,
+	})
+
+	// The workload: SWFFT's pencil transposes — a sparse, reoccurring
+	// pattern, exactly what Sec. 3.2.2 calls worth optimizing for.
+	app, err := workloads.FindApp("FFT")
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst := app.Instance(nodes)
+
+	// 1. Capture + normalize the rank-to-rank profile (placement- and
+	//    topology-oblivious, footnote 6).
+	profile := trace.Capture(inst.Progs)
+	norm := profile.Normalize()
+	nz := 0
+	for _, row := range norm {
+		for _, v := range row {
+			if v > 0 {
+				nz++
+			}
+		}
+	}
+	fmt.Printf("captured profile: %d of %d rank pairs carry traffic\n", nz, nodes*(nodes-1))
+
+	// 2. The job's allocation (clustered, like a fragmented machine).
+	ranks, err := place.Place(place.Clustered, hx.Terminals(), nodes, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. The SAR-like interface: rank profile + allocation -> node demands.
+	db := trace.NewDemandBuilder(hx.Terminals())
+	if err := db.AddJob(norm, ranks); err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(label string, demands core.Demands) sim.Duration {
+		plane := topo.NewHyperX(hx.Cfg) // fresh plane per routing
+		tb, err := core.PARX(plane, core.Config{MaxVL: 8, Demands: demands})
+		if err != nil {
+			log.Fatal(err)
+		}
+		f := fabric.New(sim.NewEngine(), tb, fabric.DefaultParams(), 1)
+		if err := f.EnableBFO(plane, 0); err != nil {
+			log.Fatal(err)
+		}
+		// Same allocation, fresh program instance.
+		res, err := mpi.Run(f, label, ranks, app.Instance(nodes).Progs, mpi.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-22s kernel %.3f s (PARX on %d VLs)\n", label, float64(res.Elapsed), tb.NumVL)
+		return res.Elapsed
+	}
+
+	fmt.Printf("\nSWFFT on %d nodes, HyperX 6x4, clustered allocation:\n", nodes)
+	obliv := run("demand-oblivious PARX", nil)
+	aware := run("demand-aware PARX", db.Demands())
+	fmt.Printf("\nre-routing for the profile changed the kernel by %+.1f%% (positive = faster)\n",
+		100*(float64(obliv)/float64(aware)-1))
+	fmt.Println(`
+Note: demand-aware balancing trades unlisted traffic for the listed
+pattern (Sec. 3.2.2 assumes "a relatively sparse and reoccurring
+communication pattern"); on a lightly loaded fabric the oblivious +1
+balancing is already near-optimal, so small deltas of either sign are
+expected. The value of the workflow is separating the high-traffic paths
+when many jobs share the fabric (see the capacity study).`)
+}

@@ -1,0 +1,3 @@
+module github.com/hpcsim/t2hx
+
+go 1.22

@@ -1,0 +1,103 @@
+package capacity
+
+import (
+	"testing"
+
+	"github.com/hpcsim/t2hx/internal/exp"
+	"github.com/hpcsim/t2hx/internal/sim"
+	"github.com/hpcsim/t2hx/internal/workloads"
+)
+
+func TestPaperMixShape(t *testing.T) {
+	mix := PaperMix()
+	if len(mix) != 14 {
+		t.Fatalf("mix has %d apps, want 14", len(mix))
+	}
+	if got := TotalNodes(mix); got != 664 {
+		t.Errorf("mix uses %d nodes, want 664 (98.8%% of 672)", got)
+	}
+	n56, n32 := 0, 0
+	for _, s := range mix {
+		switch s.Nodes {
+		case 56:
+			n56++
+		case 32:
+			n32++
+		default:
+			t.Errorf("%s uses %d nodes, want 32 or 56", s.Abbrev, s.Nodes)
+		}
+	}
+	if n56 != 9 || n32 != 5 {
+		t.Errorf("56/32 split = %d/%d, want 9/5", n56, n32)
+	}
+	if len(Order()) != 14 {
+		t.Error("Order() must list all 14 apps")
+	}
+	// Every spec must actually build.
+	for _, s := range mix {
+		in := s.Build(s.Nodes)
+		if len(in.Progs) != s.Nodes {
+			t.Errorf("%s built %d programs for %d nodes", s.Abbrev, len(in.Progs), s.Nodes)
+		}
+	}
+}
+
+// smallMix is a two-app mix sized for the 32-node test machine.
+func smallMix() []AppSpec {
+	quick := workloads.BuildOpts{IterScale: 0.1, ComputeScale: 1, Prolog: 2 * sim.Second}
+	amg, _ := workloads.FindApp("AMG")
+	comd, _ := workloads.FindApp("CoMD")
+	return []AppSpec{
+		{Abbrev: "AMG", Nodes: 16, Build: func(n int) *workloads.Instance { return amg.Build(n, quick) }},
+		{Abbrev: "CoMD", Nodes: 16, Build: func(n int) *workloads.Instance { return comd.Build(n, quick) }},
+	}
+}
+
+func TestCapacityRunCountsRuns(t *testing.T) {
+	m, err := exp.BuildMachine(exp.PaperCombos()[2], exp.MachineConfig{Small: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(m, smallMix(), 2*sim.Minute, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs["AMG"] == 0 || res.Runs["CoMD"] == 0 {
+		t.Fatalf("no completed runs: %+v", res.Runs)
+	}
+	if res.Total != res.Runs["AMG"]+res.Runs["CoMD"] {
+		t.Error("total inconsistent")
+	}
+	// Sanity: a ~5s job should fit many times into 2 minutes.
+	if res.Runs["CoMD"] < 5 {
+		t.Errorf("CoMD completed only %d runs in 2 min", res.Runs["CoMD"])
+	}
+}
+
+func TestCapacityRejectsOversizedMix(t *testing.T) {
+	m, err := exp.BuildMachine(exp.PaperCombos()[2], exp.MachineConfig{Small: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(m, PaperMix(), sim.Minute, 1); err == nil {
+		t.Error("664-node mix accepted on a 32-node machine")
+	}
+}
+
+func TestCapacityWindowCutsOff(t *testing.T) {
+	m, err := exp.BuildMachine(exp.PaperCombos()[2], exp.MachineConfig{Small: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, err := Run(m, smallMix(), 30*sim.Second, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := Run(m, smallMix(), 3*sim.Minute, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short.Total >= long.Total {
+		t.Errorf("longer window completed fewer runs: %d vs %d", long.Total, short.Total)
+	}
+}

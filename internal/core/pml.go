@@ -1,0 +1,22 @@
+package core
+
+import (
+	"github.com/hpcsim/t2hx/internal/sim"
+)
+
+// DefaultThreshold is the small/large message boundary in bytes determined
+// with Multi-PingPong and mpiGraph probes on the real system (Sec. 3.2.4):
+// messages of 512 bytes and above are routed over the non-minimal LIDs.
+const DefaultThreshold int64 = 512
+
+// SelectLIDOffset implements the modified bfo point-to-point messaging
+// layer's destination-LID selection (Sec. 3.2.4): given the source and
+// destination quadrants and the message size, pick the LID offset x from
+// Table 1, choosing randomly when two alternatives are listed.
+func SelectLIDOffset(src, dst Quadrant, size, threshold int64, r *sim.Rand) uint8 {
+	choices := LIDChoices(src, dst, size >= threshold)
+	if len(choices) == 1 {
+		return choices[0]
+	}
+	return choices[r.Intn(len(choices))]
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/hpcsim/t2hx/internal/sim"
+)
+
+func TestQuadrantGeometry(t *testing.T) {
+	shape := []int{12, 8}
+	cases := []struct {
+		coord []int
+		want  Quadrant
+	}{
+		{[]int{0, 0}, Q0},  // left-top
+		{[]int{5, 3}, Q0},  // still left-top
+		{[]int{0, 4}, Q1},  // left-bottom
+		{[]int{5, 7}, Q1},  //
+		{[]int{6, 4}, Q2},  // right-bottom
+		{[]int{11, 7}, Q2}, //
+		{[]int{6, 0}, Q3},  // right-top
+		{[]int{11, 3}, Q3}, //
+	}
+	for _, c := range cases {
+		if got := QuadrantOf(c.coord, shape); got != c.want {
+			t.Errorf("QuadrantOf(%v) = %v, want %v", c.coord, got, c.want)
+		}
+	}
+}
+
+func TestQuadrantHalfMembership(t *testing.T) {
+	shape := []int{4, 4}
+	// Q0 (left-top) must be inside left and top halves only.
+	coord := []int{0, 0}
+	if !InHalf(coord, shape, LeftHalf) || !InHalf(coord, shape, TopHalf) {
+		t.Error("Q0 coordinate not in left/top halves")
+	}
+	if InHalf(coord, shape, RightHalf) || InHalf(coord, shape, BottomHalf) {
+		t.Error("Q0 coordinate leaked into right/bottom halves")
+	}
+}
+
+func TestRuleForMapping(t *testing.T) {
+	// Sec. 3.2.1: R1..R4 map LID0..LID3 to left/right/top/bottom.
+	want := []Half{LeftHalf, RightHalf, TopHalf, BottomHalf}
+	for off := uint8(0); off < 4; off++ {
+		if got := RuleFor(off); got != want[off] {
+			t.Errorf("RuleFor(%d) = %v, want %v", off, got, want[off])
+		}
+	}
+}
+
+// quadrantHalf reports whether quadrant q intersects half h.
+func quadrantInHalf(q Quadrant, h Half) bool {
+	switch h {
+	case LeftHalf:
+		return q.Left()
+	case RightHalf:
+		return !q.Left()
+	case TopHalf:
+		return q.Top()
+	default:
+		return !q.Top()
+	}
+}
+
+// Table 1a invariant: for small messages, the removed half must contain
+// NEITHER a shared region that breaks minimality. Precisely: if src and dst
+// share a half (same column or row of quadrants), the removal must not
+// touch that shared half; if they are diagonal, any listed choice keeps a
+// minimal two-hop route (always true since only half-internal links are
+// removed).
+func TestTable1SmallPreservesMinimality(t *testing.T) {
+	for s := Q0; s <= Q3; s++ {
+		for d := Q0; d <= Q3; d++ {
+			for _, x := range LIDChoices(s, d, false) {
+				h := RuleFor(x)
+				shareLR := s.Left() == d.Left()
+				shareTB := s.Top() == d.Top()
+				if shareLR && (h == LeftHalf || h == RightHalf) && quadrantInHalf(s, h) {
+					t.Errorf("small %v->%v choice %d removes the shared %v half", s, d, x, h)
+				}
+				if shareTB && (h == TopHalf || h == BottomHalf) && quadrantInHalf(s, h) {
+					t.Errorf("small %v->%v choice %d removes the shared %v half", s, d, x, h)
+				}
+			}
+		}
+	}
+}
+
+// Table 1b invariant: for large messages between non-diagonal quadrant
+// pairs, the removal must hit the shared half, forcing the detour.
+func TestTable1LargeForcesDetour(t *testing.T) {
+	for s := Q0; s <= Q3; s++ {
+		for d := Q0; d <= Q3; d++ {
+			diag := s.Left() != d.Left() && s.Top() != d.Top()
+			if diag {
+				continue
+			}
+			for _, x := range LIDChoices(s, d, true) {
+				h := RuleFor(x)
+				// The removed half must contain both src and dst (their
+				// shared half) so intra-half traffic detours.
+				if !(quadrantInHalf(s, h) && quadrantInHalf(d, h)) {
+					t.Errorf("large %v->%v choice %d removes %v, which does not cover both", s, d, x, h)
+				}
+			}
+		}
+	}
+}
+
+// Criterion 3 of Sec. 3.2: for ALL quadrant pairs both a small and a large
+// choice exist.
+func TestTable1ChoiceExistsForAllPairs(t *testing.T) {
+	for s := Q0; s <= Q3; s++ {
+		for d := Q0; d <= Q3; d++ {
+			if len(LIDChoices(s, d, false)) == 0 {
+				t.Errorf("no small choice for %v->%v", s, d)
+			}
+			if len(LIDChoices(s, d, true)) == 0 {
+				t.Errorf("no large choice for %v->%v", s, d)
+			}
+		}
+	}
+}
+
+// Reproduce Table 1 literally (the paper's published matrix).
+func TestTable1MatchesPaper(t *testing.T) {
+	small := [4][4][]uint8{
+		{{1, 3}, {1}, {0, 2}, {3}},
+		{{1}, {1, 2}, {2}, {0, 3}},
+		{{1, 3}, {2}, {0, 2}, {0}},
+		{{3}, {1, 2}, {0}, {0, 3}},
+	}
+	large := [4][4][]uint8{
+		{{0, 2}, {0}, {0, 2}, {2}},
+		{{0}, {0, 3}, {3}, {0, 3}},
+		{{1, 3}, {3}, {1, 3}, {1}},
+		{{2}, {1, 2}, {1}, {1, 2}},
+	}
+	for s := 0; s < 4; s++ {
+		for d := 0; d < 4; d++ {
+			if !equalU8(LIDChoices(Quadrant(s), Quadrant(d), false), small[s][d]) {
+				t.Errorf("Table 1a [%d][%d] = %v, want %v", s, d,
+					LIDChoices(Quadrant(s), Quadrant(d), false), small[s][d])
+			}
+			if !equalU8(LIDChoices(Quadrant(s), Quadrant(d), true), large[s][d]) {
+				t.Errorf("Table 1b [%d][%d] = %v, want %v", s, d,
+					LIDChoices(Quadrant(s), Quadrant(d), true), large[s][d])
+			}
+		}
+	}
+}
+
+func equalU8(a, b []uint8) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSelectLIDOffsetRespectsThreshold(t *testing.T) {
+	r := sim.NewRand(1)
+	// 511 bytes -> small table; 512 -> large (Sec. 3.2.4).
+	for i := 0; i < 100; i++ {
+		x := SelectLIDOffset(Q0, Q1, 511, DefaultThreshold, r)
+		if x != 1 {
+			t.Fatalf("small Q0->Q1 offset = %d, want 1", x)
+		}
+		x = SelectLIDOffset(Q0, Q1, 512, DefaultThreshold, r)
+		if x != 0 {
+			t.Fatalf("large Q0->Q1 offset = %d, want 0", x)
+		}
+	}
+}
+
+func TestSelectLIDOffsetRandomizesAlternatives(t *testing.T) {
+	r := sim.NewRand(2)
+	seen := map[uint8]int{}
+	for i := 0; i < 200; i++ {
+		seen[SelectLIDOffset(Q0, Q0, 1, DefaultThreshold, r)]++
+	}
+	if seen[1] == 0 || seen[3] == 0 {
+		t.Errorf("alternatives not randomized: %v", seen)
+	}
+	if len(seen) != 2 {
+		t.Errorf("unexpected offsets: %v", seen)
+	}
+}

@@ -1,0 +1,249 @@
+// Package exp is the experiment harness: it assembles the paper's five
+// topology/routing/placement combinations (Sec. 4.4.3), runs workloads over
+// the capability-scaling ladders with repeated trials (Sec. 4.4.1), and
+// reduces the timings to the statistics the paper plots — min/median/
+// quartiles/max whiskers and the relative performance gain over the
+// "Fat-Tree / ftree / linear" baseline.
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/hpcsim/t2hx/internal/core"
+	"github.com/hpcsim/t2hx/internal/fabric"
+	"github.com/hpcsim/t2hx/internal/mpi"
+	"github.com/hpcsim/t2hx/internal/place"
+	"github.com/hpcsim/t2hx/internal/route"
+	"github.com/hpcsim/t2hx/internal/sim"
+	"github.com/hpcsim/t2hx/internal/topo"
+	"github.com/hpcsim/t2hx/internal/workloads"
+)
+
+// Combo is one of the evaluated topology/routing/placement combinations.
+type Combo struct {
+	Name      string
+	Topology  string // "fattree" | "hyperx"
+	Routing   string // "ftree" | "sssp" | "dfsssp" | "parx"
+	Placement place.Strategy
+}
+
+// PaperCombos returns the five combinations of Sec. 4.4.3 in paper order;
+// index 0 is the baseline.
+func PaperCombos() []Combo {
+	return []Combo{
+		{"Fat-Tree / ftree / linear", "fattree", "ftree", place.Linear},
+		{"Fat-Tree / SSSP / clustered", "fattree", "sssp", place.Clustered},
+		{"HyperX / DFSSSP / linear", "hyperx", "dfsssp", place.Linear},
+		{"HyperX / DFSSSP / random", "hyperx", "dfsssp", place.Random},
+		{"HyperX / PARX / clustered", "hyperx", "parx", place.Clustered},
+	}
+}
+
+// Machine is a built and routed network plane, reusable across runs (the
+// routing tables are read-only at run time).
+type Machine struct {
+	Combo  Combo
+	G      *topo.Graph
+	HX     *topo.HyperX  // non-nil for HyperX planes
+	FT     *topo.FatTree // non-nil for Fat-Tree planes
+	Tables *route.Tables
+}
+
+// MachineConfig controls plane construction.
+type MachineConfig struct {
+	// Degrade removes the paper's broken-cable counts (Sec. 2.3).
+	Degrade bool
+	// Seed drives degradation and placement randomness.
+	Seed uint64
+	// Demands optionally re-routes PARX for a communication profile
+	// (ignored by other engines).
+	Demands core.Demands
+	// Small builds a scaled-down machine (4x4 HyperX / 4-ary tree with 32
+	// terminals) for tests and benches.
+	Small bool
+}
+
+// BuildMachine constructs the plane for a combo.
+func BuildMachine(c Combo, cfg MachineConfig) (*Machine, error) {
+	m := &Machine{Combo: c}
+	switch c.Topology {
+	case "hyperx":
+		if cfg.Small {
+			m.HX = topo.NewHyperX(topo.HyperXConfig{
+				S: []int{4, 4}, T: 2,
+				Bandwidth: topo.QDRBandwidth, Latency: topo.QDRLinkLatency,
+			})
+			if cfg.Degrade {
+				topo.DegradeSwitchLinks(m.HX.Graph, 2, cfg.Seed)
+			}
+		} else {
+			m.HX = topo.NewPaperHyperX(cfg.Degrade, cfg.Seed)
+		}
+		m.G = m.HX.Graph
+	case "fattree":
+		if cfg.Small {
+			m.FT = topo.NewXGFT(topo.XGFTConfig{
+				M: []int{2, 4, 4}, W: []int{1, 3, 2},
+				Bandwidth: topo.QDRBandwidth, Latency: topo.QDRLinkLatency,
+			})
+			if cfg.Degrade {
+				topo.DegradeSwitchLinks(m.FT.Graph, 4, cfg.Seed)
+			}
+		} else {
+			m.FT = topo.NewPaperFatTree(cfg.Degrade, cfg.Seed)
+		}
+		m.G = m.FT.Graph
+	default:
+		return nil, fmt.Errorf("exp: unknown topology %q", c.Topology)
+	}
+
+	var err error
+	switch c.Routing {
+	case "ftree":
+		if m.FT == nil {
+			return nil, fmt.Errorf("exp: ftree routing needs a Fat-Tree")
+		}
+		m.Tables, err = route.FTree(m.FT, 0)
+	case "sssp":
+		m.Tables, err = route.SSSP(m.G, 0)
+	case "dfsssp":
+		m.Tables, err = route.DFSSSP(m.G, 0, 8)
+	case "updown":
+		m.Tables, err = route.UpDown(m.G, 0)
+	case "lash":
+		m.Tables, err = route.LASH(m.G, 0, 8)
+	case "nue":
+		m.Tables, err = route.Nue(m.G, 0, 2)
+	case "parx":
+		if m.HX == nil {
+			return nil, fmt.Errorf("exp: PARX needs a HyperX")
+		}
+		m.Tables, err = core.PARX(m.HX, core.Config{MaxVL: 8, Demands: cfg.Demands})
+	default:
+		err = fmt.Errorf("exp: unknown routing %q", c.Routing)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// NewFabric creates a fresh fabric (own engine and flow state) over the
+// machine's tables; the bfo PML is enabled automatically for PARX.
+func (m *Machine) NewFabric(seed uint64) (*fabric.Fabric, error) {
+	f := fabric.New(sim.NewEngine(), m.Tables, fabric.DefaultParams(), seed)
+	if m.Combo.Routing == "parx" {
+		if err := f.EnableBFO(m.HX, 0); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// Place selects n nodes per the combo's placement strategy.
+func (m *Machine) Place(n int, seed uint64) ([]topo.NodeID, error) {
+	return place.Place(m.Combo.Placement, m.G.Terminals(), n, seed)
+}
+
+// Stats are the whisker-plot statistics of Figs. 5b/5c/6.
+type Stats struct {
+	N                        int
+	Min, Q1, Median, Q3, Max float64
+	Mean                     float64
+}
+
+// Summarize computes whisker statistics.
+func Summarize(vals []float64) Stats {
+	if len(vals) == 0 {
+		return Stats{}
+	}
+	v := append([]float64{}, vals...)
+	sort.Float64s(v)
+	q := func(p float64) float64 {
+		idx := p * float64(len(v)-1)
+		lo := int(idx)
+		hi := lo + 1
+		if hi >= len(v) {
+			return v[lo]
+		}
+		frac := idx - float64(lo)
+		return v[lo]*(1-frac) + v[hi]*frac
+	}
+	s := Stats{N: len(v), Min: v[0], Max: v[len(v)-1], Q1: q(0.25), Median: q(0.5), Q3: q(0.75)}
+	for _, x := range v {
+		s.Mean += x
+	}
+	s.Mean /= float64(len(v))
+	return s
+}
+
+// Best extracts the paper's "absolute best observed" value: min for
+// lower-is-better metrics, max otherwise.
+func (s Stats) Best(better workloads.Direction) float64 {
+	if better == workloads.HigherIsBetter {
+		return s.Max
+	}
+	return s.Min
+}
+
+// Gain is the relative performance gain over a baseline (Hoefler & Belli):
+// positive means the candidate beats the baseline, for either metric
+// direction.
+func Gain(baseline, candidate float64, better workloads.Direction) float64 {
+	if baseline == 0 {
+		return 0
+	}
+	if better == workloads.HigherIsBetter {
+		return candidate/baseline - 1
+	}
+	return baseline/candidate - 1
+}
+
+// TrialSpec describes one measurement cell: a workload instance run some
+// number of times on a machine.
+type TrialSpec struct {
+	Machine *Machine
+	Nodes   int
+	Trials  int
+	Seed    uint64
+	// Jitter is the lognormal sigma for compute phases; the paper's
+	// run-to-run variability. Zero keeps runs identical.
+	Jitter float64
+	Build  func(n int) (*workloads.Instance, error)
+}
+
+// RunTrials executes the cell and returns the per-trial metric values.
+// The placement is fixed across trials (like rerunning a job in the same
+// allocation); jitter and PML randomness vary by trial.
+func RunTrials(spec TrialSpec) ([]float64, *workloads.Instance, error) {
+	if spec.Trials < 1 {
+		spec.Trials = 1
+	}
+	ranks, err := spec.Machine.Place(spec.Nodes, spec.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	var vals []float64
+	var lastInst *workloads.Instance
+	for t := 0; t < spec.Trials; t++ {
+		inst, err := spec.Build(spec.Nodes)
+		if err != nil {
+			return nil, nil, err
+		}
+		lastInst = inst
+		f, err := spec.Machine.NewFabric(spec.Seed + uint64(t)*7919)
+		if err != nil {
+			return nil, nil, err
+		}
+		res, err := mpi.Run(f, "trial", ranks, inst.Progs, mpi.Options{
+			ComputeJitterSigma: spec.Jitter,
+			Seed:               spec.Seed + uint64(t)*104729,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		vals = append(vals, inst.Score(res.Elapsed))
+	}
+	return vals, lastInst, nil
+}

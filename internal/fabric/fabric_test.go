@@ -1,0 +1,182 @@
+package fabric
+
+import (
+	"math"
+	"testing"
+
+	"github.com/hpcsim/t2hx/internal/core"
+	"github.com/hpcsim/t2hx/internal/route"
+	"github.com/hpcsim/t2hx/internal/sim"
+	"github.com/hpcsim/t2hx/internal/topo"
+)
+
+func hxFabric(t *testing.T, pml PML) (*topo.HyperX, *Fabric, *sim.Engine) {
+	t.Helper()
+	hx := topo.NewHyperX(topo.HyperXConfig{
+		S: []int{4, 4}, T: 2,
+		Bandwidth: 1e9, Latency: 100 * sim.Nanosecond,
+	})
+	var tb *route.Tables
+	var err error
+	if pml == BFO {
+		tb, err = core.PARX(hx, core.Config{})
+	} else {
+		tb, err = route.DFSSSP(hx.Graph, 0, 8)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine()
+	f := New(eng, tb, DefaultParams(), 1)
+	if pml == BFO {
+		if err := f.EnableBFO(hx, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return hx, f, eng
+}
+
+func TestSendLatencyDecomposition(t *testing.T) {
+	hx, f, eng := hxFabric(t, Ob1)
+	src := hx.TerminalsOf(hx.SwitchAt(0, 0))[0]
+	dst := hx.TerminalsOf(hx.SwitchAt(1, 0))[0]
+	var done sim.Time = -1
+	f.Send(src, dst, 0, func(at sim.Time) { done = at })
+	eng.Run()
+	// 0-byte: overhead 600ns + 3 channels x 100ns + recv 200ns = 1.1us.
+	want := 1.1e-6
+	if math.Abs(float64(done)-want) > 1e-12 {
+		t.Errorf("0B latency = %v, want %v", done, want)
+	}
+}
+
+func TestSendBandwidthTerm(t *testing.T) {
+	hx, f, eng := hxFabric(t, Ob1)
+	src := hx.TerminalsOf(hx.SwitchAt(0, 0))[0]
+	dst := hx.TerminalsOf(hx.SwitchAt(1, 0))[0]
+	var done sim.Time = -1
+	size := int64(1e6)
+	f.Send(src, dst, size, func(at sim.Time) { done = at })
+	eng.Run()
+	// 1 MB at 1 GB/s = 1 ms, plus ~1.1us of latency terms.
+	want := 1e-3 + 1.1e-6
+	if math.Abs(float64(done)-want) > 1e-9 {
+		t.Errorf("1MB latency = %v, want %v", done, want)
+	}
+}
+
+func TestLoopbackSend(t *testing.T) {
+	hx, f, eng := hxFabric(t, Ob1)
+	src := hx.Terminals()[0]
+	var done sim.Time = -1
+	f.Send(src, src, 1024, func(at sim.Time) { done = at })
+	eng.Run()
+	if done <= 0 || done > 2e-6 {
+		t.Errorf("loopback latency = %v, want < 2us and > 0", done)
+	}
+}
+
+func TestSevenFlowsShareOneCable(t *testing.T) {
+	// The Fig. 1 mechanism: T flows between adjacent HyperX switches share
+	// the single direct cable and each sees ~1/T of its bandwidth.
+	hx := topo.NewHyperX(topo.HyperXConfig{
+		S: []int{4, 2}, T: 7,
+		Bandwidth: 1e9, Latency: 0,
+	})
+	tb, err := route.DFSSSP(hx.Graph, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine()
+	f := New(eng, tb, Params{}, 1)
+	a := hx.TerminalsOf(hx.SwitchAt(0, 0))
+	b := hx.TerminalsOf(hx.SwitchAt(1, 0))
+	size := int64(1e6)
+	var last sim.Time
+	for i := range a {
+		f.Send(a[i], b[i], size, func(at sim.Time) {
+			if at > last {
+				last = at
+			}
+		})
+	}
+	eng.Run()
+	// 7 MB over one 1 GB/s cable: 7 ms.
+	if math.Abs(float64(last)-7e-3) > 1e-6 {
+		t.Errorf("7-flow completion = %v, want 7ms (shared cable)", last)
+	}
+}
+
+func TestBFOSelectsBySize(t *testing.T) {
+	hx, f, _ := hxFabric(t, BFO)
+	// Same-quadrant adjacent pair in Q0.
+	src := hx.TerminalsOf(hx.SwitchAt(0, 0))[0]
+	dst := hx.TerminalsOf(hx.SwitchAt(1, 0))[0]
+	// Small messages: minimal (1 switch hop).
+	for i := 0; i < 50; i++ {
+		hops, lid, err := f.Probe(src, dst, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hops != 1 {
+			t.Fatalf("small message hops = %d (LID %d), want 1", hops, lid)
+		}
+	}
+	// Large messages: at least one probe must detour.
+	detour := false
+	for i := 0; i < 50; i++ {
+		hops, _, err := f.Probe(src, dst, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hops > 1 {
+			detour = true
+		}
+	}
+	if !detour {
+		t.Error("large messages never detoured under bfo/PARX")
+	}
+}
+
+func TestBFOPenaltyAppliesToOverhead(t *testing.T) {
+	hxO, fO, engO := hxFabric(t, Ob1)
+	_, fB, engB := hxFabric(t, BFO)
+	src := hxO.TerminalsOf(hxO.SwitchAt(0, 0))[0]
+	dst := hxO.TerminalsOf(hxO.SwitchAt(0, 0))[1] // same switch: no detour possible
+	var dO, dB sim.Time
+	fO.Send(src, dst, 0, func(at sim.Time) { dO = at })
+	engO.Run()
+	fB.Send(src, dst, 0, func(at sim.Time) { dB = at })
+	engB.Run()
+	if dB <= dO {
+		t.Errorf("bfo latency %v not above ob1 %v", dB, dO)
+	}
+	if math.Abs(float64(dB-dO)-float64(DefaultParams().BFOPenalty)) > 1e-12 {
+		t.Errorf("bfo penalty = %v, want %v", dB-dO, DefaultParams().BFOPenalty)
+	}
+}
+
+func TestEnableBFORequiresLMC(t *testing.T) {
+	hx := topo.NewHyperX(topo.HyperXConfig{S: []int{4, 4}, T: 1, Bandwidth: 1e9, Latency: 0})
+	tb, err := route.DFSSSP(hx.Graph, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := New(sim.NewEngine(), tb, DefaultParams(), 1)
+	if err := f.EnableBFO(hx, 0); err == nil {
+		t.Error("EnableBFO accepted LMC=0 tables")
+	}
+}
+
+func TestFabricCountsTraffic(t *testing.T) {
+	hx, f, eng := hxFabric(t, Ob1)
+	src := hx.Terminals()[0]
+	dst := hx.Terminals()[5]
+	for i := 0; i < 3; i++ {
+		f.Send(src, dst, 100, func(sim.Time) {})
+	}
+	eng.Run()
+	if f.Messages != 3 || f.Bytes != 300 {
+		t.Errorf("counters = %d msgs / %.0f bytes, want 3/300", f.Messages, f.Bytes)
+	}
+}

@@ -1,0 +1,80 @@
+package fabric
+
+import (
+	"math"
+	"testing"
+
+	"github.com/hpcsim/t2hx/internal/route"
+	"github.com/hpcsim/t2hx/internal/sim"
+	"github.com/hpcsim/t2hx/internal/topo"
+)
+
+// qdrPair builds two switches with one QDR cable and T terminals each,
+// routed minimally.
+func qdrPair(t *testing.T, T int, params Params) (*topo.HyperX, *Fabric) {
+	t.Helper()
+	hx := topo.NewHyperX(topo.HyperXConfig{
+		S: []int{2, 2}, T: T,
+		Bandwidth: topo.QDRBandwidth, Latency: 0,
+	})
+	tb, err := route.DFSSSP(hx.Graph, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hx, New(sim.NewEngine(), tb, params, 1)
+}
+
+func TestNodeCapLimitsBidirectional(t *testing.T) {
+	// One node sending 1 MiB while receiving 1 MiB: with the default
+	// PCIe-era cap of 1.5x wire rate, each direction gets 0.75x wire.
+	hx, f := qdrPair(t, 2, Params{})
+	a := hx.TerminalsOf(hx.SwitchAt(0, 0))[0]
+	b := hx.TerminalsOf(hx.SwitchAt(0, 1))[0]
+	c := hx.TerminalsOf(hx.SwitchAt(1, 0))[0]
+	size := int64(1 << 20)
+	var tAB, tCA sim.Time
+	f.Send(a, b, size, func(at sim.Time) { tAB = at })
+	f.Send(c, a, size, func(at sim.Time) { tCA = at })
+	f.Eng.Run()
+	// Each flow shares node a's 4.8 GiB/s budget: 2.4 GiB/s per flow;
+	// 1 MiB / 2.4 GiB/s = ~407 us.
+	want := float64(size) / (DefaultNodeBandwidth / 2)
+	got := math.Max(float64(tAB), float64(tCA))
+	if math.Abs(got-want)/want > 0.05 {
+		t.Errorf("bidirectional transfer took %v, want ~%v (node cap)", got, want)
+	}
+}
+
+func TestNodeCapUnidirectionalUnaffected(t *testing.T) {
+	// A single unidirectional stream still runs at wire rate: the 1.5x
+	// node budget does not bind.
+	hx, f := qdrPair(t, 1, Params{})
+	a := hx.TerminalsOf(hx.SwitchAt(0, 0))[0]
+	b := hx.TerminalsOf(hx.SwitchAt(0, 1))[0]
+	size := int64(1 << 20)
+	var done sim.Time
+	f.Send(a, b, size, func(at sim.Time) { done = at })
+	f.Eng.Run()
+	want := float64(size) / topo.QDRBandwidth
+	if math.Abs(float64(done)-want)/want > 0.05 {
+		t.Errorf("unidirectional transfer took %v, want ~%v (wire rate)", done, want)
+	}
+}
+
+func TestNodeCapDisabled(t *testing.T) {
+	hx, f := qdrPair(t, 2, Params{NodeBandwidth: -1})
+	a := hx.TerminalsOf(hx.SwitchAt(0, 0))[0]
+	b := hx.TerminalsOf(hx.SwitchAt(0, 1))[0]
+	c := hx.TerminalsOf(hx.SwitchAt(1, 0))[0]
+	size := int64(1 << 20)
+	var tAB, tCA sim.Time
+	f.Send(a, b, size, func(at sim.Time) { tAB = at })
+	f.Send(c, a, size, func(at sim.Time) { tCA = at })
+	f.Eng.Run()
+	// Full duplex, no cap: both at wire rate.
+	want := float64(size) / topo.QDRBandwidth
+	got := math.Max(float64(tAB), float64(tCA))
+	if math.Abs(got-want)/want > 0.05 {
+		t.Errorf("uncapped duplex took %v, want ~%v", got, want)
+	}
+}

@@ -1,0 +1,81 @@
+package figures
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"github.com/hpcsim/t2hx/internal/exp"
+)
+
+// CSV side-channel: when CSVDir is set on Params, every figure also writes
+// its data series as CSV files (one per figure, long format), so the
+// regenerated rows/series are machine-comparable against the paper's
+// plots.
+
+// csvSink buffers rows for one figure.
+type csvSink struct {
+	dir  string
+	name string
+	head []string
+	rows [][]string
+}
+
+func (s *Session) sink(name string, head ...string) *csvSink {
+	if s.P.CSVDir == "" {
+		return nil
+	}
+	return &csvSink{dir: s.P.CSVDir, name: name, head: head}
+}
+
+func (k *csvSink) add(vals ...any) {
+	if k == nil {
+		return
+	}
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case string:
+			row[i] = x
+		case int:
+			row[i] = strconv.Itoa(x)
+		case int64:
+			row[i] = strconv.FormatInt(x, 10)
+		case float64:
+			row[i] = strconv.FormatFloat(x, 'g', 8, 64)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	k.rows = append(k.rows, row)
+}
+
+func (k *csvSink) flush() error {
+	if k == nil {
+		return nil
+	}
+	if err := os.MkdirAll(k.dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(k.dir, k.name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(k.head); err != nil {
+		return err
+	}
+	if err := w.WriteAll(k.rows); err != nil {
+		return err
+	}
+	w.Flush()
+	return w.Error()
+}
+
+// writeWhiskerCSV is used by whisker-style figures.
+func writeWhiskerCSV(k *csvSink, combo exp.Combo, nodes int, st exp.Stats, gain float64) {
+	k.add(combo.Name, nodes, st.Min, st.Q1, st.Median, st.Q3, st.Max, gain)
+}

@@ -1,0 +1,98 @@
+package figures
+
+import (
+	"github.com/hpcsim/t2hx/internal/exp"
+	"github.com/hpcsim/t2hx/internal/workloads"
+)
+
+// fig1Nodes is the rack size of Fig. 1 (one 28-node rack).
+const fig1Nodes = 28
+
+// Fig1 regenerates the mpiGraph bandwidth comparison of Fig. 1: 28 nodes
+// under (a) Fat-Tree/ftree, (b) HyperX/DFSSSP minimal routing, (c)
+// HyperX/PARX. The paper's averages are 2.26, 0.84 and 1.39 GiB/s; the
+// reproduction must show the same ordering and a PARX recovery of roughly
+// +66% over minimal routing.
+func (s *Session) Fig1() error {
+	n := fig1Nodes
+	if s.P.Small {
+		n = 8
+	}
+	combos := []exp.Combo{
+		exp.PaperCombos()[0], // Fat-Tree / ftree / linear
+		exp.PaperCombos()[2], // HyperX / DFSSSP / linear
+		exp.PaperCombos()[4], // HyperX / PARX (linear rack placement)
+	}
+	s.header("Figure 1: mpiGraph observable bandwidth, one 28-node rack")
+	var avgs []float64
+	for _, c := range combos {
+		res, err := s.fig1One(c, n)
+		if err != nil {
+			return err
+		}
+		avgs = append(avgs, res.AvgGiB)
+		s.printf("\n%s: avg %.2f GiB/s (min %.2f, max %.2f)\n", c.Name, res.AvgGiB, res.MinGiB, res.MaxGiB)
+		s.heatmap(res)
+	}
+	if len(avgs) == 3 && avgs[1] > 0 {
+		s.printf("\nPARX recovery over minimal HyperX routing: %+.0f%% (paper: +66%%)\n",
+			100*(avgs[2]/avgs[1]-1))
+	}
+	return nil
+}
+
+// Fig1Averages returns just the three averages (for tests/benches).
+func (s *Session) Fig1Averages() ([3]float64, error) {
+	n := fig1Nodes
+	if s.P.Small {
+		n = 8
+	}
+	var out [3]float64
+	for i, ci := range []int{0, 2, 4} {
+		res, err := s.fig1One(exp.PaperCombos()[ci], n)
+		if err != nil {
+			return out, err
+		}
+		out[i] = res.AvgGiB
+	}
+	return out, nil
+}
+
+func (s *Session) fig1One(c exp.Combo, n int) (*workloads.MpiGraphResult, error) {
+	m, err := s.Machine(c)
+	if err != nil {
+		return nil, err
+	}
+	// Fig. 1 is one rack: a linear slice of the hostfile, regardless of
+	// the combo's job placement strategy.
+	ranks := m.G.Terminals()[:n]
+	f, err := m.NewFabric(s.P.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return workloads.MpiGraph(f, ranks, 1<<20), nil
+}
+
+// heatmap prints an ASCII rendition of the bandwidth matrix: '.'=idle
+// diagonal, then 1..9/# buckets of GiB/s relative to the global line rate.
+func (s *Session) heatmap(res *workloads.MpiGraphResult) {
+	if res.MaxGiB <= 0 {
+		return
+	}
+	for i := range res.BW {
+		for j := range res.BW[i] {
+			if i == j {
+				s.printf(".")
+				continue
+			}
+			frac := workloads.GiB(res.BW[i][j]) / res.MaxGiB
+			switch {
+			case frac > 0.95:
+				s.printf("#")
+			default:
+				s.printf("%d", int(frac*10))
+			}
+		}
+		s.printf("\n")
+	}
+}

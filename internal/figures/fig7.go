@@ -1,0 +1,120 @@
+package figures
+
+import (
+	"fmt"
+	"text/tabwriter"
+
+	"github.com/hpcsim/t2hx/internal/capacity"
+	"github.com/hpcsim/t2hx/internal/exp"
+	"github.com/hpcsim/t2hx/internal/sim"
+	"github.com/hpcsim/t2hx/internal/workloads"
+)
+
+// Fig7 regenerates the capacity/throughput comparison: completed runs per
+// application for each of the five combos over the (configurable) window.
+// The paper's headline: HyperX/DFSSSP/linear finishes 12.7% more jobs than
+// the Fat-Tree baseline, and MILC collapses under random placement.
+func (s *Session) Fig7() error {
+	mix := capacity.PaperMix()
+	if s.P.Small {
+		mix = smallMixFor(s.P)
+	}
+	s.header(fmt.Sprintf("Figure 7: capacity evaluation (%d apps, %d nodes, %.0f min window)",
+		len(mix), capacity.TotalNodes(mix), float64(s.P.CapacityWindow)/60))
+	results := make(map[string]*capacity.Result)
+	totals := make(map[string]int)
+	combos := exp.PaperCombos()
+	for _, c := range combos {
+		m, err := s.Machine(c)
+		if err != nil {
+			return err
+		}
+		res, err := capacity.Run(m, mix, s.P.CapacityWindow, s.P.Seed)
+		if err != nil {
+			return err
+		}
+		results[c.Name] = res
+		totals[c.Name] = res.Total
+	}
+	w := tabwriter.NewWriter(s.P.Out, 4, 0, 1, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(w, "app\t")
+	for _, c := range combos {
+		fmt.Fprintf(w, "%s\t", shortCombo(c))
+	}
+	fmt.Fprintln(w)
+	order := capacity.Order()
+	if s.P.Small {
+		order = nil
+		for _, sp := range mix {
+			order = append(order, sp.Abbrev)
+		}
+	}
+	for _, app := range order {
+		fmt.Fprintf(w, "%s\t", app)
+		for _, c := range combos {
+			fmt.Fprintf(w, "%d\t", results[c.Name].Runs[app])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "TOTAL\t")
+	for _, c := range combos {
+		fmt.Fprintf(w, "%d\t", totals[c.Name])
+	}
+	fmt.Fprintln(w)
+	w.Flush()
+	base := totals[combos[0].Name]
+	if base > 0 {
+		for _, c := range combos[1:] {
+			s.printf("%s vs baseline: %+.1f%%\n", c.Name,
+				100*(float64(totals[c.Name])/float64(base)-1))
+		}
+	}
+	return nil
+}
+
+// Fig7Totals runs the capacity study and returns per-combo totals (tests).
+func (s *Session) Fig7Totals() (map[string]int, error) {
+	mix := capacity.PaperMix()
+	if s.P.Small {
+		mix = smallMixFor(s.P)
+	}
+	totals := make(map[string]int)
+	for _, c := range exp.PaperCombos() {
+		m, err := s.Machine(c)
+		if err != nil {
+			return nil, err
+		}
+		res, err := capacity.Run(m, mix, s.P.CapacityWindow, s.P.Seed)
+		if err != nil {
+			return nil, err
+		}
+		totals[c.Name] = res.Total
+	}
+	return totals, nil
+}
+
+// smallMixFor is a 4-app mix sized for the 32-node test planes.
+func smallMixFor(p Params) []capacity.AppSpec {
+	quick := workloads.BuildOpts{IterScale: 0.1, ComputeScale: 1, Prolog: 2 * sim.Second}
+	var mix []capacity.AppSpec
+	for _, ab := range []string{"AMG", "CoMD", "MILC", "GraD"} {
+		app, err := workloads.FindApp(ab)
+		if err != nil {
+			panic(err)
+		}
+		mix = append(mix, capacity.AppSpec{
+			Abbrev: app.Abbrev, Nodes: 8,
+			Build: func(n int) *workloads.Instance { return app.Build(n, quick) },
+		})
+	}
+	return mix
+}
+
+// shortCombo abbreviates a combo name for table headers.
+func shortCombo(c exp.Combo) string {
+	topo := "FT"
+	if c.Topology == "hyperx" {
+		topo = "HX"
+	}
+	return fmt.Sprintf("%s/%s/%s", topo, c.Routing, string(c.Placement)[:4])
+}

@@ -1,0 +1,291 @@
+// Package figures regenerates every table and figure of the paper's
+// evaluation (Sec. 5) on the simulated planes: Fig. 1 (mpiGraph heatmaps),
+// Table 1 (PARX LID selection), Fig. 4 (IMB collective gain grids),
+// Fig. 5a-c (Baidu allreduce, Barrier, eBB), Fig. 6 (proxy apps and x500)
+// and Fig. 7 (capacity throughput). Output is plain text (grids and
+// whisker rows) written to an io.Writer, so the same code serves the CLI
+// and the benchmark harness.
+package figures
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"github.com/hpcsim/t2hx/internal/capacity"
+	"github.com/hpcsim/t2hx/internal/core"
+	"github.com/hpcsim/t2hx/internal/exp"
+	"github.com/hpcsim/t2hx/internal/sim"
+	"github.com/hpcsim/t2hx/internal/trace"
+	"github.com/hpcsim/t2hx/internal/workloads"
+)
+
+// Params configure a regeneration session.
+type Params struct {
+	// Out receives the rendered figures.
+	Out io.Writer
+	// MaxNodes caps the scaling ladders (672 reproduces the paper; lower
+	// values produce faster, truncated figures).
+	MaxNodes int
+	// Trials per measurement cell (the paper ran 10).
+	Trials int
+	// Degrade applies the paper's missing-cable counts.
+	Degrade bool
+	// Seed drives all randomness.
+	Seed uint64
+	// Small switches to the 32-node test planes (CI-sized figures).
+	Small bool
+	// EBBSamples for Fig. 5c (paper: 1000).
+	EBBSamples int
+	// Sizes optionally restricts the IMB/Baidu message-size ladders.
+	Sizes []int64
+	// Jitter is the compute-phase lognormal sigma.
+	Jitter float64
+	// PARXDemands re-routes PARX with each workload's captured
+	// communication profile before measuring it (the paper's SAR-style
+	// workflow, Sec. 4.4.3). Costly at full scale.
+	PARXDemands bool
+	// CapacityWindow overrides the 3 h capacity window of Fig. 7.
+	CapacityWindow sim.Duration
+	// CSVDir, when set, additionally writes each figure's data series as
+	// CSV files into that directory.
+	CSVDir string
+}
+
+// Defaults fills unset fields.
+func (p Params) withDefaults() Params {
+	if p.MaxNodes == 0 {
+		if p.Small {
+			p.MaxNodes = 32
+		} else {
+			p.MaxNodes = 672
+		}
+	}
+	if p.Trials == 0 {
+		p.Trials = 3
+	}
+	if p.EBBSamples == 0 {
+		p.EBBSamples = 1000
+		if p.Small {
+			p.EBBSamples = 50
+		}
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.02
+	}
+	if p.CapacityWindow == 0 {
+		p.CapacityWindow = capacity.Window
+		if p.Small {
+			p.CapacityWindow = 2 * sim.Minute
+		}
+	}
+	return p
+}
+
+// Session caches built machines across figures.
+type Session struct {
+	P        Params
+	machines map[string]*exp.Machine
+}
+
+// NewSession prepares a regeneration session.
+func NewSession(p Params) *Session {
+	return &Session{P: p.withDefaults(), machines: make(map[string]*exp.Machine)}
+}
+
+// Machine returns the (cached) plane for a combo.
+func (s *Session) Machine(c exp.Combo) (*exp.Machine, error) {
+	if m, ok := s.machines[c.Name]; ok {
+		return m, nil
+	}
+	m, err := exp.BuildMachine(c, exp.MachineConfig{
+		Degrade: s.P.Degrade, Seed: s.P.Seed, Small: s.P.Small,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.machines[c.Name] = m
+	return m, nil
+}
+
+// parxMachineFor builds a demand-routed PARX plane for one workload
+// profile (uncached: profiles differ per workload and rank count).
+func (s *Session) parxMachineFor(c exp.Combo, progsBuild func(n int) (*workloads.Instance, error), n int) (*exp.Machine, error) {
+	if c.Routing != "parx" || !s.P.PARXDemands {
+		return s.Machine(c)
+	}
+	base, err := s.Machine(c) // for placement + terminals
+	if err != nil {
+		return nil, err
+	}
+	inst, err := progsBuild(n)
+	if err != nil {
+		return nil, err
+	}
+	norm := trace.Capture(inst.Progs).Normalize()
+	ranks, err := base.Place(n, s.P.Seed)
+	if err != nil {
+		return nil, err
+	}
+	db := trace.NewDemandBuilder(base.G.Terminals())
+	if err := db.AddJob(norm, ranks); err != nil {
+		return nil, err
+	}
+	return exp.BuildMachine(c, exp.MachineConfig{
+		Degrade: s.P.Degrade, Seed: s.P.Seed, Small: s.P.Small,
+		Demands: db.Demands(),
+	})
+}
+
+// ladder returns the node-count ladder capped at MaxNodes.
+func (s *Session) ladder(powerOfTwo bool) []int {
+	a := workloads.App{PowerOfTwo: powerOfTwo}
+	return a.Ladder(s.P.MaxNodes)
+}
+
+// cell measures one (combo, nodes, builder) cell and returns the trial
+// values.
+func (s *Session) cell(c exp.Combo, n int, build func(n int) (*workloads.Instance, error)) ([]float64, error) {
+	m, err := s.parxMachineFor(c, build, n)
+	if err != nil {
+		return nil, err
+	}
+	vals, _, err := exp.RunTrials(exp.TrialSpec{
+		Machine: m, Nodes: n, Trials: s.P.Trials, Seed: s.P.Seed + uint64(n),
+		Jitter: s.P.Jitter, Build: build,
+	})
+	return vals, err
+}
+
+func (s *Session) printf(format string, args ...any) {
+	fmt.Fprintf(s.P.Out, format, args...)
+}
+
+// header prints a figure banner.
+func (s *Session) header(title string) {
+	s.printf("\n===== %s =====\n", title)
+}
+
+// gainGrid renders a Fig. 4-style grid: rows = message sizes, columns =
+// node counts, entries = relative gain vs. the baseline combo.
+func (s *Session) gainGrid(title string, sizes []int64, nodes []int,
+	measure func(c exp.Combo, n int, size int64) (float64, error),
+	better workloads.Direction) error {
+
+	combos := exp.PaperCombos()
+	base := combos[0]
+	// Baseline bests per (size, node).
+	baseVals := make(map[[2]int64]float64)
+	for _, n := range nodes {
+		for _, sz := range sizes {
+			v, err := measure(base, n, sz)
+			if err != nil {
+				return fmt.Errorf("%s baseline n=%d size=%d: %w", title, n, sz, err)
+			}
+			baseVals[[2]int64{int64(n), sz}] = v
+		}
+	}
+	k := s.sink(csvName(title), "combo", "msgsize", "nodes", "value", "gain")
+	for _, c := range combos[1:] {
+		s.printf("\n--- %s: %s (gain vs %s) ---\n", title, c.Name, base.Name)
+		w := tabwriter.NewWriter(s.P.Out, 4, 0, 1, ' ', tabwriter.AlignRight)
+		fmt.Fprintf(w, "msgsize\\nodes\t")
+		for _, n := range nodes {
+			fmt.Fprintf(w, "%d\t", n)
+		}
+		fmt.Fprintln(w)
+		for _, sz := range sizes {
+			fmt.Fprintf(w, "%d\t", sz)
+			for _, n := range nodes {
+				v, err := measure(c, n, sz)
+				if err != nil {
+					return fmt.Errorf("%s %s n=%d size=%d: %w", title, c.Name, n, sz, err)
+				}
+				g := exp.Gain(baseVals[[2]int64{int64(n), sz}], v, better)
+				fmt.Fprintf(w, "%+.2f\t", g)
+				k.add(c.Name, sz, n, v, g)
+			}
+			fmt.Fprintln(w)
+		}
+		w.Flush()
+	}
+	return k.flush()
+}
+
+// whiskerRows renders Fig. 5b/6-style whisker tables: one row per
+// (combo, nodes) with min/q1/median/q3/max and gain-of-best.
+func (s *Session) whiskerRows(title, unit string, nodes []int,
+	measure func(c exp.Combo, n int) ([]float64, error),
+	better workloads.Direction) error {
+
+	combos := exp.PaperCombos()
+	baseBest := make(map[int]float64)
+	s.header(title)
+	k := s.sink(csvName(title), "combo", "nodes", "min", "q1", "median", "q3", "max", "gain")
+	w := tabwriter.NewWriter(s.P.Out, 4, 0, 1, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(w, "combo\tnodes\tmin\tq1\tmedian\tq3\tmax\tgain\t[%s]\n", unit)
+	for ci, c := range combos {
+		for _, n := range nodes {
+			vals, err := measure(c, n)
+			if err != nil {
+				return fmt.Errorf("%s %s n=%d: %w", title, c.Name, n, err)
+			}
+			st := exp.Summarize(vals)
+			best := st.Best(better)
+			if ci == 0 {
+				baseBest[n] = best
+			}
+			g := exp.Gain(baseBest[n], best, better)
+			fmt.Fprintf(w, "%s\t%d\t%.4g\t%.4g\t%.4g\t%.4g\t%.4g\t%+.2f\t\n",
+				c.Name, n, st.Min, st.Q1, st.Median, st.Q3, st.Max, g)
+			writeWhiskerCSV(k, c, n, st, g)
+		}
+	}
+	w.Flush()
+	return k.flush()
+}
+
+// csvName slugs a figure title into a file name.
+func csvName(title string) string {
+	out := make([]rune, 0, len(title))
+	for _, r := range title {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r >= 'A' && r <= 'Z':
+			out = append(out, r)
+		case r == ' ' || r == ':' || r == '/':
+			if len(out) > 0 && out[len(out)-1] != '_' {
+				out = append(out, '_')
+			}
+		}
+	}
+	return string(out)
+}
+
+// Table1 prints the PARX LID-selection matrices (Sec. 3.2.1, Table 1).
+func (s *Session) Table1() error {
+	s.header("Table 1: PARX virtual destination LID choice")
+	for _, large := range []bool{false, true} {
+		kind := "(a) small messages"
+		if large {
+			kind = "(b) large messages"
+		}
+		s.printf("\n%s\n      ", kind)
+		for d := core.Q0; d <= core.Q3; d++ {
+			s.printf("%6s", d)
+		}
+		s.printf("\n")
+		for src := core.Q0; src <= core.Q3; src++ {
+			s.printf("  %s:", src)
+			for dst := core.Q0; dst <= core.Q3; dst++ {
+				ch := core.LIDChoices(src, dst, large)
+				cell := fmt.Sprintf("%d", ch[0])
+				if len(ch) == 2 {
+					cell = fmt.Sprintf("%d|%d", ch[0], ch[1])
+				}
+				s.printf("%6s", cell)
+			}
+			s.printf("\n")
+		}
+	}
+	return nil
+}

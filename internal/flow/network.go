@@ -1,0 +1,268 @@
+// Package flow implements a flow-level network simulator with max-min fair
+// bandwidth sharing: each active message transfer is a flow over a fixed
+// channel path, and the rates of all concurrent flows are the max-min fair
+// allocation under per-channel capacities (progressive filling). This is
+// the standard fidelity/performance trade-off for studying link contention
+// at the paper's scale (672 nodes, up to 4 MiB messages): the central
+// phenomenon — many flows squeezed onto one QDR cable — is modelled
+// exactly, while per-packet effects are folded into latency and overhead
+// terms handled by internal/fabric.
+package flow
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/hpcsim/t2hx/internal/sim"
+	"github.com/hpcsim/t2hx/internal/topo"
+)
+
+// FlowID identifies an active flow.
+type FlowID int64
+
+// Flow is one in-flight message transfer.
+type Flow struct {
+	ID        FlowID
+	Path      []topo.ChannelID
+	Remaining float64 // bytes left to transfer
+	Rate      float64 // current bytes/second (max-min share)
+	OnDone    func(at sim.Time)
+}
+
+// Network simulates concurrent flows over a topology's directed channels.
+type Network struct {
+	eng  *sim.Engine
+	caps []float64 // per-channel capacity (bytes/s)
+
+	flows  map[FlowID]*Flow
+	nextID FlowID
+
+	lastAdvance sim.Time
+	dirty       bool
+	settleEv    *sim.Event
+	doneEv      *sim.Event
+
+	// Recomputes counts rate recomputations (for ablation benchmarks).
+	Recomputes uint64
+	// scratch buffers reused across recomputations.
+	perChanFlows map[topo.ChannelID][]*Flow
+}
+
+// NewNetwork builds a flow network over g's channels, driven by eng.
+func NewNetwork(eng *sim.Engine, g *topo.Graph) *Network {
+	n := &Network{
+		eng:          eng,
+		caps:         make([]float64, 2*len(g.Links)),
+		flows:        make(map[FlowID]*Flow),
+		perChanFlows: make(map[topo.ChannelID][]*Flow),
+		nextID:       1,
+	}
+	for _, l := range g.Links {
+		n.caps[2*l.ID] = l.Bandwidth
+		n.caps[2*l.ID+1] = l.Bandwidth
+	}
+	return n
+}
+
+// AddNodeChannels appends count virtual channels of the given capacity and
+// returns the ID of the first one. The fabric layer uses these to model
+// per-node aggregate (PCIe/HCA) bandwidth limits shared between a node's
+// concurrent sends and receives — the reason a QDR HCA never moves
+// 2x 3.2 GiB/s even though the wire is full duplex.
+func (n *Network) AddNodeChannels(count int, capacity float64) topo.ChannelID {
+	first := topo.ChannelID(len(n.caps))
+	for i := 0; i < count; i++ {
+		n.caps = append(n.caps, capacity)
+	}
+	return first
+}
+
+// Active reports the number of in-flight flows.
+func (n *Network) Active() int { return len(n.flows) }
+
+// Start begins transferring size bytes along path; onDone fires when the
+// last byte has been put on the wire. Zero/negative sizes complete at the
+// current time. The path must be non-empty for positive sizes.
+func (n *Network) Start(path []topo.ChannelID, size float64, onDone func(at sim.Time)) FlowID {
+	if size <= 0 {
+		n.eng.After(0, func(e *sim.Engine) { onDone(e.Now()) })
+		return 0
+	}
+	if len(path) == 0 {
+		panic("flow: positive-size flow with empty path")
+	}
+	n.advance()
+	f := &Flow{ID: n.nextID, Path: path, Remaining: size, OnDone: onDone}
+	n.nextID++
+	n.flows[f.ID] = f
+	n.markDirty()
+	return f.ID
+}
+
+// Cancel aborts a flow without firing its callback. Unknown IDs are
+// ignored.
+func (n *Network) Cancel(id FlowID) {
+	if _, ok := n.flows[id]; !ok {
+		return
+	}
+	n.advance()
+	delete(n.flows, id)
+	n.markDirty()
+}
+
+// advance integrates transferred bytes up to the current time.
+func (n *Network) advance() {
+	now := n.eng.Now()
+	dt := float64(now - n.lastAdvance)
+	if dt > 0 {
+		for _, f := range n.flows {
+			f.Remaining -= f.Rate * dt
+		}
+	}
+	n.lastAdvance = now
+}
+
+// markDirty schedules a same-instant settle event that recomputes rates
+// once, no matter how many flows were added/removed at this instant.
+func (n *Network) markDirty() {
+	n.dirty = true
+	if n.settleEv == nil {
+		n.settleEv = n.eng.After(0, func(*sim.Engine) {
+			n.settleEv = nil
+			n.settle()
+		})
+	}
+}
+
+// settle recomputes the max-min fair rates and schedules the next
+// completion.
+func (n *Network) settle() {
+	if !n.dirty {
+		return
+	}
+	n.dirty = false
+	n.advance()
+	n.recompute()
+	n.scheduleNextDone()
+}
+
+// recompute performs progressive filling: repeatedly find the channel with
+// the smallest fair share among unfrozen flows, freeze its flows at that
+// rate, reduce residual capacities, and continue until every flow is
+// frozen.
+func (n *Network) recompute() {
+	n.Recomputes++
+	if len(n.flows) == 0 {
+		return
+	}
+	// Build channel -> flows index (only channels actually used).
+	for c := range n.perChanFlows {
+		delete(n.perChanFlows, c)
+	}
+	for _, f := range n.flows {
+		f.Rate = -1 // unfrozen
+		for _, c := range f.Path {
+			n.perChanFlows[c] = append(n.perChanFlows[c], f)
+		}
+	}
+	residual := make(map[topo.ChannelID]float64, len(n.perChanFlows))
+	unfrozen := make(map[topo.ChannelID]int, len(n.perChanFlows))
+	for c, fs := range n.perChanFlows {
+		residual[c] = n.caps[c]
+		unfrozen[c] = len(fs)
+	}
+	remaining := len(n.flows)
+	for remaining > 0 {
+		// Bottleneck channel: minimal residual/unfrozen.
+		var bott topo.ChannelID
+		share := math.Inf(1)
+		found := false
+		for c, u := range unfrozen {
+			if u == 0 {
+				continue
+			}
+			s := residual[c] / float64(u)
+			if s < share || (s == share && (!found || c < bott)) {
+				share = s
+				bott = c
+				found = true
+			}
+		}
+		if !found {
+			panic("flow: unfrozen flows but no bottleneck channel")
+		}
+		// Freeze every unfrozen flow crossing the bottleneck.
+		for _, f := range n.perChanFlows[bott] {
+			if f.Rate >= 0 {
+				continue
+			}
+			f.Rate = share
+			remaining--
+			for _, c := range f.Path {
+				residual[c] -= share
+				if residual[c] < 0 {
+					residual[c] = 0
+				}
+				unfrozen[c]--
+			}
+		}
+	}
+}
+
+// scheduleNextDone finds the earliest completing flow(s) and schedules the
+// completion event.
+func (n *Network) scheduleNextDone() {
+	if n.doneEv != nil {
+		n.eng.Cancel(n.doneEv)
+		n.doneEv = nil
+	}
+	if len(n.flows) == 0 {
+		return
+	}
+	soonest := sim.Infinity
+	for _, f := range n.flows {
+		if f.Rate <= 0 {
+			panic(fmt.Sprintf("flow %d has rate %v", f.ID, f.Rate))
+		}
+		t := n.eng.Now() + sim.Time(f.Remaining/f.Rate)
+		if t < soonest {
+			soonest = t
+		}
+	}
+	n.doneEv = n.eng.Schedule(soonest, func(e *sim.Engine) {
+		n.doneEv = nil
+		n.completeDue()
+	})
+}
+
+// completeDue finishes every flow whose remaining bytes have drained
+// (within a relative epsilon to absorb float error), fires callbacks, and
+// settles.
+func (n *Network) completeDue() {
+	n.advance()
+	var done []*Flow
+	for _, f := range n.flows {
+		if f.Remaining <= f.Rate*1e-12+1e-6 {
+			done = append(done, f)
+		}
+	}
+	// Deterministic callback order.
+	for i := 0; i < len(done); i++ {
+		for j := i + 1; j < len(done); j++ {
+			if done[j].ID < done[i].ID {
+				done[i], done[j] = done[j], done[i]
+			}
+		}
+	}
+	for _, f := range done {
+		delete(n.flows, f.ID)
+	}
+	n.markDirty()
+	for _, f := range done {
+		f.OnDone(n.eng.Now())
+	}
+	if len(done) == 0 {
+		// Numerical guard: re-schedule.
+		n.markDirty()
+	}
+}

@@ -1,0 +1,250 @@
+package flow
+
+import (
+	"math"
+	"testing"
+
+	"github.com/hpcsim/t2hx/internal/sim"
+	"github.com/hpcsim/t2hx/internal/topo"
+)
+
+// lineGraph builds t1 - s1 - s2 - t2 with the given switch-link bandwidth.
+func lineGraph(bw float64) (*topo.Graph, []topo.ChannelID, []topo.ChannelID) {
+	g := topo.New("line")
+	s1 := g.AddNode(topo.Switch, "s1").ID
+	s2 := g.AddNode(topo.Switch, "s2").ID
+	t1 := g.AddNode(topo.Terminal, "t1").ID
+	t2 := g.AddNode(topo.Terminal, "t2").ID
+	l1 := g.Connect(s1, t1, bw, 0)
+	mid := g.Connect(s1, s2, bw, 0)
+	l2 := g.Connect(s2, t2, bw, 0)
+	fwd := []topo.ChannelID{l1.Channel(t1), mid.Channel(s1), l2.Channel(s2)}
+	rev := []topo.ChannelID{l2.Channel(t2), mid.Channel(s2), l1.Channel(s1)}
+	return g, fwd, rev
+}
+
+func TestSingleFlowFullBandwidth(t *testing.T) {
+	g, fwd, _ := lineGraph(1000) // 1000 B/s
+	e := sim.NewEngine()
+	n := NewNetwork(e, g)
+	var done sim.Time = -1
+	n.Start(fwd, 500, func(at sim.Time) { done = at })
+	e.Run()
+	if math.Abs(float64(done)-0.5) > 1e-9 {
+		t.Errorf("completion at %v, want 0.5s (500B at 1000B/s)", done)
+	}
+}
+
+func TestTwoFlowsShareBottleneck(t *testing.T) {
+	g, fwd, _ := lineGraph(1000)
+	e := sim.NewEngine()
+	n := NewNetwork(e, g)
+	// Two flows over the same path: each gets 500 B/s.
+	var d1, d2 sim.Time = -1, -1
+	n.Start(fwd, 500, func(at sim.Time) { d1 = at })
+	n.Start(fwd, 500, func(at sim.Time) { d2 = at })
+	e.Run()
+	if math.Abs(float64(d1)-1.0) > 1e-9 || math.Abs(float64(d2)-1.0) > 1e-9 {
+		t.Errorf("completions %v %v, want 1.0s each", d1, d2)
+	}
+}
+
+func TestOppositeDirectionsDoNotContend(t *testing.T) {
+	g, fwd, rev := lineGraph(1000)
+	e := sim.NewEngine()
+	n := NewNetwork(e, g)
+	var d1, d2 sim.Time = -1, -1
+	n.Start(fwd, 1000, func(at sim.Time) { d1 = at })
+	n.Start(rev, 1000, func(at sim.Time) { d2 = at })
+	e.Run()
+	// Full duplex: both finish at 1s, not 2s.
+	if math.Abs(float64(d1)-1.0) > 1e-9 || math.Abs(float64(d2)-1.0) > 1e-9 {
+		t.Errorf("duplex completions %v %v, want 1.0s each", d1, d2)
+	}
+}
+
+func TestRateReallocationOnCompletion(t *testing.T) {
+	g, fwd, _ := lineGraph(1000)
+	e := sim.NewEngine()
+	n := NewNetwork(e, g)
+	var dShort, dLong sim.Time = -1, -1
+	n.Start(fwd, 250, func(at sim.Time) { dShort = at })
+	n.Start(fwd, 750, func(at sim.Time) { dLong = at })
+	e.Run()
+	// Phase 1: both at 500 B/s; short (250B) finishes at 0.5s. Phase 2:
+	// long has 750-250=500B left at 1000 B/s -> finishes at 1.0s.
+	if math.Abs(float64(dShort)-0.5) > 1e-9 {
+		t.Errorf("short done at %v, want 0.5", dShort)
+	}
+	if math.Abs(float64(dLong)-1.0) > 1e-9 {
+		t.Errorf("long done at %v, want 1.0", dLong)
+	}
+}
+
+func TestMaxMinUnevenPaths(t *testing.T) {
+	// Star: t1,t2 inject into s over separate 1000 B/s links; both flows
+	// converge on one 1000 B/s link to s2, then distinct links to t3/t4.
+	g := topo.New("star")
+	s := g.AddNode(topo.Switch, "s").ID
+	s2 := g.AddNode(topo.Switch, "s2").ID
+	t1 := g.AddNode(topo.Terminal, "t1").ID
+	t2 := g.AddNode(topo.Terminal, "t2").ID
+	t3 := g.AddNode(topo.Terminal, "t3").ID
+	t4 := g.AddNode(topo.Terminal, "t4").ID
+	l1 := g.Connect(s, t1, 1000, 0)
+	l2 := g.Connect(s, t2, 400, 0) // t2's injection limited to 400
+	mid := g.Connect(s, s2, 1000, 0)
+	l3 := g.Connect(s2, t3, 1000, 0)
+	l4 := g.Connect(s2, t4, 1000, 0)
+	e := sim.NewEngine()
+	n := NewNetwork(e, g)
+	p1 := []topo.ChannelID{l1.Channel(t1), mid.Channel(s), l3.Channel(s2)}
+	p2 := []topo.ChannelID{l2.Channel(t2), mid.Channel(s), l4.Channel(s2)}
+	var d1, d2 sim.Time = -1, -1
+	n.Start(p1, 600, func(at sim.Time) { d1 = at })
+	n.Start(p2, 400, func(at sim.Time) { d2 = at })
+	e.Run()
+	// Max-min: flow2 frozen at 400 (its injection link), flow1 gets the
+	// residual 600 on mid. Both finish at t=1.0.
+	if math.Abs(float64(d1)-1.0) > 1e-9 {
+		t.Errorf("flow1 done at %v, want 1.0 (rate 600)", d1)
+	}
+	if math.Abs(float64(d2)-1.0) > 1e-9 {
+		t.Errorf("flow2 done at %v, want 1.0 (rate 400)", d2)
+	}
+}
+
+func TestZeroSizeCompletesImmediately(t *testing.T) {
+	g, _, _ := lineGraph(1000)
+	e := sim.NewEngine()
+	n := NewNetwork(e, g)
+	var done sim.Time = -1
+	n.Start(nil, 0, func(at sim.Time) { done = at })
+	e.Run()
+	if done != 0 {
+		t.Errorf("zero-size done at %v, want 0", done)
+	}
+}
+
+func TestCancelRemovesFlow(t *testing.T) {
+	g, fwd, _ := lineGraph(1000)
+	e := sim.NewEngine()
+	n := NewNetwork(e, g)
+	fired := false
+	id := n.Start(fwd, 1e6, func(sim.Time) { fired = true })
+	var other sim.Time = -1
+	n.Start(fwd, 500, func(at sim.Time) { other = at })
+	e.After(0.1, func(*sim.Engine) { n.Cancel(id) })
+	e.Run()
+	if fired {
+		t.Error("canceled flow fired its callback")
+	}
+	// Other flow: 0.1s at 500 B/s (shared) = 50B done, then 450B at
+	// 1000 B/s = 0.45s -> total 0.55s.
+	if math.Abs(float64(other)-0.55) > 1e-9 {
+		t.Errorf("other flow done at %v, want 0.55", other)
+	}
+	if n.Active() != 0 {
+		t.Errorf("Active() = %d, want 0", n.Active())
+	}
+}
+
+func TestCascadingFlows(t *testing.T) {
+	// A flow whose completion starts the next (like rendezvous chains).
+	g, fwd, _ := lineGraph(1000)
+	e := sim.NewEngine()
+	n := NewNetwork(e, g)
+	var finished sim.Time
+	var chain func(k int) func(sim.Time)
+	chain = func(k int) func(sim.Time) {
+		return func(at sim.Time) {
+			if k == 0 {
+				finished = at
+				return
+			}
+			n.Start(fwd, 100, chain(k-1))
+		}
+	}
+	n.Start(fwd, 100, chain(9))
+	e.Run()
+	if math.Abs(float64(finished)-1.0) > 1e-9 {
+		t.Errorf("chain of 10x100B done at %v, want 1.0", finished)
+	}
+}
+
+func TestManyFlowsFairness(t *testing.T) {
+	// 7 flows over one cable — the paper's oversubscription scenario: each
+	// should see 1/7 of the bandwidth.
+	g, fwd, _ := lineGraph(7000)
+	e := sim.NewEngine()
+	n := NewNetwork(e, g)
+	times := make([]sim.Time, 7)
+	for i := 0; i < 7; i++ {
+		i := i
+		n.Start(fwd, 1000, func(at sim.Time) { times[i] = at })
+	}
+	e.Run()
+	for i, tm := range times {
+		if math.Abs(float64(tm)-1.0) > 1e-9 {
+			t.Errorf("flow %d done at %v, want 1.0 (1/7 share)", i, tm)
+		}
+	}
+}
+
+func TestConservationProperty(t *testing.T) {
+	// Random flows on a small HyperX: at any recompute, no channel may be
+	// oversubscribed and every flow must have a positive rate.
+	hx := topo.NewHyperX(topo.HyperXConfig{S: []int{3, 3}, T: 2, Bandwidth: 1e6, Latency: 0})
+	e := sim.NewEngine()
+	n := NewNetwork(e, hx.Graph)
+	r := sim.NewRand(9)
+	terms := hx.Terminals()
+	// Build simple 2-channel paths: injection + delivery via shared switch
+	// or direct link paths; use Start and verify rates after settle.
+	var paths [][]topo.ChannelID
+	for k := 0; k < 40; k++ {
+		a := terms[r.Intn(len(terms))]
+		b := terms[r.Intn(len(terms))]
+		if a == b {
+			continue
+		}
+		swA, swB := hx.SwitchOf(a), hx.SwitchOf(b)
+		var p []topo.ChannelID
+		p = append(p, hx.Nodes[a].Ports[0].Channel(a))
+		if swA != swB {
+			var direct *topo.Link
+			for _, l := range hx.UpLinks(swA) {
+				if l.Other(swA) == swB {
+					direct = l
+					break
+				}
+			}
+			if direct == nil {
+				continue
+			}
+			p = append(p, direct.Channel(swA))
+		}
+		p = append(p, hx.Nodes[b].Ports[0].Channel(swB))
+		paths = append(paths, p)
+	}
+	for _, p := range paths {
+		n.Start(p, 1e5, func(sim.Time) {})
+	}
+	// Step until rates settle, then check conservation.
+	e.Step() // settle event
+	usage := map[topo.ChannelID]float64{}
+	for _, f := range n.flows {
+		if f.Rate <= 0 {
+			t.Fatalf("flow %d has non-positive rate", f.ID)
+		}
+		for _, c := range f.Path {
+			usage[c] += f.Rate
+		}
+	}
+	for c, u := range usage {
+		if u > n.caps[c]*(1+1e-9) {
+			t.Errorf("channel %d oversubscribed: %.1f > %.1f", c, u, n.caps[c])
+		}
+	}
+	e.Run()
+}

@@ -1,0 +1,59 @@
+package mpi
+
+import "testing"
+
+func TestGroupCollectivesDisjoint(t *testing.T) {
+	hx, f := testFabric(t, false)
+	n := 12
+	b := NewBuilder(n)
+	// Two disjoint groups run independent collectives concurrently.
+	g1 := b.Group(0, 1, 2, 3, 4, 5)
+	g2 := b.Group(6, 7, 8, 9, 10, 11)
+	g1.Alltoall(4096)
+	g2.Bcast(0, 4096)
+	g1.Allreduce(128)
+	g2.Allreduce(1 << 20)
+	run(t, f, hx.Terminals()[:n], b.Progs)
+}
+
+func TestGroupRowColumnDecomposition(t *testing.T) {
+	// 3x4 process grid: alltoall along rows, then allreduce down columns —
+	// the Qbox/SWFFT pattern.
+	hx, f := testFabric(t, false)
+	rows, cols := 3, 4
+	b := NewBuilder(rows * cols)
+	for r := 0; r < rows; r++ {
+		var g []Rank
+		for c := 0; c < cols; c++ {
+			g = append(g, Rank(r*cols+c))
+		}
+		b.Group(g...).Alltoall(2048)
+	}
+	for c := 0; c < cols; c++ {
+		var g []Rank
+		for r := 0; r < rows; r++ {
+			g = append(g, Rank(r*cols+c))
+		}
+		b.Group(g...).Allreduce(1024)
+	}
+	run(t, f, hx.Terminals()[:rows*cols], b.Progs)
+}
+
+func TestGroupSingletonIsNoop(t *testing.T) {
+	hx, f := testFabric(t, false)
+	b := NewBuilder(2)
+	b.Group(0).Barrier()
+	b.Group(1).Alltoall(100)
+	b.Group(0).Allreduce(100)
+	res := run(t, f, hx.Terminals()[:2], b.Progs)
+	if res.Elapsed != 0 {
+		t.Errorf("singleton collectives should be free, elapsed = %v", res.Elapsed)
+	}
+}
+
+func TestGroupNonContiguousRanks(t *testing.T) {
+	hx, f := testFabric(t, false)
+	b := NewBuilder(8)
+	b.Group(7, 2, 5, 0).RingAllreduce(1 << 20)
+	run(t, f, hx.Terminals()[:8], b.Progs)
+}

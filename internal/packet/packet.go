@@ -1,0 +1,248 @@
+// Package packet is the high-fidelity counterpart to internal/flow: a
+// packet-level, credit-based, virtual-lane-aware network simulator.
+// Messages are segmented into MTU-sized packets that traverse their routed
+// path store-and-forward; every directed channel serializes one packet at
+// a time, and receiver buffers are managed with per-VL credits exactly
+// like InfiniBand's link-level flow control.
+//
+// Its raison d'être in this reproduction: with credits, routing deadlocks
+// are *observable* — a cyclic channel dependency fills buffers until no
+// packet can move, which is why the paper's early SSSP experiments on the
+// HyperX hung and why DFSSSP/PARX spread their paths over virtual lanes
+// (Sec. 3.2, footnote 8). The flow model in internal/flow cannot hang by
+// construction; this one hangs exactly when the Dally/Seitz condition is
+// violated and the offered load fills the buffers.
+package packet
+
+import (
+	"fmt"
+
+	"github.com/hpcsim/t2hx/internal/sim"
+	"github.com/hpcsim/t2hx/internal/topo"
+)
+
+// Config tunes the packet network.
+type Config struct {
+	// MTU is the maximum packet payload in bytes (IB: 2048 or 4096).
+	MTU int64
+	// BufferPackets is the per-channel, per-VL receiver buffer depth in
+	// packets (the credit count).
+	BufferPackets int
+	// VLs is the number of virtual lanes the hardware provides (QDR: 8).
+	VLs int
+}
+
+// DefaultConfig mirrors QDR-era hardware: 4 KiB MTU, shallow buffers,
+// 8 VLs.
+func DefaultConfig() Config {
+	return Config{MTU: 4096, BufferPackets: 4, VLs: 8}
+}
+
+// message is one in-flight transfer.
+type message struct {
+	path      []topo.ChannelID
+	vl        uint8
+	packets   int
+	delivered int
+	onDone    func(at sim.Time)
+}
+
+// packet is one MTU-sized segment. heldIn is the channel whose receiver
+// buffer the packet currently occupies (-1 at the source HCA); the slot is
+// released — credit returned — when the packet has fully serialized onto
+// its next channel (virtual cut-through of the buffer, store-and-forward
+// of the data).
+type packet struct {
+	msg    *message
+	size   int64
+	hop    int // index into msg.path of the channel it transmits on next
+	heldIn topo.ChannelID
+}
+
+// vlKey indexes per-(channel, VL) credit state.
+type vlKey struct {
+	c  topo.ChannelID
+	vl uint8
+}
+
+// Net is the packet-level network.
+type Net struct {
+	eng *sim.Engine
+	g   *topo.Graph
+	cfg Config
+
+	busy        map[topo.ChannelID]bool
+	busyWaiters map[topo.ChannelID][]*packet
+	credits     map[vlKey]int
+	credWaiters map[vlKey][]*packet
+
+	inFlight int64
+	// Delivered counts completed messages; Hops counts packet
+	// transmissions (diagnostics).
+	Delivered uint64
+	Hops      uint64
+}
+
+// New builds a packet network over g.
+func New(eng *sim.Engine, g *topo.Graph, cfg Config) *Net {
+	if cfg.MTU <= 0 {
+		cfg.MTU = 4096
+	}
+	if cfg.BufferPackets <= 0 {
+		cfg.BufferPackets = 4
+	}
+	if cfg.VLs <= 0 {
+		cfg.VLs = 8
+	}
+	return &Net{
+		eng: eng, g: g, cfg: cfg,
+		busy:        make(map[topo.ChannelID]bool),
+		busyWaiters: make(map[topo.ChannelID][]*packet),
+		credits:     make(map[vlKey]int),
+		credWaiters: make(map[vlKey][]*packet),
+	}
+}
+
+// InFlight reports undelivered messages. Non-zero after the engine drains
+// means the fabric deadlocked (or traffic was never deliverable).
+func (n *Net) InFlight() int64 { return n.inFlight }
+
+// Blocked reports packets parked on credit waits — the symptom of a credit
+// loop once the engine has drained.
+func (n *Net) Blocked() int {
+	total := 0
+	for _, q := range n.credWaiters {
+		total += len(q)
+	}
+	return total
+}
+
+// Send transfers size bytes along path on virtual lane vl. The path is a
+// routed channel sequence (injection .. delivery); onDone fires when the
+// last packet reaches the destination terminal.
+func (n *Net) Send(path []topo.ChannelID, vl uint8, size int64, onDone func(at sim.Time)) {
+	if int(vl) >= n.cfg.VLs {
+		panic(fmt.Sprintf("packet: VL %d beyond hardware limit %d", vl, n.cfg.VLs))
+	}
+	if size <= 0 || len(path) == 0 {
+		n.eng.After(0, func(e *sim.Engine) { onDone(e.Now()) })
+		return
+	}
+	m := &message{path: path, vl: vl, onDone: onDone}
+	n.inFlight++
+	m.packets = int((size + n.cfg.MTU - 1) / n.cfg.MTU)
+	rem := size
+	// Inject packets in order; the injection channel's serialization
+	// naturally paces them (one send engine per HCA port).
+	for i := 0; i < m.packets; i++ {
+		sz := n.cfg.MTU
+		if rem < sz {
+			sz = rem
+		}
+		rem -= sz
+		n.tryStart(&packet{msg: m, size: sz, hop: 0, heldIn: -1})
+	}
+}
+
+// creditKey returns the credit bucket for entering channel c, or ok=false
+// when the receiving end is a terminal (consumed on arrival, no credit).
+func (n *Net) creditKey(c topo.ChannelID, vl uint8) (vlKey, bool) {
+	to := n.g.ChannelTo(c)
+	if n.g.Nodes[to].Kind == topo.Terminal {
+		return vlKey{}, false
+	}
+	return vlKey{c, vl}, true
+}
+
+func (n *Net) creditsOf(k vlKey) int {
+	if v, ok := n.credits[k]; ok {
+		return v
+	}
+	n.credits[k] = n.cfg.BufferPackets
+	return n.cfg.BufferPackets
+}
+
+// tryStart attempts to transmit p on its next channel, acquiring the
+// channel and the downstream buffer credit; otherwise it queues on the
+// blocking resource (FIFO).
+func (n *Net) tryStart(p *packet) {
+	c := p.msg.path[p.hop]
+	if n.busy[c] {
+		n.busyWaiters[c] = append(n.busyWaiters[c], p)
+		return
+	}
+	if k, need := n.creditKey(c, p.msg.vl); need {
+		if n.creditsOf(k) == 0 {
+			n.credWaiters[k] = append(n.credWaiters[k], p)
+			return
+		}
+		n.credits[k]--
+	}
+	n.transmit(p, c)
+}
+
+// transmit serializes p onto channel c, releases the upstream buffer slot
+// when the tail flit leaves, and schedules the arrival.
+func (n *Net) transmit(p *packet, c topo.ChannelID) {
+	n.busy[c] = true
+	n.Hops++
+	l := n.g.Link(c)
+	ser := sim.Duration(float64(p.size) / l.Bandwidth)
+	held := p.heldIn
+	vl := p.msg.vl
+	n.eng.After(ser, func(*sim.Engine) {
+		n.busy[c] = false
+		if held >= 0 {
+			n.releaseCredit(held, vl)
+		}
+		n.wakeBusy(c)
+		n.eng.After(l.Latency, func(*sim.Engine) { n.arrive(p, c) })
+	})
+}
+
+// wakeBusy restarts waiters of a freed channel until one acquires it (a
+// waiter lacking downstream credits re-parks on the credit queue and the
+// next busy-waiter gets its chance).
+func (n *Net) wakeBusy(c topo.ChannelID) {
+	for !n.busy[c] && len(n.busyWaiters[c]) > 0 {
+		q := n.busyWaiters[c]
+		p := q[0]
+		n.busyWaiters[c] = q[1:]
+		n.tryStart(p)
+	}
+}
+
+// releaseCredit returns one buffer slot of (c, vl) and restarts a waiter.
+func (n *Net) releaseCredit(c topo.ChannelID, vl uint8) {
+	k := vlKey{c, vl}
+	n.credits[k] = n.creditsOf(k) + 1
+	q := n.credWaiters[k]
+	if len(q) == 0 {
+		return
+	}
+	p := q[0]
+	n.credWaiters[k] = q[1:]
+	n.tryStart(p)
+}
+
+// arrive lands p at the far end of channel c.
+func (n *Net) arrive(p *packet, c topo.ChannelID) {
+	to := n.g.ChannelTo(c)
+	if n.g.Nodes[to].Kind == topo.Terminal {
+		m := p.msg
+		m.delivered++
+		if m.delivered == m.packets {
+			n.inFlight--
+			n.Delivered++
+			m.onDone(n.eng.Now())
+		}
+		return
+	}
+	// The packet now occupies its buffer slot at the switch; forward.
+	p.heldIn = c
+	p.hop++
+	if p.hop >= len(p.msg.path) {
+		panic("packet: path ended at a switch")
+	}
+	n.tryStart(p)
+}

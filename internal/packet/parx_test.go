@@ -1,0 +1,42 @@
+package packet
+
+import (
+	"testing"
+
+	"github.com/hpcsim/t2hx/internal/core"
+	"github.com/hpcsim/t2hx/internal/sim"
+	"github.com/hpcsim/t2hx/internal/topo"
+)
+
+// The paper's footnote-8 claim, verified dynamically: PARX's full path set
+// (all four LIDs per destination, including the forced detours) is
+// deadlock-free on the assigned virtual lanes even under an adversarial
+// all-pairs, all-LIDs burst through shallow buffers.
+func TestPARXPacketLevelDeadlockFreedom(t *testing.T) {
+	hx := topo.NewHyperX(topo.HyperXConfig{S: []int{4, 4}, T: 1, Bandwidth: 1e8, Latency: 1e-7})
+	tb, err := core.PARX(hx, core.Config{MaxVL: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := sim.NewEngine()
+	n := New(e, hx.Graph, Config{MTU: 2048, BufferPackets: 2, VLs: 8})
+	terms := hx.Terminals()
+	for i, src := range terms {
+		for j, dst := range terms {
+			if i == j {
+				continue
+			}
+			for off := uint8(0); off < 4; off++ {
+				lid := tb.LIDFor(dst, off)
+				if err := SendRouted(n, tb, src, lid, 16*2048, func(sim.Time) {}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	e.Run()
+	if n.InFlight() != 0 {
+		t.Fatalf("PARX burst deadlocked: %d messages stuck, %d credit-blocked",
+			n.InFlight(), n.Blocked())
+	}
+}

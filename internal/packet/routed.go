@@ -1,0 +1,20 @@
+package packet
+
+import (
+	"github.com/hpcsim/t2hx/internal/route"
+	"github.com/hpcsim/t2hx/internal/sim"
+	"github.com/hpcsim/t2hx/internal/topo"
+)
+
+// SendRouted resolves the routed path and service level for (src, dst LID)
+// from the tables and injects the message — the packet-level analogue of
+// fabric.Send. The SL-to-VL mapping is the identity, as configured by
+// OpenSM for DFSSSP/PARX on the paper's system.
+func SendRouted(n *Net, t *route.Tables, src topo.NodeID, lid route.LID, size int64, onDone func(at sim.Time)) error {
+	p, err := t.Path(src, lid)
+	if err != nil {
+		return err
+	}
+	n.Send(p, t.SL(src, lid), size, onDone)
+	return nil
+}

@@ -1,0 +1,91 @@
+// Package place implements the MPI rank-to-node placement strategies of
+// Sec. 4.4.3: linear (ranks on consecutive nodes, the common scheduler
+// behaviour), clustered (consecutive with geometrically distributed gaps,
+// simulating a fragmented production system), and random (the bottleneck
+// mitigation of Sec. 3.1).
+package place
+
+import (
+	"fmt"
+
+	"github.com/hpcsim/t2hx/internal/sim"
+	"github.com/hpcsim/t2hx/internal/topo"
+)
+
+// Strategy names a placement scheme.
+type Strategy string
+
+const (
+	Linear    Strategy = "linear"
+	Clustered Strategy = "clustered"
+	Random    Strategy = "random"
+)
+
+// ClusteredP is the success probability of the geometric stride draw: the
+// paper picked 80%.
+const ClusteredP = 0.8
+
+// Place selects n terminals from the fabric's terminal list (hostfile
+// order) for ranks 0..n-1 using the given strategy and seed.
+func Place(s Strategy, terms []topo.NodeID, n int, seed uint64) ([]topo.NodeID, error) {
+	if n < 1 || n > len(terms) {
+		return nil, fmt.Errorf("place: need 1 <= n <= %d, got %d", len(terms), n)
+	}
+	switch s {
+	case Linear:
+		return append([]topo.NodeID{}, terms[:n]...), nil
+	case Clustered:
+		return clustered(terms, n, seed), nil
+	case Random:
+		return random(terms, n, seed), nil
+	}
+	return nil, fmt.Errorf("place: unknown strategy %q", s)
+}
+
+// clustered draws the stride from node n_i to n_j from a geometric
+// distribution with p = 0.8, i.e. j := i + delta (Sec. 4.4.3); when the
+// hostfile runs out it wraps to the lowest unused node, like a scheduler
+// backfilling a fragmented machine.
+func clustered(terms []topo.NodeID, n int, seed uint64) []topo.NodeID {
+	rng := sim.NewRand(seed)
+	used := make([]bool, len(terms))
+	out := make([]topo.NodeID, 0, n)
+	pos := 0
+	used[0] = true
+	out = append(out, terms[0])
+	for len(out) < n {
+		pos += rng.Geometric(ClusteredP)
+		if pos >= len(terms) {
+			// Wrap: take the first unused slot.
+			pos = 0
+			for pos < len(terms) && used[pos] {
+				pos++
+			}
+		}
+		// Skip used slots forward.
+		for pos < len(terms) && used[pos] {
+			pos++
+		}
+		if pos >= len(terms) {
+			pos = 0
+			for pos < len(terms) && used[pos] {
+				pos++
+			}
+		}
+		used[pos] = true
+		out = append(out, terms[pos])
+	}
+	return out
+}
+
+// random assigns ranks to a uniformly random subset of nodes in random
+// order (Sec. 3.1).
+func random(terms []topo.NodeID, n int, seed uint64) []topo.NodeID {
+	rng := sim.NewRand(seed)
+	perm := rng.Perm(len(terms))
+	out := make([]topo.NodeID, n)
+	for i := 0; i < n; i++ {
+		out[i] = terms[perm[i]]
+	}
+	return out
+}

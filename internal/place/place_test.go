@@ -1,0 +1,149 @@
+package place
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/hpcsim/t2hx/internal/topo"
+)
+
+func terms(n int) []topo.NodeID {
+	out := make([]topo.NodeID, n)
+	for i := range out {
+		out[i] = topo.NodeID(i + 100)
+	}
+	return out
+}
+
+func TestLinearIsPrefix(t *testing.T) {
+	ts := terms(20)
+	got, err := Place(Linear, ts, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range got {
+		if id != ts[i] {
+			t.Fatalf("linear[%d] = %d, want %d", i, id, ts[i])
+		}
+	}
+}
+
+func TestPlaceRejectsBadN(t *testing.T) {
+	ts := terms(4)
+	if _, err := Place(Linear, ts, 0, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := Place(Linear, ts, 5, 0); err == nil {
+		t.Error("n>len accepted")
+	}
+	if _, err := Place(Strategy("bogus"), ts, 2, 0); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func noDuplicates(t *testing.T, got []topo.NodeID) {
+	t.Helper()
+	seen := map[topo.NodeID]bool{}
+	for _, id := range got {
+		if seen[id] {
+			t.Fatalf("duplicate node %d in placement", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestClusteredProperties(t *testing.T) {
+	f := func(seed uint64) bool {
+		ts := terms(100)
+		got, err := Place(Clustered, ts, 60, seed)
+		if err != nil || len(got) != 60 {
+			return false
+		}
+		seen := map[topo.NodeID]bool{}
+		for _, id := range got {
+			if seen[id] {
+				return false
+			}
+			seen[id] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClusteredMostlyConsecutive(t *testing.T) {
+	ts := terms(1000)
+	got, err := Place(Clustered, ts, 500, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noDuplicates(t, got)
+	// With p=0.8 the expected stride is 1.25: the majority of consecutive
+	// rank pairs should sit on adjacent hostfile slots.
+	adjacent := 0
+	for i := 1; i < len(got); i++ {
+		if got[i] == got[i-1]+1 {
+			adjacent++
+		}
+	}
+	if frac := float64(adjacent) / float64(len(got)-1); frac < 0.6 {
+		t.Errorf("adjacent fraction = %.2f, want >= 0.6 for p=0.8", frac)
+	}
+}
+
+func TestClusteredFullMachine(t *testing.T) {
+	// Requesting every node must still succeed (wrap-around path).
+	ts := terms(50)
+	got, err := Place(Clustered, ts, 50, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noDuplicates(t, got)
+	if len(got) != 50 {
+		t.Fatalf("len = %d, want 50", len(got))
+	}
+}
+
+func TestRandomCoversAndPermutes(t *testing.T) {
+	ts := terms(64)
+	got, err := Place(Random, ts, 64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noDuplicates(t, got)
+	// Should not be the identity placement.
+	same := 0
+	for i := range got {
+		if got[i] == ts[i] {
+			same++
+		}
+	}
+	if same > 16 {
+		t.Errorf("random placement too close to linear: %d fixed points", same)
+	}
+}
+
+func TestPlacementsDeterministicPerSeed(t *testing.T) {
+	ts := terms(128)
+	for _, s := range []Strategy{Clustered, Random} {
+		a, _ := Place(s, ts, 50, 9)
+		b, _ := Place(s, ts, 50, 9)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: same seed, different placement", s)
+			}
+		}
+		c, _ := Place(s, ts, 50, 10)
+		diff := false
+		for i := range a {
+			if a[i] != c[i] {
+				diff = true
+			}
+		}
+		if !diff {
+			t.Errorf("%s: different seeds gave identical placement", s)
+		}
+	}
+}

@@ -1,0 +1,264 @@
+package route
+
+import (
+	"sort"
+
+	"github.com/hpcsim/t2hx/internal/topo"
+)
+
+// CDG is a channel dependency graph: nodes are directed switch-to-switch
+// channels, and an edge c1->c2 records that some routed path uses c2
+// immediately after c1. A routing is deadlock-free on one virtual lane iff
+// its CDG is acyclic (Dally & Seitz); DFSSSP and PARX split the path set
+// across virtual lanes so that each lane's CDG stays acyclic.
+//
+// CDG maintains a topological order incrementally (Pearce-Kelly): adding an
+// edge either succeeds in amortized small cost or reports that it would
+// close a cycle, in which case the graph is left unchanged.
+type CDG struct {
+	succ map[topo.ChannelID]map[topo.ChannelID]bool
+	pred map[topo.ChannelID]map[topo.ChannelID]bool
+	ord  map[topo.ChannelID]int
+	next int
+}
+
+// NewCDG returns an empty channel dependency graph.
+func NewCDG() *CDG {
+	return &CDG{
+		succ: make(map[topo.ChannelID]map[topo.ChannelID]bool),
+		pred: make(map[topo.ChannelID]map[topo.ChannelID]bool),
+		ord:  make(map[topo.ChannelID]int),
+	}
+}
+
+func (g *CDG) ensure(c topo.ChannelID) {
+	if _, ok := g.ord[c]; ok {
+		return
+	}
+	g.ord[c] = g.next
+	g.next++
+	g.succ[c] = make(map[topo.ChannelID]bool)
+	g.pred[c] = make(map[topo.ChannelID]bool)
+}
+
+// HasEdge reports whether the dependency u->v is already present.
+func (g *CDG) HasEdge(u, v topo.ChannelID) bool {
+	s, ok := g.succ[u]
+	return ok && s[v]
+}
+
+// Edges reports the number of dependency edges.
+func (g *CDG) Edges() int {
+	n := 0
+	for _, s := range g.succ {
+		n += len(s)
+	}
+	return n
+}
+
+// AddEdge inserts the dependency u->v unless it would create a cycle, in
+// which case it returns false and leaves the graph unchanged. Self-loops
+// (u == v) are rejected as cycles.
+func (g *CDG) AddEdge(u, v topo.ChannelID) bool {
+	if u == v {
+		return false
+	}
+	g.ensure(u)
+	g.ensure(v)
+	if g.succ[u][v] {
+		return true
+	}
+	lb, ub := g.ord[v], g.ord[u]
+	if lb > ub {
+		// Order already consistent.
+		g.succ[u][v] = true
+		g.pred[v][u] = true
+		return true
+	}
+	// Discover the affected region: forward from v within (lb..ub],
+	// backward from u within [lb..ub).
+	deltaF, cyclic := g.dfsF(v, ub)
+	if cyclic {
+		return false
+	}
+	deltaB := g.dfsB(u, lb)
+	g.reorder(deltaF, deltaB)
+	g.succ[u][v] = true
+	g.pred[v][u] = true
+	return true
+}
+
+// dfsF collects nodes reachable from v with order <= ub. Reaching order ==
+// ub means reaching u: a cycle.
+func (g *CDG) dfsF(v topo.ChannelID, ub int) ([]topo.ChannelID, bool) {
+	var out []topo.ChannelID
+	seen := map[topo.ChannelID]bool{v: true}
+	stack := []topo.ChannelID{v}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, n)
+		for m := range g.succ[n] {
+			o := g.ord[m]
+			if o == ub {
+				return nil, true // found u: cycle
+			}
+			if o < ub && !seen[m] {
+				seen[m] = true
+				stack = append(stack, m)
+			}
+		}
+	}
+	return out, false
+}
+
+// dfsB collects nodes reaching u with order >= lb.
+func (g *CDG) dfsB(u topo.ChannelID, lb int) []topo.ChannelID {
+	var out []topo.ChannelID
+	seen := map[topo.ChannelID]bool{u: true}
+	stack := []topo.ChannelID{u}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, n)
+		for m := range g.pred[n] {
+			if g.ord[m] > lb && !seen[m] {
+				seen[m] = true
+				stack = append(stack, m)
+			}
+		}
+	}
+	return out
+}
+
+// reorder merges the affected regions so that every deltaB node precedes
+// every deltaF node, reusing the union of their order slots.
+func (g *CDG) reorder(deltaF, deltaB []topo.ChannelID) {
+	sort.Slice(deltaB, func(i, j int) bool { return g.ord[deltaB[i]] < g.ord[deltaB[j]] })
+	sort.Slice(deltaF, func(i, j int) bool { return g.ord[deltaF[i]] < g.ord[deltaF[j]] })
+	nodes := append(append([]topo.ChannelID{}, deltaB...), deltaF...)
+	slots := make([]int, 0, len(nodes))
+	for _, n := range nodes {
+		slots = append(slots, g.ord[n])
+	}
+	sort.Ints(slots)
+	for i, n := range nodes {
+		g.ord[n] = slots[i]
+	}
+}
+
+// AddPath inserts all consecutive dependencies of a channel sequence,
+// rolling back any edges it added if one of them would close a cycle.
+// It returns false (and leaves the graph unchanged) on cycle.
+//
+// Only switch-to-switch channels participate: injection (terminal->switch)
+// and delivery (switch->terminal) channels cannot be part of a credit
+// cycle, matching how OpenSM builds its CDG.
+func (g *CDG) AddPath(path []topo.ChannelID, isSwitchChannel func(topo.ChannelID) bool) bool {
+	var fabric []topo.ChannelID
+	for _, c := range path {
+		if isSwitchChannel(c) {
+			fabric = append(fabric, c)
+		}
+	}
+	var added [][2]topo.ChannelID
+	for i := 0; i+1 < len(fabric); i++ {
+		u, v := fabric[i], fabric[i+1]
+		if g.HasEdge(u, v) {
+			continue
+		}
+		if !g.AddEdge(u, v) {
+			for _, e := range added {
+				g.removeEdge(e[0], e[1])
+			}
+			return false
+		}
+		added = append(added, [2]topo.ChannelID{u, v})
+	}
+	return true
+}
+
+func (g *CDG) removeEdge(u, v topo.ChannelID) {
+	delete(g.succ[u], v)
+	delete(g.pred[v], u)
+}
+
+// Acyclic exhaustively re-verifies acyclicity (used by tests and the
+// validator; the incremental structure maintains it by construction).
+func (g *CDG) Acyclic() bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[topo.ChannelID]int, len(g.ord))
+	var visit func(c topo.ChannelID) bool
+	visit = func(c topo.ChannelID) bool {
+		color[c] = gray
+		for m := range g.succ[c] {
+			switch color[m] {
+			case gray:
+				return false
+			case white:
+				if !visit(m) {
+					return false
+				}
+			}
+		}
+		color[c] = black
+		return true
+	}
+	for c := range g.ord {
+		if color[c] == white {
+			if !visit(c) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// SwitchChannelPred returns a predicate selecting switch-to-switch channels
+// of g.
+func SwitchChannelPred(g *topo.Graph) func(topo.ChannelID) bool {
+	return func(c topo.ChannelID) bool {
+		l := g.Link(c)
+		return g.Nodes[l.A].Kind == topo.Switch && g.Nodes[l.B].Kind == topo.Switch
+	}
+}
+
+// AssignLayers distributes paths over virtual lanes so that each lane's CDG
+// is acyclic — the DFSSSP scheme. paths may contain nil entries (skipped).
+// assign is called with the path index and the chosen lane. It returns the
+// number of lanes used, or an error-index >= 0 of the first path that could
+// not be placed within maxVL lanes (-1 on success).
+func AssignLayers(g *topo.Graph, paths [][]topo.ChannelID, maxVL int, assign func(i, vl int)) (lanes int, failed int) {
+	isSwitch := SwitchChannelPred(g)
+	layers := []*CDG{NewCDG()}
+	for i, p := range paths {
+		if p == nil {
+			continue
+		}
+		placed := false
+		for vl := 0; vl < len(layers); vl++ {
+			if layers[vl].AddPath(p, isSwitch) {
+				assign(i, vl)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			if len(layers) >= maxVL {
+				return len(layers), i
+			}
+			layers = append(layers, NewCDG())
+			if !layers[len(layers)-1].AddPath(p, isSwitch) {
+				// A single path can never self-deadlock unless it repeats
+				// channels; treat as failure.
+				return len(layers), i
+			}
+			assign(i, len(layers)-1)
+		}
+	}
+	return len(layers), -1
+}

@@ -1,0 +1,202 @@
+package route
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/hpcsim/t2hx/internal/sim"
+	"github.com/hpcsim/t2hx/internal/topo"
+)
+
+func TestCDGAcceptsDAG(t *testing.T) {
+	g := NewCDG()
+	// A diamond: 0->1, 0->2, 1->3, 2->3 is acyclic.
+	edges := [][2]topo.ChannelID{{0, 1}, {0, 2}, {1, 3}, {2, 3}}
+	for _, e := range edges {
+		if !g.AddEdge(e[0], e[1]) {
+			t.Fatalf("AddEdge(%v) rejected acyclic edge", e)
+		}
+	}
+	if !g.Acyclic() {
+		t.Error("Acyclic() = false for a DAG")
+	}
+	if g.Edges() != 4 {
+		t.Errorf("Edges() = %d, want 4", g.Edges())
+	}
+}
+
+func TestCDGRejectsCycle(t *testing.T) {
+	g := NewCDG()
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	if g.AddEdge(2, 0) {
+		t.Fatal("AddEdge closed a 3-cycle")
+	}
+	// Graph must be unchanged.
+	if g.HasEdge(2, 0) {
+		t.Error("rejected edge was inserted")
+	}
+	if !g.Acyclic() {
+		t.Error("graph became cyclic")
+	}
+	// And further legal inserts still work.
+	if !g.AddEdge(0, 2) {
+		t.Error("legal edge rejected after a cycle rejection")
+	}
+}
+
+func TestCDGSelfLoopRejected(t *testing.T) {
+	g := NewCDG()
+	if g.AddEdge(5, 5) {
+		t.Error("self-loop accepted")
+	}
+}
+
+func TestCDGDuplicateEdgeIdempotent(t *testing.T) {
+	g := NewCDG()
+	g.AddEdge(1, 2)
+	if !g.AddEdge(1, 2) {
+		t.Error("duplicate edge rejected")
+	}
+	if g.Edges() != 1 {
+		t.Errorf("Edges() = %d, want 1", g.Edges())
+	}
+}
+
+func TestCDGReorderCase(t *testing.T) {
+	// Force insertion order that requires reordering: insert 1->2 then
+	// 0->1 where 0 was created after 2.
+	g := NewCDG()
+	g.AddEdge(1, 2) // creates 1 (ord 0), 2 (ord 1)
+	g.AddEdge(3, 1) // creates 3 (ord 2); needs reorder so 3 < 1
+	if !g.Acyclic() {
+		t.Error("graph cyclic after reorder")
+	}
+	if !g.AddEdge(2, 3) == false {
+		// 2->3 closes 1->2->3->1: must be rejected.
+		t.Error("cycle through reordered nodes accepted")
+	}
+}
+
+// Property: random edge insertion maintains the invariant "AddEdge returns
+// true iff graph stays acyclic", verified against the exhaustive checker.
+func TestCDGRandomInsertionsStayAcyclic(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := sim.NewRand(seed)
+		g := NewCDG()
+		n := 12
+		for i := 0; i < 80; i++ {
+			u := topo.ChannelID(r.Intn(n))
+			v := topo.ChannelID(r.Intn(n))
+			g.AddEdge(u, v)
+			if !g.Acyclic() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: whenever AddEdge rejects, adding the reverse edge set must show
+// a path from v to u already existed.
+func TestCDGRejectImpliesReversePath(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := sim.NewRand(seed)
+		g := NewCDG()
+		n := 10
+		for i := 0; i < 60; i++ {
+			u := topo.ChannelID(r.Intn(n))
+			v := topo.ChannelID(r.Intn(n))
+			if u == v {
+				continue
+			}
+			if !g.AddEdge(u, v) {
+				if !reachable(g, v, u) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func reachable(g *CDG, from, to topo.ChannelID) bool {
+	seen := map[topo.ChannelID]bool{from: true}
+	stack := []topo.ChannelID{from}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == to {
+			return true
+		}
+		for m := range g.succ[n] {
+			if !seen[m] {
+				seen[m] = true
+				stack = append(stack, m)
+			}
+		}
+	}
+	return false
+}
+
+func TestCDGAddPathRollback(t *testing.T) {
+	g := NewCDG()
+	all := func(topo.ChannelID) bool { return true }
+	if !g.AddPath([]topo.ChannelID{0, 1, 2}, all) {
+		t.Fatal("first path rejected")
+	}
+	before := g.Edges()
+	// Path 2->0->1 adds edges (2,0) and (0,1); (2,0) closes the cycle
+	// 0->1->2->0, so the whole path must be rejected without residue.
+	if g.AddPath([]topo.ChannelID{1, 2, 0}, all) {
+		t.Fatal("cyclic path accepted")
+	}
+	if g.Edges() != before {
+		t.Errorf("rollback left residue: %d edges, want %d", g.Edges(), before)
+	}
+}
+
+func TestAssignLayersSplitsCyclicPathSets(t *testing.T) {
+	g := topo.New("ring")
+	// 3-switch ring with one terminal each: minimal routing around the
+	// ring in one direction produces a cyclic CDG needing 2 lanes.
+	var sw [3]topo.NodeID
+	for i := range sw {
+		sw[i] = g.AddNode(topo.Switch, "s").ID
+	}
+	var term [3]topo.NodeID
+	for i := range term {
+		term[i] = g.AddNode(topo.Terminal, "t").ID
+		g.Connect(sw[i], term[i], 1e9, 1e-7)
+	}
+	var ring [3]*topo.Link
+	for i := range sw {
+		ring[i] = g.Connect(sw[i], sw[(i+1)%3], 1e9, 1e-7)
+	}
+	// Paths: each uses two ring channels clockwise: s0->s1->s2, s1->s2->s0,
+	// s2->s0->s1 — the classic cyclic dependency.
+	paths := [][]topo.ChannelID{
+		{ring[0].Channel(sw[0]), ring[1].Channel(sw[1])},
+		{ring[1].Channel(sw[1]), ring[2].Channel(sw[2])},
+		{ring[2].Channel(sw[2]), ring[0].Channel(sw[0])},
+	}
+	vls := make([]int, 3)
+	lanes, failed := AssignLayers(g, paths, 8, func(i, vl int) { vls[i] = vl })
+	if failed >= 0 {
+		t.Fatalf("assignment failed at %d", failed)
+	}
+	if lanes != 2 {
+		t.Errorf("lanes = %d, want 2", lanes)
+	}
+	// With maxVL=1 it must fail.
+	_, failed = AssignLayers(g, paths, 1, func(int, int) {})
+	if failed < 0 {
+		t.Error("maxVL=1 should fail on a cyclic path set")
+	}
+}

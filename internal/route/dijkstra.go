@@ -1,0 +1,162 @@
+package route
+
+import (
+	"container/heap"
+
+	"github.com/hpcsim/t2hx/internal/topo"
+)
+
+// ChannelWeights carries the balancing state of SSSP-family engines: one
+// weight per directed channel, incremented as paths are assigned. Costs are
+// lexicographic (hops, weight) like Domke's (DF)SSSP implementation, so
+// routing stays minimal while spreading load across equal-length
+// alternatives.
+type ChannelWeights struct {
+	w []float64
+}
+
+// NewChannelWeights returns unit weights for every channel of g.
+func NewChannelWeights(g *topo.Graph) *ChannelWeights {
+	cw := &ChannelWeights{w: make([]float64, 2*len(g.Links))}
+	for i := range cw.w {
+		cw.w[i] = 1
+	}
+	return cw
+}
+
+// Get returns the weight of channel c.
+func (cw *ChannelWeights) Get(c topo.ChannelID) float64 { return cw.w[c] }
+
+// Add increases the weight of channel c by delta.
+func (cw *ChannelWeights) Add(c topo.ChannelID, delta float64) { cw.w[c] += delta }
+
+// LinkMask optionally hides links during path calculation; PARX uses it to
+// virtually remove half of the HyperX (rules R1-R4). A nil mask hides
+// nothing. Return true to keep the link.
+type LinkMask func(l *topo.Link) bool
+
+// spEntry is the per-switch result of a destination-rooted shortest-path
+// computation.
+type spEntry struct {
+	hops   int32
+	weight float64
+	// next is the channel a packet at this switch takes toward the
+	// destination switch.
+	next topo.ChannelID
+}
+
+type dijkstraItem struct {
+	sw     topo.NodeID
+	hops   int32
+	weight float64
+	seq    int
+	index  int
+}
+
+type dijkstraPQ []*dijkstraItem
+
+func (pq dijkstraPQ) Len() int { return len(pq) }
+func (pq dijkstraPQ) Less(i, j int) bool {
+	a, b := pq[i], pq[j]
+	if a.hops != b.hops {
+		return a.hops < b.hops
+	}
+	if a.weight != b.weight {
+		return a.weight < b.weight
+	}
+	return a.seq < b.seq
+}
+func (pq dijkstraPQ) Swap(i, j int) {
+	pq[i], pq[j] = pq[j], pq[i]
+	pq[i].index = i
+	pq[j].index = j
+}
+func (pq *dijkstraPQ) Push(x any) {
+	it := x.(*dijkstraItem)
+	it.index = len(*pq)
+	*pq = append(*pq, it)
+}
+func (pq *dijkstraPQ) Pop() any {
+	old := *pq
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*pq = old[:n-1]
+	return it
+}
+
+// ShortestPathsTo computes, for every switch, the next-hop channel toward
+// dstSwitch, minimizing (hop count, accumulated channel weight) with
+// deterministic tie-breaking. Links failing mask (or Down) are ignored.
+// Unreachable switches are absent from the result.
+//
+// This is the modified Dijkstra at the heart of (DF)SSSP and PARX: traffic
+// from switch u toward the destination uses channel u->parent(u), and the
+// weight consulted is that of the channel in travel direction.
+func ShortestPathsTo(g *topo.Graph, dstSwitch topo.NodeID, cw *ChannelWeights, mask LinkMask) map[topo.NodeID]spEntry {
+	res := make(map[topo.NodeID]spEntry, g.NumSwitches())
+	dist := make(map[topo.NodeID]*dijkstraItem, g.NumSwitches())
+	var pq dijkstraPQ
+	seq := 0
+	push := func(sw topo.NodeID, hops int32, weight float64) *dijkstraItem {
+		it := &dijkstraItem{sw: sw, hops: hops, weight: weight, seq: seq}
+		seq++
+		dist[sw] = it
+		heap.Push(&pq, it)
+		return it
+	}
+	push(dstSwitch, 0, 0)
+	done := make(map[topo.NodeID]bool, g.NumSwitches())
+	for pq.Len() > 0 {
+		cur := heap.Pop(&pq).(*dijkstraItem)
+		if done[cur.sw] {
+			continue
+		}
+		done[cur.sw] = true
+		// Expand neighbors u of cur: u would travel u->cur.sw.
+		for _, l := range g.Nodes[cur.sw].Ports {
+			if l == nil || l.Down {
+				continue
+			}
+			u := l.Other(cur.sw)
+			if g.Nodes[u].Kind != topo.Switch || done[u] {
+				continue
+			}
+			if mask != nil && !mask(l) {
+				continue
+			}
+			ch := l.Channel(u) // channel in travel direction u -> cur.sw
+			nh := cur.hops + 1
+			nw := cur.weight + cw.Get(ch)
+			old, seen := dist[u]
+			if !seen || nh < old.hops || (nh == old.hops && nw < old.weight-1e-12) {
+				// Lazy deletion: stale queue entries are skipped via done[].
+				push(u, nh, nw)
+				res[u] = spEntry{hops: nh, weight: nw, next: ch}
+			}
+		}
+	}
+	res[dstSwitch] = spEntry{hops: 0, weight: 0, next: NoChannel}
+	return res
+}
+
+// tracePath follows next-hop entries from src switch to the destination
+// switch, returning the channel sequence. Returns nil if src has no entry.
+func tracePath(entries map[topo.NodeID]spEntry, g *topo.Graph, src topo.NodeID) []topo.ChannelID {
+	var out []topo.ChannelID
+	cur := src
+	for {
+		e, ok := entries[cur]
+		if !ok {
+			return nil
+		}
+		if e.next == NoChannel {
+			return out
+		}
+		out = append(out, e.next)
+		cur = g.ChannelTo(e.next)
+		if len(out) > MaxHops {
+			panic("route: tracePath loop")
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package route
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/hpcsim/t2hx/internal/topo"
+)
+
+// FTree implements OpenSM's ftree routing for XGFTs, which on healthy
+// fabrics behaves like Zahavi's D-Mod-K: packets ascend toward the lowest
+// common ancestor level, choosing among redundant parents by a
+// deterministic digit of the destination index (contention-free for shift
+// permutations), then descend along the unique down path. Missing links are
+// bypassed by the cheapest valley-free (up*down*) detour, so the result
+// stays loop- and deadlock-free on degraded fabrics — though, as the paper
+// observes, less balanced than SSSP there.
+func FTree(ft *topo.FatTree, lmc uint8) (*Tables, error) {
+	t := newTables(ft.Graph, "ftree", lmc, nil)
+	g := ft.Graph
+	span := 1 << lmc
+	terms := g.Terminals()
+
+	// Mixed-radix digit strides over the parent counts W: at a level-lv
+	// switch the D-Mod-K parent digit is (dstIdx / stride[lv]) % W[lv].
+	stride := make([]int, ft.Height+1)
+	stride[1] = 1
+	for lv := 1; lv < ft.Height; lv++ {
+		stride[lv+1] = stride[lv] * ft.Cfg.W[lv]
+	}
+
+	for di, dst := range terms {
+		dstSw := g.SwitchOf(dst)
+		if dstSw < 0 {
+			return nil, fmt.Errorf("route: destination terminal %s detached", g.Nodes[dst].Label)
+		}
+		dstIdx := ft.TermIndex(dst)
+
+		// Phase 1: descent feasibility. desc[s] is true when the unique
+		// ancestor down-chain from s to dst is fully live.
+		desc := map[topo.NodeID]bool{dstSw: true}
+		descLink := map[topo.NodeID]*topo.Link{}
+		// Process ancestors level by level above the leaf.
+		for lv := 2; lv <= ft.Height; lv++ {
+			for _, s := range switchesAtLevel(ft, lv) {
+				if !ft.Ancestors(s, dst) {
+					continue
+				}
+				l := ft.DownLink(s, ft.DownDigit(s, dst))
+				if l == nil || l.Down {
+					continue
+				}
+				child := l.Other(s)
+				if desc[child] {
+					desc[s] = true
+					descLink[s] = l
+				}
+			}
+		}
+
+		// Phase 2: cost from every switch, top level first (up moves only
+		// increase level, so dependencies point upward).
+		cost := map[topo.NodeID]float64{}
+		next := map[topo.NodeID]topo.ChannelID{}
+		for lv := ft.Height; lv >= 1; lv-- {
+			for _, s := range switchesAtLevel(ft, lv) {
+				if desc[s] {
+					cost[s] = float64(lv - 1) // hops down to dst leaf
+					if s != dstSw {
+						next[s] = descLink[s].Channel(s)
+					}
+					continue
+				}
+				if lv == ft.Height {
+					continue // top switch without descent: unreachable
+				}
+				best := math.Inf(1)
+				bestY := -1
+				prefer := (dstIdx / stride[lv]) % ft.Cfg.W[lv]
+				for dy := 0; dy < ft.Cfg.W[lv]; dy++ {
+					y := (prefer + dy) % ft.Cfg.W[lv] // D-Mod-K digit first
+					l := ft.UpLink(s, y)
+					if l == nil || l.Down {
+						continue
+					}
+					p := l.Other(s)
+					c, ok := cost[p]
+					if !ok {
+						continue
+					}
+					if c+1 < best {
+						best = c + 1
+						bestY = y
+					}
+				}
+				if bestY < 0 {
+					continue // unreachable from here
+				}
+				cost[s] = best
+				next[s] = ft.UpLink(s, bestY).Channel(s)
+			}
+		}
+
+		for off := 0; off < span; off++ {
+			lid := t.BaseLID[di] + LID(off)
+			for s, c := range next {
+				t.SetNextHop(s, lid, c)
+			}
+			// Delivery hop.
+			for _, l := range g.Nodes[dst].Ports {
+				if l != nil && !l.Down && l.Other(dst) == dstSw {
+					t.SetNextHop(dstSw, lid, l.Channel(dstSw))
+				}
+			}
+		}
+	}
+	return t, nil
+}
+
+func switchesAtLevel(ft *topo.FatTree, lv int) []topo.NodeID {
+	var out []topo.NodeID
+	for _, s := range ft.Switches() {
+		if ft.Level(s) == lv {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,34 @@
+package route
+
+import (
+	"github.com/hpcsim/t2hx/internal/topo"
+)
+
+// LASH implements LAyered SHortest-path routing (Skeie, Lysne, Theiss,
+// IPDPS'02), the third topology-agnostic deadlock-free option the paper
+// cites next to DFSSSP and Nue: plain minimal paths (no load balancing),
+// made deadlock-free by partitioning the (src,dst) pairs into virtual
+// lanes with acyclic channel dependency graphs. Compared to DFSSSP it
+// skips the edge-weight balancing, so it tends to pile paths onto few
+// channels — useful as a baseline for the balancing ablation.
+func LASH(g *topo.Graph, lmc uint8, maxVL int) (*Tables, error) {
+	t := newTables(g, "lash", lmc, nil)
+	// Static unit weights: pure min-hop with deterministic tie-breaks.
+	cw := NewChannelWeights(g)
+	span := 1 << t.LMC
+	terms := g.Terminals()
+	for di, dst := range terms {
+		dstSw := g.SwitchOf(dst)
+		if dstSw < 0 {
+			continue
+		}
+		entries := ShortestPathsTo(g, dstSw, cw, nil)
+		for off := 0; off < span; off++ {
+			installLFT(t, t.BaseLID[di]+LID(off), dstSw, dst, entries)
+		}
+	}
+	if err := AssignVLs(t, maxVL); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

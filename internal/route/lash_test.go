@@ -1,0 +1,56 @@
+package route
+
+import (
+	"testing"
+
+	"github.com/hpcsim/t2hx/internal/topo"
+)
+
+func TestLASHDeadlockFreeOnHyperX(t *testing.T) {
+	hx := smallHX(t)
+	tb, err := LASH(hx.Graph, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := validateOK(t, tb, 2)
+	if rep.VLs < 1 || rep.VLs > 8 {
+		t.Errorf("VLs = %d", rep.VLs)
+	}
+}
+
+func TestLASHLessBalancedThanSSSP(t *testing.T) {
+	// Without edge-weight updates, LASH's maximum channel load should be
+	// at least as high as (in practice higher than) SSSP's.
+	hx := smallHX(t)
+	lash, err := LASH(hx.Graph, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sssp, err := SSSP(hx.Graph, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxOf := func(tb *Tables) int {
+		m := 0
+		for _, l := range ChannelLoads(tb) {
+			if l > m {
+				m = l
+			}
+		}
+		return m
+	}
+	if maxOf(lash) < maxOf(sssp) {
+		t.Errorf("LASH max load %d below SSSP %d — balancing ablation inverted",
+			maxOf(lash), maxOf(sssp))
+	}
+}
+
+func TestLASHOnDegradedFabric(t *testing.T) {
+	hx := topo.NewHyperX(topo.HyperXConfig{S: []int{4, 4}, T: 2, Bandwidth: 1e9, Latency: 1e-7})
+	topo.DegradeSwitchLinks(hx.Graph, 6, 3)
+	tb, err := LASH(hx.Graph, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	validateOK(t, tb, 0)
+}

@@ -1,0 +1,82 @@
+package route
+
+import (
+	"testing"
+
+	"github.com/hpcsim/t2hx/internal/topo"
+)
+
+func TestNueSingleVLOnHyperX(t *testing.T) {
+	// The headline capability: deadlock freedom on ONE virtual lane,
+	// which DFSSSP cannot promise.
+	hx := smallHX(t)
+	tb, err := Nue(hx.Graph, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := validateOK(t, tb, 0)
+	if rep.VLs != 1 {
+		t.Errorf("VLs = %d, want 1", rep.VLs)
+	}
+}
+
+func TestNueMultiVLReducesDetours(t *testing.T) {
+	hx := smallHX(t)
+	one, err := Nue(hx.Graph, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := Nue(hx.Graph, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := Validate(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := Validate(four)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.DeadlockFree || !r4.DeadlockFree {
+		t.Fatal("Nue tables not deadlock-free")
+	}
+	// More lanes mean fewer blocked dependencies, so average hops should
+	// not get worse.
+	if r4.AvgSwitchHops > r1.AvgSwitchHops+1e-9 {
+		t.Errorf("4-VL Nue has longer paths (%.3f) than 1-VL (%.3f)",
+			r4.AvgSwitchHops, r1.AvgSwitchHops)
+	}
+}
+
+func TestNueOnDegradedFabrics(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3, 4} {
+		hx := topo.NewHyperX(topo.HyperXConfig{S: []int{4, 4}, T: 1, Bandwidth: 1e9, Latency: 1e-7})
+		topo.DegradeSwitchLinks(hx.Graph, 8, seed)
+		tb, err := Nue(hx.Graph, 0, 2)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		validateOK(t, tb, 0)
+	}
+}
+
+func TestNueOnTree(t *testing.T) {
+	ft := topo.NewKaryNTree(4, 2, 1e9, 1e-7)
+	tb, err := Nue(ft.Graph, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := validateOK(t, tb, 2)
+	// Trees have no cycles to dodge: Nue paths stay minimal.
+	if rep.MaxSwitchHops != 2 {
+		t.Errorf("max hops = %d, want 2", rep.MaxSwitchHops)
+	}
+}
+
+func TestNueRejectsZeroVLs(t *testing.T) {
+	hx := smallHX(t)
+	if _, err := Nue(hx.Graph, 0, 0); err == nil {
+		t.Error("nVL=0 accepted")
+	}
+}

@@ -1,0 +1,128 @@
+package route
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/hpcsim/t2hx/internal/sim"
+	"github.com/hpcsim/t2hx/internal/topo"
+)
+
+// Property: on random fault-free HyperX shapes, SSSP paths are minimal —
+// the switch-hop count equals the number of differing lattice coordinates.
+func TestSSSPMinimalityProperty(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		s0 := 2 + int(a)%4
+		s1 := 2 + int(b)%3
+		T := 1 + int(c)%2
+		hx := topo.NewHyperX(topo.HyperXConfig{S: []int{s0, s1}, T: T, Bandwidth: 1e9, Latency: 1e-7})
+		tb, err := SSSP(hx.Graph, 0)
+		if err != nil {
+			return false
+		}
+		for i, src := range hx.Terminals() {
+			for j, dst := range hx.Terminals() {
+				if i == j {
+					continue
+				}
+				p, err := tb.Path(src, tb.BaseLID[j])
+				if err != nil {
+					return false
+				}
+				cs, cd := hx.Coord(src), hx.Coord(dst)
+				want := 0
+				for d := range cs {
+					if cs[d] != cd[d] {
+						want++
+					}
+				}
+				if SwitchHops(p) != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: under progressive random degradation, every engine either
+// routes all pairs (validated loop- and deadlock-free) or reports an
+// error — never a silent bad table.
+func TestEnginesUnderProgressiveFailure(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		hx := topo.NewHyperX(topo.HyperXConfig{S: []int{4, 4}, T: 1, Bandwidth: 1e9, Latency: 1e-7})
+		for round := 0; round < 5; round++ {
+			topo.DegradeSwitchLinks(hx.Graph, 5, seed+uint64(round)*17)
+			engines := map[string]func() (*Tables, error){
+				"sssp":   func() (*Tables, error) { return SSSP(hx.Graph, 0) },
+				"dfsssp": func() (*Tables, error) { return DFSSSP(hx.Graph, 0, 8) },
+				"updown": func() (*Tables, error) { return UpDown(hx.Graph, 0) },
+				"lash":   func() (*Tables, error) { return LASH(hx.Graph, 0, 8) },
+			}
+			for name, mk := range engines {
+				tb, err := mk()
+				if err != nil {
+					continue // explicit failure is acceptable
+				}
+				rep, err := Validate(tb)
+				if err != nil {
+					t.Fatalf("%s seed=%d round=%d: %v", name, seed, round, err)
+				}
+				if rep.Unreachable > 0 {
+					t.Errorf("%s seed=%d round=%d: %d unreachable with no error",
+						name, seed, round, rep.Unreachable)
+				}
+				if !rep.DeadlockFree {
+					t.Errorf("%s seed=%d round=%d: deadlock-prone table", name, seed, round)
+				}
+			}
+		}
+	}
+}
+
+// Property: FTree forwarding is deterministic and consistent — walking the
+// LFT from any intermediate switch toward a destination always terminates
+// at the right leaf.
+func TestFTreeForwardingConsistency(t *testing.T) {
+	f := func(seed uint64) bool {
+		ft := topo.NewKaryNTree(3, 3, 1e9, 1e-7)
+		topo.DegradeSwitchLinks(ft.Graph, int(seed%15), seed)
+		tb, err := FTree(ft, 0)
+		if err != nil {
+			return false
+		}
+		r := sim.NewRand(seed)
+		g := ft.Graph
+		terms := g.Terminals()
+		for k := 0; k < 50; k++ {
+			dst := terms[r.Intn(len(terms))]
+			lid := tb.BaseLID[tb.TermIndex(dst)]
+			sw := g.Switches()[r.Intn(g.NumSwitches())]
+			cur := sw
+			for hop := 0; ; hop++ {
+				if hop > MaxHops {
+					return false
+				}
+				c := tb.NextHop(cur, lid)
+				if c == NoChannel {
+					break // unreachable from this switch: acceptable on faults
+				}
+				next := g.ChannelTo(c)
+				if next == dst {
+					break
+				}
+				if g.Nodes[next].Kind != topo.Switch {
+					return false // delivered to the wrong terminal
+				}
+				cur = next
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

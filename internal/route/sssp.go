@@ -1,0 +1,178 @@
+package route
+
+import (
+	"fmt"
+
+	"github.com/hpcsim/t2hx/internal/topo"
+)
+
+// SSSPOptions customize ssspCore. PARX (internal/core) drives all three
+// hooks; plain (DF)SSSP uses none.
+type SSSPOptions struct {
+	// MaskFor returns the link mask to apply while computing paths toward
+	// one LID of dst (PARX rules R1-R4). nil means no mask.
+	MaskFor func(dst topo.NodeID, lidOffset uint8) LinkMask
+	// PathWeight returns the edge-update delta for the path src->dst
+	// (PARX: the normalized communication demand w in [0,255], or 1).
+	// nil means +1 for every path, the plain SSSP balancing rule.
+	PathWeight func(src, dst topo.NodeID) float64
+	// DstOrder lists terminal indices in processing order; destinations
+	// with recorded demands are routed first by PARX so their paths see an
+	// unloaded fabric. nil means graph order.
+	DstOrder []int
+}
+
+// SSSP implements OpenSM's SSSP routing engine (Hoefler, Schneider,
+// Lumsdaine, HOTI'09): for every destination it computes a shortest-path
+// tree with the modified Dijkstra, then increases the weight of every
+// channel used by the paths of all sources toward that destination by +1,
+// so later destinations are balanced away from already-loaded channels.
+// SSSP is oblivious to deadlocks (no virtual lanes) — fine on trees, unsafe
+// on a HyperX, which is exactly why the paper had to use DFSSSP there.
+func SSSP(g *topo.Graph, lmc uint8) (*Tables, error) {
+	t := newTables(g, "sssp", lmc, nil)
+	if err := SSSPCore(t, SSSPOptions{}); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// DFSSSP implements deadlock-free SSSP (Domke, Hoefler, Nagel, IPDPS'11):
+// SSSP path calculation followed by assigning every (src,dst) path to a
+// virtual lane such that each lane's channel dependency graph is acyclic.
+// The paper's HyperX needs 3 VLs under DFSSSP (Sec. 4.4.3); maxVL bounds
+// the hardware limit (8 on their QDR gear).
+func DFSSSP(g *topo.Graph, lmc uint8, maxVL int) (*Tables, error) {
+	t := newTables(g, "dfsssp", lmc, nil)
+	if err := SSSPCore(t, SSSPOptions{}); err != nil {
+		return nil, err
+	}
+	if err := AssignVLs(t, maxVL); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// NewTables exposes table allocation for external engines (PARX).
+func NewTables(g *topo.Graph, engine string, lmc uint8, policy LIDPolicy) *Tables {
+	return newTables(g, engine, lmc, policy)
+}
+
+// SSSPCore fills t's LFTs with (optionally masked, optionally
+// demand-weighted) balanced shortest paths. With lmc > 0 every additional
+// LID of a terminal is routed as an independent destination (OpenSM
+// behaviour: "as if each virtual LID would be a physical endpoint").
+func SSSPCore(t *Tables, opts SSSPOptions) error {
+	g := t.G
+	cw := NewChannelWeights(g)
+	span := 1 << t.LMC
+	terms := g.Terminals()
+	order := opts.DstOrder
+	if order == nil {
+		order = make([]int, len(terms))
+		for i := range order {
+			order[i] = i
+		}
+	}
+	for _, di := range order {
+		dst := terms[di]
+		dstSw := g.SwitchOf(dst)
+		if dstSw < 0 {
+			return fmt.Errorf("route: destination terminal %s detached", g.Nodes[dst].Label)
+		}
+		for off := 0; off < span; off++ {
+			lid := t.BaseLID[di] + LID(off)
+			var mask LinkMask
+			if opts.MaskFor != nil {
+				mask = opts.MaskFor(dst, uint8(off))
+			}
+			entries := ShortestPathsTo(g, dstSw, cw, mask)
+			if mask != nil && len(entries) < g.NumSwitches() {
+				// The mask disconnected part of the fabric (PARX
+				// footnote 7); fall back to the unmasked graph for this
+				// LID to stay fault-tolerant.
+				entries = ShortestPathsTo(g, dstSw, cw, nil)
+			}
+			installLFT(t, lid, dstSw, dst, entries)
+			// Balancing: weight update per source path.
+			for _, src := range terms {
+				if src == dst {
+					continue
+				}
+				srcSw := g.SwitchOf(src)
+				if srcSw < 0 {
+					continue
+				}
+				w := 1.0
+				if opts.PathWeight != nil {
+					w = opts.PathWeight(src, dst)
+				}
+				if w == 0 {
+					continue
+				}
+				for _, c := range tracePath(entries, g, srcSw) {
+					cw.Add(c, w)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// installLFT writes the shortest-path-tree next hops into the LFT for lid,
+// including the final switch->terminal delivery hop.
+func installLFT(t *Tables, lid LID, dstSw, dst topo.NodeID, entries map[topo.NodeID]spEntry) {
+	g := t.G
+	for sw, e := range entries {
+		if sw == dstSw {
+			continue
+		}
+		t.SetNextHop(sw, lid, e.next)
+	}
+	for _, l := range g.Nodes[dst].Ports {
+		if l != nil && !l.Down && l.Other(dst) == dstSw {
+			t.SetNextHop(dstSw, lid, l.Channel(dstSw))
+			return
+		}
+	}
+}
+
+// AssignVLs walks every (src, dst-LID) path and distributes them over
+// virtual lanes with acyclic per-lane CDGs (the DFSSSP deadlock-avoidance
+// pass, reused by PARX).
+func AssignVLs(t *Tables, maxVL int) error {
+	g := t.G
+	terms := g.Terminals()
+	span := 1 << t.LMC
+	type key struct {
+		src topo.NodeID
+		lid LID
+	}
+	var keys []key
+	var paths [][]topo.ChannelID
+	for _, src := range terms {
+		for di, dst := range terms {
+			if src == dst {
+				continue
+			}
+			for off := 0; off < span; off++ {
+				lid := t.BaseLID[di] + LID(off)
+				p, err := t.Path(src, lid)
+				if err != nil {
+					return fmt.Errorf("route: VL assignment: %w", err)
+				}
+				keys = append(keys, key{src, lid})
+				paths = append(paths, p)
+			}
+		}
+	}
+	lanes, failed := AssignLayers(g, paths, maxVL, func(i, vl int) {
+		t.SetSL(keys[i].src, keys[i].lid, uint8(vl))
+	})
+	if failed >= 0 {
+		return fmt.Errorf("route: %s needs more than %d virtual lanes (failed at path %d of %d)",
+			t.Engine, maxVL, failed, len(paths))
+	}
+	t.NumVL = lanes
+	return nil
+}

@@ -1,0 +1,253 @@
+// Package route implements InfiniBand-style destination-based routing for
+// the topologies in internal/topo: linear forwarding tables (LFTs) keyed by
+// destination LID, LMC-based multi-LID addressing, and the routing engines
+// the paper evaluates — ftree (D-Mod-K), SSSP, DFSSSP (deadlock-free via
+// virtual-lane layering) and Up*/Down*. The paper's own PARX engine lives
+// in internal/core and builds on the primitives here.
+package route
+
+import (
+	"fmt"
+
+	"github.com/hpcsim/t2hx/internal/topo"
+)
+
+// LID is an InfiniBand local identifier: the destination address forwarding
+// tables are keyed by. With LMC = l, a terminal port owns 2^l consecutive
+// LIDs, each routed independently by the subnet manager.
+type LID uint16
+
+// NoChannel marks an absent LFT entry.
+const NoChannel topo.ChannelID = -1
+
+// MaxLMC bounds the supported LID mask control (the IB spec allows 7; PARX
+// needs 2).
+const MaxLMC = 4
+
+// LIDPolicy assigns base LIDs to terminals. It receives the terminal's
+// index in graph order and its NodeID, and must return 2^lmc-aligned,
+// non-overlapping base LIDs. LID 0 is reserved (invalid in IB).
+type LIDPolicy func(termIdx int, term topo.NodeID) LID
+
+// SequentialLIDs is the default policy: terminal i gets base LID
+// 1 + i*2^lmc... rounded up to alignment.
+func SequentialLIDs(lmc uint8) LIDPolicy {
+	span := LID(1) << lmc
+	return func(termIdx int, _ topo.NodeID) LID {
+		return span * LID(termIdx+1)
+	}
+}
+
+// Tables is a complete routing configuration: LID assignment, per-switch
+// linear forwarding tables, and the virtual-lane (service-level) assignment
+// for deadlock avoidance.
+type Tables struct {
+	G      *topo.Graph
+	Engine string
+	LMC    uint8
+
+	// BaseLID[termIdx] is the base LID of terminal termIdx (graph terminal
+	// order).
+	BaseLID []LID
+	// maxLID is the highest assigned LID.
+	maxLID LID
+
+	termIdx map[topo.NodeID]int
+	swIdx   map[topo.NodeID]int
+	// lidOwner[lid] is the owning terminal index, or -1.
+	lidOwner []int32
+
+	// lft[swIdx][lid] is the outgoing channel from that switch toward lid,
+	// or NoChannel.
+	lft [][]topo.ChannelID
+
+	// sl[srcTermIdx*numLIDSlots + dstSlot] is the virtual lane of the path
+	// from srcTerm to dst LID, where dstSlot = dstTermIdx<<lmc | lidOffset.
+	// nil when the engine does not use VLs (single-lane routing).
+	sl    []uint8
+	NumVL int
+}
+
+// newTables allocates tables for g with the given LID policy.
+func newTables(g *topo.Graph, engine string, lmc uint8, policy LIDPolicy) *Tables {
+	if lmc > MaxLMC {
+		panic("route: LMC too large")
+	}
+	if policy == nil {
+		policy = SequentialLIDs(lmc)
+	}
+	terms := g.Terminals()
+	t := &Tables{
+		G:       g,
+		Engine:  engine,
+		LMC:     lmc,
+		BaseLID: make([]LID, len(terms)),
+		termIdx: make(map[topo.NodeID]int, len(terms)),
+		swIdx:   make(map[topo.NodeID]int, g.NumSwitches()),
+	}
+	span := LID(1) << lmc
+	for i, tm := range terms {
+		base := policy(i, tm)
+		if base == 0 || base%span != 0 && lmc > 0 {
+			panic(fmt.Sprintf("route: LID policy returned unaligned base LID %d for lmc=%d", base, lmc))
+		}
+		t.BaseLID[i] = base
+		t.termIdx[tm] = i
+		if base+span-1 > t.maxLID {
+			t.maxLID = base + span - 1
+		}
+	}
+	t.lidOwner = make([]int32, int(t.maxLID)+1)
+	for i := range t.lidOwner {
+		t.lidOwner[i] = -1
+	}
+	for i, base := range t.BaseLID {
+		for o := LID(0); o < span; o++ {
+			if t.lidOwner[base+o] != -1 {
+				panic(fmt.Sprintf("route: LID %d assigned twice", base+o))
+			}
+			t.lidOwner[base+o] = int32(i)
+		}
+	}
+	for i, sw := range g.Switches() {
+		t.swIdx[sw] = i
+	}
+	t.lft = make([][]topo.ChannelID, g.NumSwitches())
+	for i := range t.lft {
+		row := make([]topo.ChannelID, int(t.maxLID)+1)
+		for j := range row {
+			row[j] = NoChannel
+		}
+		t.lft[i] = row
+	}
+	return t
+}
+
+// TermIndex returns the terminal index of a terminal node.
+func (t *Tables) TermIndex(n topo.NodeID) int { return t.termIdx[n] }
+
+// TermByIndex returns the terminal NodeID at index i.
+func (t *Tables) TermByIndex(i int) topo.NodeID { return t.G.Terminals()[i] }
+
+// NumTerminals reports the number of addressed terminals.
+func (t *Tables) NumTerminals() int { return len(t.BaseLID) }
+
+// MaxLID returns the highest assigned LID.
+func (t *Tables) MaxLID() LID { return t.maxLID }
+
+// LIDFor returns the lidOffset-th LID of a terminal.
+func (t *Tables) LIDFor(term topo.NodeID, lidOffset uint8) LID {
+	if lidOffset >= 1<<t.LMC {
+		panic("route: lid offset beyond LMC range")
+	}
+	return t.BaseLID[t.termIdx[term]] + LID(lidOffset)
+}
+
+// OwnerOf returns the terminal owning a LID, or -1.
+func (t *Tables) OwnerOf(lid LID) int {
+	if int(lid) >= len(t.lidOwner) {
+		return -1
+	}
+	return int(t.lidOwner[lid])
+}
+
+// SetNextHop installs the LFT entry of switch sw toward lid.
+func (t *Tables) SetNextHop(sw topo.NodeID, lid LID, c topo.ChannelID) {
+	t.lft[t.swIdx[sw]][lid] = c
+}
+
+// NextHop returns the outgoing channel of switch sw toward lid, or
+// NoChannel.
+func (t *Tables) NextHop(sw topo.NodeID, lid LID) topo.ChannelID {
+	return t.lft[t.swIdx[sw]][lid]
+}
+
+// slSlot maps (src terminal index, dst LID) to an index into sl.
+func (t *Tables) slSlot(srcIdx int, lid LID) int {
+	dstIdx := t.lidOwner[lid]
+	off := int(lid - t.BaseLID[dstIdx])
+	slots := t.NumTerminals() << t.LMC
+	return srcIdx*slots + (int(dstIdx)<<t.LMC | off)
+}
+
+// SetSL records the virtual lane for the (src, dst LID) path.
+func (t *Tables) SetSL(src topo.NodeID, lid LID, vl uint8) {
+	if t.sl == nil {
+		n := t.NumTerminals()
+		t.sl = make([]uint8, n*(n<<t.LMC))
+	}
+	t.sl[t.slSlot(t.termIdx[src], lid)] = vl
+	if int(vl)+1 > t.NumVL {
+		t.NumVL = int(vl) + 1
+	}
+}
+
+// SL returns the virtual lane for the (src, dst LID) path; 0 when the
+// engine assigned none.
+func (t *Tables) SL(src topo.NodeID, lid LID) uint8 {
+	if t.sl == nil {
+		return 0
+	}
+	return t.sl[t.slSlot(t.termIdx[src], lid)]
+}
+
+// MaxHops bounds LFT walks; anything longer indicates a forwarding loop.
+const MaxHops = 64
+
+// Path walks the forwarding tables from src terminal to the given LID and
+// returns the channel sequence, including the injection and delivery
+// channels. It returns an error on unreachable LIDs or forwarding loops.
+func (t *Tables) Path(src topo.NodeID, lid LID) ([]topo.ChannelID, error) {
+	ownerIdx := t.OwnerOf(lid)
+	if ownerIdx < 0 {
+		return nil, fmt.Errorf("route: LID %d unassigned", lid)
+	}
+	dst := t.TermByIndex(ownerIdx)
+	if src == dst {
+		return nil, nil
+	}
+	g := t.G
+	var path []topo.ChannelID
+	// Injection.
+	sw := g.SwitchOf(src)
+	if sw < 0 {
+		return nil, fmt.Errorf("route: source terminal %d detached", src)
+	}
+	for _, l := range g.Nodes[src].Ports {
+		if l != nil && !l.Down {
+			path = append(path, l.Channel(src))
+			break
+		}
+	}
+	for hops := 0; ; hops++ {
+		if hops > MaxHops {
+			return nil, fmt.Errorf("route: forwarding loop toward LID %d (engine %s)", lid, t.Engine)
+		}
+		c := t.NextHop(sw, lid)
+		if c == NoChannel {
+			return nil, fmt.Errorf("route: switch %s has no entry for LID %d (engine %s)", g.Nodes[sw].Label, lid, t.Engine)
+		}
+		l := g.Link(c)
+		if l.Down {
+			return nil, fmt.Errorf("route: LFT of %s uses down link toward LID %d", g.Nodes[sw].Label, lid)
+		}
+		path = append(path, c)
+		next := g.ChannelTo(c)
+		if next == dst {
+			return path, nil
+		}
+		if g.Nodes[next].Kind == topo.Terminal {
+			return nil, fmt.Errorf("route: path toward LID %d delivered to wrong terminal %s", lid, g.Nodes[next].Label)
+		}
+		sw = next
+	}
+}
+
+// SwitchHops returns the number of switch-to-switch hops of a path returned
+// by Path (total channels minus injection and delivery).
+func SwitchHops(path []topo.ChannelID) int {
+	if len(path) < 2 {
+		return 0
+	}
+	return len(path) - 2
+}

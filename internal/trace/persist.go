@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Profile persistence: the paper's framework stores one communication
+// profile per (benchmark, input, rank count) and re-uses it across every
+// topology/routing/placement configuration (footnote 6); PARX ingests the
+// stored file before a job starts. The on-disk format is a small JSON
+// document so profiles are diffable and portable.
+
+// profileFile is the serialized form.
+type profileFile struct {
+	// Version guards the format.
+	Version int `json:"version"`
+	// Ranks is the communicator size.
+	Ranks int `json:"ranks"`
+	// Bytes is the dense src-major matrix.
+	Bytes [][]float64 `json:"bytes"`
+}
+
+const profileVersion = 1
+
+// Write serializes the profile as JSON.
+func (p *Profile) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(profileFile{Version: profileVersion, Ranks: len(p.Bytes), Bytes: p.Bytes})
+}
+
+// Save writes the profile to a file.
+func (p *Profile) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return p.Write(f)
+}
+
+// ReadProfile parses a serialized profile.
+func ReadProfile(r io.Reader) (*Profile, error) {
+	var pf profileFile
+	if err := json.NewDecoder(r).Decode(&pf); err != nil {
+		return nil, fmt.Errorf("trace: parse profile: %w", err)
+	}
+	if pf.Version != profileVersion {
+		return nil, fmt.Errorf("trace: unsupported profile version %d", pf.Version)
+	}
+	if len(pf.Bytes) != pf.Ranks {
+		return nil, fmt.Errorf("trace: profile claims %d ranks but has %d rows", pf.Ranks, len(pf.Bytes))
+	}
+	for i, row := range pf.Bytes {
+		if len(row) != pf.Ranks {
+			return nil, fmt.Errorf("trace: row %d has %d columns, want %d", i, len(row), pf.Ranks)
+		}
+		for j, v := range row {
+			if v < 0 {
+				return nil, fmt.Errorf("trace: negative traffic at [%d][%d]", i, j)
+			}
+		}
+	}
+	return &Profile{Bytes: pf.Bytes}, nil
+}
+
+// LoadProfile reads a profile from a file.
+func LoadProfile(path string) (*Profile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadProfile(f)
+}

@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/hpcsim/t2hx/internal/mpi"
+)
+
+func TestProfileRoundTrip(t *testing.T) {
+	b := mpi.NewBuilder(6)
+	b.Alltoall(1234)
+	b.Bcast(0, 999)
+	orig := Capture(b.Progs)
+	var buf bytes.Buffer
+	if err := orig.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadProfile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range orig.Bytes {
+		for j := range orig.Bytes[i] {
+			if got.Bytes[i][j] != orig.Bytes[i][j] {
+				t.Fatalf("round trip changed [%d][%d]: %v != %v",
+					i, j, got.Bytes[i][j], orig.Bytes[i][j])
+			}
+		}
+	}
+}
+
+func TestProfileSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "alltoall.n6.json")
+	b := mpi.NewBuilder(6)
+	b.Alltoall(4096)
+	p := Capture(b.Progs)
+	if err := p.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadProfile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Bytes) != 6 {
+		t.Fatalf("loaded %d ranks", len(got.Bytes))
+	}
+	// Loaded profiles normalize identically.
+	a, bn := p.Normalize(), got.Normalize()
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != bn[i][j] {
+				t.Fatal("normalization differs after reload")
+			}
+		}
+	}
+}
+
+func TestReadProfileRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"not json":        "}{",
+		"bad version":     `{"version":99,"ranks":1,"bytes":[[0]]}`,
+		"rank mismatch":   `{"version":1,"ranks":3,"bytes":[[0]]}`,
+		"ragged rows":     `{"version":1,"ranks":2,"bytes":[[0,1],[0]]}`,
+		"negative travel": `{"version":1,"ranks":1,"bytes":[[-5]]}`,
+	}
+	for name, doc := range cases {
+		if _, err := ReadProfile(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestLoadProfileMissingFile(t *testing.T) {
+	if _, err := LoadProfile("/nonexistent/profile.json"); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,123 @@
+// Package trace implements the communication-profile side of PARX
+// (Sec. 3.2.2): capturing per-rank-pair byte counts from MPI programs (the
+// role of the low-level IB profiler on the real system, which sees the
+// point-to-point messages inside collectives), normalizing them to the
+// [0,255] demand range, and combining a rank-based profile with a node
+// allocation into the node-based demand matrix PARX ingests before a job
+// starts (the SAR-like interface of Sec. 4.4.3).
+package trace
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/hpcsim/t2hx/internal/core"
+	"github.com/hpcsim/t2hx/internal/mpi"
+	"github.com/hpcsim/t2hx/internal/topo"
+)
+
+// Profile is the per-rank-pair traffic demand of one application run:
+// Bytes[src][dst] is the total payload rank src sends to rank dst. Profiles
+// are placement-, topology- and routing-oblivious (footnote 6), so one
+// capture serves every experiment configuration.
+type Profile struct {
+	Bytes [][]float64
+}
+
+// Capture records the point-to-point traffic of a program set, including
+// the messages collectives decompose into — exactly what the paper's IB
+// profiler sees and Vampir/TAU miss.
+func Capture(progs []*mpi.Program) *Profile {
+	n := len(progs)
+	p := &Profile{Bytes: make([][]float64, n)}
+	for i := range p.Bytes {
+		p.Bytes[i] = make([]float64, n)
+	}
+	for src, prog := range progs {
+		for _, op := range prog.Ops {
+			if op.Kind == mpi.OpISend {
+				p.Bytes[src][op.Peer] += float64(op.Size)
+			}
+		}
+	}
+	return p
+}
+
+// Normalize maps byte counts to the integer demand range D_n = [0, 255]:
+// 0 means no traffic, 1 the lowest non-zero demand, 255 the highest
+// (Sec. 3.2.3).
+func (p *Profile) Normalize() [][]uint8 {
+	n := len(p.Bytes)
+	out := make([][]uint8, n)
+	var maxB float64
+	for _, row := range p.Bytes {
+		for _, b := range row {
+			if b > maxB {
+				maxB = b
+			}
+		}
+	}
+	for i, row := range p.Bytes {
+		out[i] = make([]uint8, n)
+		for j, b := range row {
+			if b <= 0 || maxB == 0 {
+				continue
+			}
+			v := math.Round(255 * b / maxB)
+			if v < 1 {
+				v = 1
+			}
+			out[i][j] = uint8(v)
+		}
+	}
+	return out
+}
+
+// DemandBuilder accumulates node-level demands for one or more concurrently
+// scheduled applications (the job-submission/OpenSM interface of
+// Sec. 4.4.3).
+type DemandBuilder struct {
+	termIndex map[topo.NodeID]int
+	demands   core.Demands
+}
+
+// NewDemandBuilder prepares an empty node-demand matrix over the fabric's
+// terminals.
+func NewDemandBuilder(terms []topo.NodeID) *DemandBuilder {
+	b := &DemandBuilder{
+		termIndex: make(map[topo.NodeID]int, len(terms)),
+		demands:   make(core.Demands, len(terms)),
+	}
+	for i, tm := range terms {
+		b.termIndex[tm] = i
+		b.demands[i] = make([]uint8, len(terms))
+	}
+	return b
+}
+
+// AddJob maps a rank-based normalized profile onto the job's node
+// allocation. Overlapping demands keep the maximum.
+func (b *DemandBuilder) AddJob(norm [][]uint8, ranks []topo.NodeID) error {
+	if len(norm) != len(ranks) {
+		return fmt.Errorf("trace: profile has %d ranks, allocation %d nodes", len(norm), len(ranks))
+	}
+	for src, row := range norm {
+		si, ok := b.termIndex[ranks[src]]
+		if !ok {
+			return fmt.Errorf("trace: node %d not a fabric terminal", ranks[src])
+		}
+		for dst, w := range row {
+			if w == 0 {
+				continue
+			}
+			di := b.termIndex[ranks[dst]]
+			if w > b.demands[si][di] {
+				b.demands[si][di] = w
+			}
+		}
+	}
+	return nil
+}
+
+// Demands returns the accumulated node-demand matrix for PARX.
+func (b *DemandBuilder) Demands() core.Demands { return b.demands }

@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"testing"
+
+	"github.com/hpcsim/t2hx/internal/mpi"
+	"github.com/hpcsim/t2hx/internal/topo"
+)
+
+func TestCaptureSeesCollectiveDecomposition(t *testing.T) {
+	b := mpi.NewBuilder(4)
+	b.Bcast(0, 1000)
+	p := Capture(b.Progs)
+	// Binomial bcast from 0 over 4 ranks: 0->1, 0->2, 1->3 (or 2->3
+	// depending on tree shape); total sent bytes = 3000.
+	var total float64
+	for _, row := range p.Bytes {
+		for _, v := range row {
+			total += v
+		}
+	}
+	if total != 3000 {
+		t.Errorf("total captured bytes = %v, want 3000", total)
+	}
+	if p.Bytes[0][1] == 0 {
+		t.Error("root->1 traffic not captured")
+	}
+}
+
+func TestCaptureIsPlacementOblivious(t *testing.T) {
+	// The profile depends only on ranks, never on nodes (footnote 6).
+	b := mpi.NewBuilder(8)
+	b.Alltoall(512)
+	p := Capture(b.Progs)
+	for i := range p.Bytes {
+		for j := range p.Bytes[i] {
+			want := 512.0
+			if i == j {
+				want = 0
+			}
+			if p.Bytes[i][j] != want {
+				t.Fatalf("Bytes[%d][%d] = %v, want %v", i, j, p.Bytes[i][j], want)
+			}
+		}
+	}
+}
+
+func TestNormalizeRange(t *testing.T) {
+	p := &Profile{Bytes: [][]float64{
+		{0, 1e9, 10},
+		{5e8, 0, 0},
+		{0, 0, 0},
+	}}
+	n := p.Normalize()
+	if n[0][1] != 255 {
+		t.Errorf("max demand = %d, want 255", n[0][1])
+	}
+	if n[1][0] != 128 {
+		t.Errorf("half demand = %d, want 128", n[1][0])
+	}
+	// Tiny but non-zero traffic must stay >= 1.
+	if n[0][2] != 1 {
+		t.Errorf("tiny demand = %d, want 1", n[0][2])
+	}
+	if n[2][0] != 0 || n[0][0] != 0 {
+		t.Error("zero traffic must stay 0")
+	}
+}
+
+func TestNormalizeAllZero(t *testing.T) {
+	p := &Profile{Bytes: [][]float64{{0, 0}, {0, 0}}}
+	n := p.Normalize()
+	for i := range n {
+		for j := range n[i] {
+			if n[i][j] != 0 {
+				t.Fatal("all-zero profile must normalize to zero")
+			}
+		}
+	}
+}
+
+func TestDemandBuilderMapsRanksToNodes(t *testing.T) {
+	terms := []topo.NodeID{10, 11, 12, 13, 14, 15}
+	db := NewDemandBuilder(terms)
+	norm := [][]uint8{
+		{0, 200},
+		{50, 0},
+	}
+	// Ranks 0,1 placed on nodes 13, 11.
+	if err := db.AddJob(norm, []topo.NodeID{13, 11}); err != nil {
+		t.Fatal(err)
+	}
+	d := db.Demands()
+	if d[3][1] != 200 {
+		t.Errorf("demand[node13][node11] = %d, want 200", d[3][1])
+	}
+	if d[1][3] != 50 {
+		t.Errorf("demand[node11][node13] = %d, want 50", d[1][3])
+	}
+}
+
+func TestDemandBuilderMergesJobsByMax(t *testing.T) {
+	terms := []topo.NodeID{1, 2}
+	db := NewDemandBuilder(terms)
+	db.AddJob([][]uint8{{0, 100}, {0, 0}}, []topo.NodeID{1, 2})
+	db.AddJob([][]uint8{{0, 40}, {0, 0}}, []topo.NodeID{1, 2})
+	if got := db.Demands()[0][1]; got != 100 {
+		t.Errorf("merged demand = %d, want max 100", got)
+	}
+}
+
+func TestDemandBuilderErrors(t *testing.T) {
+	db := NewDemandBuilder([]topo.NodeID{1, 2})
+	if err := db.AddJob([][]uint8{{0}}, []topo.NodeID{1, 2}); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	if err := db.AddJob([][]uint8{{0, 1}, {0, 0}}, []topo.NodeID{1, 99}); err == nil {
+		t.Error("unknown node accepted")
+	}
+}
+
+func TestEndToEndProfileToPARXDemands(t *testing.T) {
+	// The full Sec. 3.2.2 pipeline: build an app, capture, normalize, map
+	// onto an allocation.
+	b := mpi.NewBuilder(4)
+	b.RingAllreduce(1 << 20)
+	norm := Capture(b.Progs).Normalize()
+	terms := make([]topo.NodeID, 16)
+	for i := range terms {
+		terms[i] = topo.NodeID(i)
+	}
+	db := NewDemandBuilder(terms)
+	if err := db.AddJob(norm, []topo.NodeID{4, 5, 6, 7}); err != nil {
+		t.Fatal(err)
+	}
+	d := db.Demands()
+	// Ring: rank r -> r+1: node 4->5, 5->6, 6->7, 7->4 all equal 255.
+	for _, pair := range [][2]int{{4, 5}, {5, 6}, {6, 7}, {7, 4}} {
+		if d[pair[0]][pair[1]] != 255 {
+			t.Errorf("ring demand [%d][%d] = %d, want 255", pair[0], pair[1], d[pair[0]][pair[1]])
+		}
+	}
+	if d[4][6] != 0 {
+		t.Error("non-ring pair has demand")
+	}
+}

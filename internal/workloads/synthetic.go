@@ -1,0 +1,115 @@
+package workloads
+
+import (
+	"fmt"
+
+	"github.com/hpcsim/t2hx/internal/mpi"
+	"github.com/hpcsim/t2hx/internal/sim"
+)
+
+// IMB message-size ladder of Fig. 4: powers of two from 1 B to 4 MiB.
+func IMBMessageSizes() []int64 {
+	var out []int64
+	for s := int64(1); s <= 4<<20; s *= 2 {
+		out = append(out, s)
+	}
+	return out
+}
+
+// IMBOps lists the single-mode MPI-1 collectives the paper measures
+// (Fig. 4/5b) plus the two capacity-run extras of Sec. 4.4.2.
+func IMBOps() []string {
+	return []string{"bcast", "gather", "scatter", "reduce", "allreduce", "alltoall", "barrier"}
+}
+
+// imbIterations balances measurement amortization against simulation cost.
+const imbIterations = 4
+
+// BuildIMB constructs the Intel MPI Benchmarks kernel for one collective
+// and message size: a warm-up round plus measured iterations. The
+// Instance's Ops divides elapsed time into a per-operation latency.
+func BuildIMB(op string, n int, size int64) (*Instance, error) {
+	b := mpi.NewBuilder(n)
+	iters := imbIterations
+	one := func() error {
+		switch op {
+		case "bcast":
+			b.Bcast(0, size)
+		case "gather":
+			b.Gather(0, size)
+		case "scatter":
+			b.Scatter(0, size)
+		case "reduce":
+			b.Reduce(0, size)
+		case "allreduce":
+			b.Allreduce(size)
+		case "alltoall":
+			b.Alltoall(size)
+		case "barrier":
+			b.Barrier()
+		default:
+			return fmt.Errorf("workloads: unknown IMB op %q", op)
+		}
+		return nil
+	}
+	for i := 0; i < iters; i++ {
+		if err := one(); err != nil {
+			return nil, err
+		}
+	}
+	return &Instance{Progs: b.Progs, Ops: iters}, nil
+}
+
+// BuildMultiPingPong is IMB's Multi-PingPong (the capacity-run MuPP):
+// ranks pair up (i, i+n/2) and ping-pong size-byte messages concurrently —
+// the probe the paper used to find the 512 B PARX threshold (Sec. 3.2.4).
+func BuildMultiPingPong(n int, size int64, iters int) *Instance {
+	b := mpi.NewBuilder(n)
+	half := n / 2
+	for it := 0; it < iters; it++ {
+		tag := b.NextTag()
+		for i := 0; i < half; i++ {
+			lo, hi := mpi.Rank(i), mpi.Rank(i+half)
+			b.Progs[lo].Send(hi, size, tag)
+			b.Progs[hi].Recv(lo, tag)
+			b.Progs[hi].Send(lo, size, tag)
+			b.Progs[lo].Recv(hi, tag)
+		}
+	}
+	return &Instance{Progs: b.Progs, Ops: iters}
+}
+
+// BuildEmDL is the paper's modified IMB Allreduce mimicking deep-learning
+// training (footnote 12): alternating a large allreduce with a 0.1 s
+// compute phase.
+func BuildEmDL(n int, iters int) *Instance {
+	b := mpi.NewBuilder(n)
+	const gradients = 32 << 20
+	for it := 0; it < iters; it++ {
+		b.Compute(0.1 * sim.Second)
+		b.RingAllreduce(gradients)
+	}
+	return &Instance{Progs: b.Progs, Ops: iters}
+}
+
+// BaiduArrayLengths is Fig. 5a's ladder: 4-byte-float array lengths 0 to
+// 2^29 (0 .. 2 GiB of payload).
+func BaiduArrayLengths() []int64 {
+	out := []int64{0, 32, 256, 1024, 4096, 16384, 65536, 262144, 1048576, 8388608, 67108864, 536870912}
+	return out
+}
+
+// BuildBaiduAllreduce is Baidu's DeepBench ring allreduce (CPU version):
+// one ring allreduce of 4*arrayLen bytes; the paper reports average
+// latency (Table 2: t_avg).
+func BuildBaiduAllreduce(n int, arrayLen int64) *Instance {
+	b := mpi.NewBuilder(n)
+	size := 4 * arrayLen
+	if size == 0 {
+		// Zero-length still synchronizes.
+		b.Barrier()
+	} else {
+		b.RingAllreduce(size)
+	}
+	return &Instance{Progs: b.Progs, Ops: 1}
+}

@@ -1,0 +1,278 @@
+// Package workloads implements the paper's benchmark suite (Sec. 4) as
+// communication skeletons: the exact MPI operation mix of Table 2 with the
+// paper's weak/strong-scaled message volumes, plus calibrated compute
+// phases, so that the network sees the same traffic patterns the real
+// applications generate while the solvers' arithmetic is reduced to timing.
+//
+// Modelling compression: some applications run thousands of solver
+// iterations; the skeletons run proportionally fewer, heavier iterations
+// (same pattern and total communication volume, fewer simulation events).
+// EXPERIMENTS.md records the resulting paper-vs-measured comparison.
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/hpcsim/t2hx/internal/mpi"
+	"github.com/hpcsim/t2hx/internal/sim"
+)
+
+// Direction states whether larger metric values are better.
+type Direction bool
+
+const (
+	LowerIsBetter  Direction = false
+	HigherIsBetter Direction = true
+)
+
+// Instance is one runnable configuration of a workload: per-rank programs
+// plus the bookkeeping needed to turn elapsed time into the paper's metric.
+type Instance struct {
+	Progs []*mpi.Program
+	// Flops is the modelled floating-point work for Gflop/s metrics (HPL,
+	// HPCG); zero otherwise.
+	Flops float64
+	// Edges is the number of traversed edges for the TEPS metric
+	// (Graph500); zero otherwise.
+	Edges float64
+	// Ops divides elapsed time for per-operation latency metrics (IMB).
+	Ops int
+}
+
+// Score converts a run's elapsed time into the workload metric: Gflop/s
+// when Flops is set, GTEPS when Edges is set, microseconds per operation
+// when Ops is set, kernel seconds otherwise.
+func (in *Instance) Score(elapsed sim.Duration) float64 {
+	switch {
+	case in.Flops > 0:
+		return in.Flops / float64(elapsed) / 1e9
+	case in.Edges > 0:
+		return in.Edges / float64(elapsed) / 1e9
+	case in.Ops > 1:
+		return float64(elapsed) / float64(in.Ops) * 1e6
+	default:
+		return float64(elapsed)
+	}
+}
+
+// BuildOpts tune an application skeleton without changing its pattern:
+// IterScale multiplies solver iteration counts (fewer, proportionally
+// heavier iterations for cheap capacity runs), ComputeScale multiplies
+// compute phases, and Prolog prepends a startup phase (MPI_Init, input
+// loading) that capability runs exclude from the kernel but capacity runs
+// pay per execution.
+type BuildOpts struct {
+	IterScale    float64
+	ComputeScale float64
+	Prolog       sim.Duration
+}
+
+// DefaultOpts is the capability-run configuration: unscaled, no prolog.
+func DefaultOpts() BuildOpts { return BuildOpts{IterScale: 1, ComputeScale: 1} }
+
+// iters applies IterScale to a base iteration count (at least 1).
+func (o BuildOpts) iters(base int) int {
+	n := int(math.Round(float64(base) * o.IterScale))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// compute applies ComputeScale to a base duration.
+func (o BuildOpts) compute(d sim.Duration) sim.Duration {
+	return sim.Duration(float64(d) * o.ComputeScale)
+}
+
+// finish prepends the prolog to every rank and returns the instance.
+func (o BuildOpts) finish(in *Instance) *Instance {
+	if o.Prolog > 0 {
+		for _, p := range in.Progs {
+			p.Ops = append([]mpi.Op{{Kind: mpi.OpCompute, Dur: o.Prolog}}, p.Ops...)
+		}
+	}
+	return in
+}
+
+// App is a registry entry: one of the paper's application benchmarks.
+type App struct {
+	Name    string
+	Abbrev  string // the paper's abbreviation (Table 2)
+	Scaling string // "weak", "strong", "weak*"
+	Metric  string
+	Better  Direction
+	// MPIFuncs documents the MPI functions of Table 2.
+	MPIFuncs []string
+	// PowerOfTwo selects the 4,8,...,512 ladder instead of 7,14,...,672.
+	PowerOfTwo bool
+	Build      func(n int, o BuildOpts) *Instance
+}
+
+// Instance builds the app with capability-run defaults.
+func (a App) Instance(n int) *Instance { return a.Build(n, DefaultOpts()) }
+
+// Ladder returns the paper's node-count ladder for this app on a machine
+// with maxNodes nodes (Sec. 4.4.1): 7,14,...,448,672 or 4,8,...,512.
+func (a App) Ladder(maxNodes int) []int {
+	var out []int
+	if a.PowerOfTwo {
+		for n := 4; n <= maxNodes; n *= 2 {
+			out = append(out, n)
+		}
+		return out
+	}
+	for n := 7; n <= maxNodes; n *= 2 {
+		out = append(out, n)
+	}
+	if len(out) == 0 || out[len(out)-1] != maxNodes {
+		out = append(out, maxNodes)
+	}
+	return out
+}
+
+// Registry returns the nine proxy applications and three x500 benchmarks
+// of Sec. 4.2/4.3, in the paper's order.
+func Registry() []App {
+	return []App{
+		{Name: "Algebraic multi-grid solver (hypre)", Abbrev: "AMG", Scaling: "weak",
+			Metric: "Kernel runtime [s]", Better: LowerIsBetter,
+			MPIFuncs:   []string{"Isend", "Irecv", "Allgatherv", "Allreduce", "Bcast"},
+			PowerOfTwo: false, Build: BuildAMG},
+		{Name: "Co-designed Molecular Dynamics", Abbrev: "CoMD", Scaling: "weak",
+			Metric: "Kernel runtime [s]", Better: LowerIsBetter,
+			MPIFuncs:   []string{"Sendrecv", "Allreduce", "Barrier", "Bcast"},
+			PowerOfTwo: false, Build: BuildCoMD},
+		{Name: "MiniFE implicit finite elements", Abbrev: "MiFE", Scaling: "weak",
+			Metric: "Kernel runtime [s]", Better: LowerIsBetter,
+			MPIFuncs:   []string{"Send", "Irecv", "Allgather", "Allreduce", "Bcast"},
+			PowerOfTwo: false, Build: BuildMiniFE},
+		{Name: "SWFFT (HACC 3-D FFT kernel)", Abbrev: "FFT", Scaling: "weak",
+			Metric: "Kernel runtime [s]", Better: LowerIsBetter,
+			MPIFuncs:   []string{"Isend", "Irecv", "Allreduce", "Barrier"},
+			PowerOfTwo: true, Build: BuildSWFFT},
+		{Name: "Frontflow/violet Cartesian", Abbrev: "FFVC", Scaling: "weak*",
+			Metric: "Kernel runtime [s]", Better: LowerIsBetter,
+			MPIFuncs:   []string{"Isend", "Irecv", "Allreduce", "Gather"},
+			PowerOfTwo: true, Build: BuildFFVC},
+		{Name: "many-variable Variational Monte Carlo", Abbrev: "mVMC", Scaling: "weak",
+			Metric: "Kernel runtime [s]", Better: LowerIsBetter,
+			MPIFuncs:   []string{"Isend", "Sendrecv", "Recv", "Allreduce", "Bcast", "Scatter"},
+			PowerOfTwo: true, Build: BuildMVMC},
+		{Name: "NTChem (MP2 solver, taxol)", Abbrev: "NTCh", Scaling: "strong",
+			Metric: "Kernel runtime [s]", Better: LowerIsBetter,
+			MPIFuncs:   []string{"Isend", "Irecv", "Allreduce", "Barrier", "Bcast"},
+			PowerOfTwo: false, Build: BuildNTChem},
+		{Name: "MIMD Lattice Computation", Abbrev: "MILC", Scaling: "weak",
+			Metric: "Kernel runtime [s]", Better: LowerIsBetter,
+			MPIFuncs:   []string{"Isend", "Irecv", "Allreduce", "Barrier", "Bcast"},
+			PowerOfTwo: true, Build: BuildMILC},
+		{Name: "LLNL qb@ll (first-principles MD)", Abbrev: "Qbox", Scaling: "weak*",
+			Metric: "Kernel runtime [s]", Better: LowerIsBetter,
+			MPIFuncs:   []string{"Send", "Irecv", "Allreduce", "Alltoallv", "Bcast"},
+			PowerOfTwo: false, Build: BuildQbox},
+		{Name: "High Performance Linpack", Abbrev: "HPL", Scaling: "weak*",
+			Metric: "Gflop/s", Better: HigherIsBetter,
+			MPIFuncs:   []string{"Send", "Irecv"},
+			PowerOfTwo: false, Build: BuildHPL},
+		{Name: "High Performance Conjugate Gradients", Abbrev: "HPCG", Scaling: "weak",
+			Metric: "Gflop/s", Better: HigherIsBetter,
+			MPIFuncs:   []string{"Send", "Irecv", "Allreduce", "Alltoallv", "Barrier", "Bcast"},
+			PowerOfTwo: false, Build: BuildHPCG},
+		{Name: "Graph 500 BFS", Abbrev: "GraD", Scaling: "weak",
+			Metric: "GTEPS", Better: HigherIsBetter,
+			MPIFuncs:   []string{"Isend", "Irecv", "Allgather", "Allreduce"},
+			PowerOfTwo: true, Build: BuildGraph500},
+	}
+}
+
+// FindApp returns the registry entry with the given abbreviation.
+func FindApp(abbrev string) (App, error) {
+	for _, a := range Registry() {
+		if a.Abbrev == abbrev {
+			return a, nil
+		}
+	}
+	return App{}, fmt.Errorf("workloads: unknown app %q", abbrev)
+}
+
+// --- process-grid helpers ---
+
+// Factor splits n into d factors as evenly as possible (minimizing the
+// largest factor), like MPI_Dims_create.
+func Factor(n, d int) []int {
+	dims := make([]int, d)
+	for i := range dims {
+		dims[i] = 1
+	}
+	rem := n
+	for i := 0; i < d; i++ {
+		// Target: the d-i'th root of the remainder; pick the largest
+		// divisor of rem not exceeding ceil(root).
+		target := int(math.Ceil(math.Pow(float64(rem), 1/float64(d-i))))
+		best := 1
+		for f := 1; f <= rem && f <= target+1; f++ {
+			if rem%f == 0 {
+				best = f
+			}
+		}
+		dims[i] = best
+		rem /= best
+	}
+	// Any leftover (shouldn't happen) folds into the last dim.
+	dims[d-1] *= rem
+	// Sort descending for stable shapes.
+	for i := 0; i < d; i++ {
+		for j := i + 1; j < d; j++ {
+			if dims[j] > dims[i] {
+				dims[i], dims[j] = dims[j], dims[i]
+			}
+		}
+	}
+	return dims
+}
+
+// gridCoord converts rank to coordinates in a row-major grid.
+func gridCoord(r int, dims []int) []int {
+	c := make([]int, len(dims))
+	for i := len(dims) - 1; i >= 0; i-- {
+		c[i] = r % dims[i]
+		r /= dims[i]
+	}
+	return c
+}
+
+// gridRank converts coordinates to a rank.
+func gridRank(c, dims []int) int {
+	r := 0
+	for i := 0; i < len(dims); i++ {
+		r = r*dims[i] + c[i]
+	}
+	return r
+}
+
+// Halo adds one halo-exchange round on a periodic Cartesian grid: every
+// rank Sendrecvs faceBytes with both neighbors in every dimension whose
+// extent exceeds 1. This is the stencil backbone of AMG, CoMD, MiniFE,
+// FFVC, HPCG (3-D) and MILC (4-D).
+func Halo(b *mpi.Builder, dims []int, faceBytes int64) {
+	n := b.N()
+	for d := range dims {
+		if dims[d] < 2 {
+			continue
+		}
+		for dir := -1; dir <= 1; dir += 2 {
+			tag := b.NextTag()
+			for r := 0; r < n; r++ {
+				c := gridCoord(r, dims)
+				cn := append([]int{}, c...)
+				cn[d] = (c[d] + dir + dims[d]) % dims[d]
+				to := gridRank(cn, dims)
+				cp := append([]int{}, c...)
+				cp[d] = (c[d] - dir + dims[d]) % dims[d]
+				from := gridRank(cp, dims)
+				b.Progs[r].Sendrecv(mpi.Rank(to), faceBytes, tag, mpi.Rank(from), tag)
+			}
+		}
+	}
+}
