@@ -10,6 +10,8 @@
 //	t2hx -combo 2 -bench baidu -n 56 -size 1048576
 //	t2hx -combo 2 -bench ebb -n 56 -samples 100
 //	t2hx -combo 4 -bench mpigraph -n 28
+//	t2hx -faults -n 28 -size 262144
+//	t2hx -faults -combo 4 -failures 15 -detect 1ms -sweep 4ms
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 
 	"github.com/hpcsim/t2hx/internal/exp"
 	"github.com/hpcsim/t2hx/internal/place"
+	"github.com/hpcsim/t2hx/internal/sim"
 	"github.com/hpcsim/t2hx/internal/trace"
 	"github.com/hpcsim/t2hx/internal/workloads"
 )
@@ -39,6 +42,10 @@ func main() {
 	seed := flag.Uint64("seed", 1, "master seed")
 	noDegrade := flag.Bool("no-degrade", false, "ideal fabric without missing cables")
 	saveProfile := flag.String("save-profile", "", "capture the benchmark's communication profile to this JSON file (for PARX ingestion)")
+	faultsMode := flag.Bool("faults", false, "resilience scenario: inject runtime link failures mid-run and re-sweep (uses imb:<op> benches; default alltoall)")
+	failures := flag.Int("failures", 0, "runtime link failures to inject (0 = paper count: 15 HyperX / 197 Fat-Tree)")
+	detect := flag.Duration("detect", 0, "SM failure-detection delay (0 = 1ms default)")
+	sweepLat := flag.Duration("sweep", 0, "SM re-sweep latency before tables go live (0 = 4ms default)")
 	flag.Parse()
 
 	if *list {
@@ -55,7 +62,7 @@ func main() {
 		fmt.Println("\n  baidu ebb mpigraph")
 		return
 	}
-	if *bench == "" {
+	if *bench == "" && !*faultsMode {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -75,6 +82,33 @@ func main() {
 			Placement: place.Strategy(*placement),
 		}
 	}
+	if *faultsMode {
+		op := "alltoall"
+		if strings.HasPrefix(*bench, "imb:") {
+			op = strings.TrimPrefix(*bench, "imb:")
+		} else if *bench != "" {
+			fatal(fmt.Errorf("-faults only supports imb:<op> benches, got %q", *bench))
+		}
+		// Default: the paper's headline trio, ftree vs DFSSSP vs PARX.
+		// An explicit -combo/-topo selection narrows to that one combo.
+		selected := []exp.Combo{combos[0], combos[2], combos[4]}
+		explicit := false
+		flag.Visit(func(fl *flag.Flag) {
+			if fl.Name == "combo" || fl.Name == "topo" {
+				explicit = true
+			}
+		})
+		if explicit {
+			selected = []exp.Combo{combo}
+		}
+		runFaults(selected, faultCLI{
+			op: op, n: *n, size: *size, failures: *failures, seed: *seed,
+			detect: sim.Duration(detect.Seconds()), sweep: sim.Duration(sweepLat.Seconds()),
+			small: *small, degrade: !*noDegrade,
+		})
+		return
+	}
+
 	m, err := exp.BuildMachine(combo, exp.MachineConfig{
 		Degrade: !*noDegrade, Seed: *seed, Small: *small,
 	})
@@ -136,6 +170,60 @@ func main() {
 		fmt.Printf("mpiGraph avg %.3f GiB/s (min %.3f, max %.3f)\n", res.AvgGiB, res.MinGiB, res.MaxGiB)
 	default:
 		fatal(fmt.Errorf("unknown benchmark %q", *bench))
+	}
+}
+
+type faultCLI struct {
+	op       string
+	n        int
+	size     int64
+	failures int
+	seed     uint64
+	detect   sim.Duration
+	sweep    sim.Duration
+	small    bool
+	degrade  bool
+}
+
+// runFaults runs the resilience scenario per combo and prints the
+// degradation report: makespans, re-sweep latency stats, damage counters,
+// and goodput before/during/after the outage window.
+func runFaults(selected []exp.Combo, cli faultCLI) {
+	const gib = 1 << 30
+	for _, c := range selected {
+		m, err := exp.BuildMachine(c, exp.MachineConfig{
+			Degrade: cli.degrade, Seed: cli.seed, Small: cli.small,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		failures := cli.failures
+		if failures == 0 {
+			failures = exp.DefaultFailures(m)
+		}
+		fmt.Printf("\n%s  plane: %s (%d nodes)\n", c.Name, m.G.Name, m.G.NumTerminals())
+		fmt.Printf("  injecting %d runtime link failures into imb:%s (%d ranks, %d B)\n",
+			failures, cli.op, cli.n, cli.size)
+		res, err := exp.RunFaultScenario(exp.FaultSpec{
+			Machine: m, Nodes: cli.n, Failures: failures, Seed: cli.seed,
+			Detect: cli.detect, Sweep: cli.sweep,
+			Build: func(nn int) (*workloads.Instance, error) {
+				return workloads.BuildIMB(cli.op, nn, cli.size)
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		st := res.SweepStats()
+		fmt.Printf("  makespan: baseline %.3f ms -> faulted %.3f ms (+%.1f%%)\n",
+			1e3*float64(res.Baseline), 1e3*float64(res.Faulted), 100*res.Slowdown())
+		fmt.Printf("  re-sweeps: %d (%d rejected), outage window min %.3f / median %.3f / max %.3f ms\n",
+			len(res.Sweeps), len(res.Sweeps)-len(res.Latencies),
+			1e3*st.Min, 1e3*st.Median, 1e3*st.Max)
+		fmt.Printf("  flows torn down %d, retries %d, lost %d of %d messages\n",
+			res.TornDown, res.Retries, res.GiveUps, res.Messages)
+		fmt.Printf("  goodput GiB/s: before %.3f | during %.3f | after %.3f\n",
+			res.GoodputBefore/gib, res.GoodputDuring/gib, res.GoodputAfter/gib)
 	}
 }
 

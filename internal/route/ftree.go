@@ -1,7 +1,6 @@
 package route
 
 import (
-	"fmt"
 	"math"
 
 	"github.com/hpcsim/t2hx/internal/topo"
@@ -32,7 +31,9 @@ func FTree(ft *topo.FatTree, lmc uint8) (*Tables, error) {
 	for di, dst := range terms {
 		dstSw := g.SwitchOf(dst)
 		if dstSw < 0 {
-			return nil, fmt.Errorf("route: destination terminal %s detached", g.Nodes[dst].Label)
+			// Detached terminal: leave its LIDs unprogrammed (reported as
+			// unreachable by Validate) rather than failing the sweep.
+			continue
 		}
 		dstIdx := ft.TermIndex(dst)
 

@@ -38,7 +38,9 @@ func Nue(g *topo.Graph, lmc uint8, nVL int) (*Tables, error) {
 		vl := di % nVL
 		dstSw := g.SwitchOf(dst)
 		if dstSw < 0 {
-			return nil, fmt.Errorf("route: destination terminal %s detached", g.Nodes[dst].Label)
+			// Detached terminal: leave its LIDs unprogrammed (reported as
+			// unreachable by Validate) rather than failing the sweep.
+			continue
 		}
 		next, err := nueTree(g, dstSw, layers[vl])
 		if err != nil {

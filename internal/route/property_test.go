@@ -1,6 +1,7 @@
 package route
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -81,6 +82,101 @@ func TestEnginesUnderProgressiveFailure(t *testing.T) {
 			}
 		}
 	}
+}
+
+// Property: the subnet manager's re-sweep invariant. Random fabrics are
+// degraded in successive waves — the runtime failure sequence a fault
+// schedule produces — and after every wave each engine must rebuild tables
+// that still route all pairs loop-free (a loop shows up as an unreachable
+// pair in Validate's walk) and deadlock-free, while never using a down
+// link. Connectivity-preserving degradation means "explicit error" is not
+// an acceptable outcome here, unlike TestEnginesUnderProgressiveFailure.
+func TestReSweepInvariantProperty(t *testing.T) {
+	f := func(seed uint64, pickTree bool) bool {
+		var g *topo.Graph
+		var ft *topo.FatTree
+		if pickTree {
+			ft = topo.NewKaryNTree(3, 3, 1e9, 1e-7)
+			g = ft.Graph
+		} else {
+			hx := topo.NewHyperX(topo.HyperXConfig{S: []int{4, 4}, T: 1, Bandwidth: 1e9, Latency: 1e-7})
+			g = hx.Graph
+		}
+		engines := map[string]func() (*Tables, error){
+			"sssp":   func() (*Tables, error) { return SSSP(g, 0) },
+			"dfsssp": func() (*Tables, error) { return DFSSSP(g, 0, 8) },
+			"updown": func() (*Tables, error) { return UpDown(g, 0) },
+			"lash":   func() (*Tables, error) { return LASH(g, 0, 8) },
+			"nue":    func() (*Tables, error) { return Nue(g, 0, 2) },
+		}
+		if pickTree {
+			engines["ftree"] = func() (*Tables, error) { return FTree(ft, 0) }
+		}
+		for wave := 0; wave < 3; wave++ {
+			// Each wave fails 1-3 more links at "runtime"; shortfall just
+			// means the fabric is saturated with faults, which is fine.
+			topo.DegradeSwitchLinks(g, 1+int(seed>>uint(wave*2))%3, seed+uint64(wave)*31)
+			for name, mk := range engines {
+				tb, err := mk()
+				if err != nil {
+					// Nue at 2 VLs can legitimately run out of cycle-free
+					// parents on degraded fabrics; the SM rejects such a
+					// sweep and keeps the old tables. Every other engine
+					// must always rebuild.
+					if name == "nue" {
+						continue
+					}
+					t.Logf("seed=%d wave=%d %s: rebuild failed: %v", seed, wave, name, err)
+					return false
+				}
+				rep, err := Validate(tb)
+				if err != nil {
+					t.Logf("seed=%d wave=%d %s: validate: %v", seed, wave, name, err)
+					return false
+				}
+				// ftree is restricted to intact up/down ancestor chains, so
+				// degradation may strand pairs (the SM reports them as
+				// unreachable); every path-based engine must reach all pairs
+				// on a connected fabric. Loops are never acceptable.
+				if rep.Unreachable > 0 && name != "ftree" {
+					t.Logf("seed=%d wave=%d %s: %d unreachable/looping pairs", seed, wave, name, rep.Unreachable)
+					return false
+				}
+				if name == "ftree" && hasForwardingLoop(tb) {
+					t.Logf("seed=%d wave=%d ftree: forwarding loop", seed, wave)
+					return false
+				}
+				if !rep.DeadlockFree {
+					t.Logf("seed=%d wave=%d %s: deadlock-prone rebuild", seed, wave, name)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+// hasForwardingLoop walks every (src, dst-LID) pair and reports whether any
+// hits the MaxHops loop guard (as opposed to a missing LFT entry, which is
+// mere unreachability).
+func hasForwardingLoop(tb *Tables) bool {
+	g := tb.G
+	terms := g.Terminals()
+	span := 1 << tb.LMC
+	for _, src := range terms {
+		for di := range terms {
+			for off := 0; off < span; off++ {
+				_, err := tb.Path(src, tb.BaseLID[di]+LID(off))
+				if err != nil && strings.Contains(err.Error(), "loop") {
+					return true
+				}
+			}
+		}
+	}
+	return false
 }
 
 // Property: FTree forwarding is deterministic and consistent — walking the

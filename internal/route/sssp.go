@@ -78,7 +78,10 @@ func SSSPCore(t *Tables, opts SSSPOptions) error {
 		dst := terms[di]
 		dstSw := g.SwitchOf(dst)
 		if dstSw < 0 {
-			return fmt.Errorf("route: destination terminal %s detached", g.Nodes[dst].Label)
+			// Detached terminal (e.g. its switch died): leave its LIDs
+			// unprogrammed so Validate reports them unreachable instead of
+			// failing the whole sweep.
+			continue
 		}
 		for off := 0; off < span; off++ {
 			lid := t.BaseLID[di] + LID(off)
@@ -151,8 +154,13 @@ func AssignVLs(t *Tables, maxVL int) error {
 	var keys []key
 	var paths [][]topo.ChannelID
 	for _, src := range terms {
+		if g.SwitchOf(src) < 0 {
+			continue // detached source cannot inject traffic
+		}
 		for di, dst := range terms {
-			if src == dst {
+			if src == dst || g.SwitchOf(dst) < 0 {
+				// Detached destinations have no LFT entries; their LIDs are
+				// unreachable, not deadlock-relevant.
 				continue
 			}
 			for off := 0; off < span; off++ {

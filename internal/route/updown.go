@@ -58,7 +58,9 @@ func UpDown(g *topo.Graph, lmc uint8) (*Tables, error) {
 	for di, dst := range terms {
 		dstSw := g.SwitchOf(dst)
 		if dstSw < 0 {
-			return nil, fmt.Errorf("route: destination terminal %s detached", g.Nodes[dst].Label)
+			// Detached terminal: leave its LIDs unprogrammed (reported as
+			// unreachable by Validate) rather than failing the sweep.
+			continue
 		}
 		// Phase 1 — pure descent (rank strictly increasing toward dst):
 		// process in decreasing rank, computing dDown where possible.

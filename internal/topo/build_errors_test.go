@@ -1,0 +1,54 @@
+package topo
+
+import "testing"
+
+func TestBuildHyperXRejectsBadConfigs(t *testing.T) {
+	bad := []HyperXConfig{
+		{S: nil, T: 1, Bandwidth: 1e9},                         // no dimensions
+		{S: []int{4, 1}, T: 1, Bandwidth: 1e9},                 // dimension < 2
+		{S: []int{4, 4}, T: -1, Bandwidth: 1e9},                // negative T
+		{S: []int{4, 4}, T: 1, K: []int{1}, Bandwidth: 1e9},    // K/S length mismatch
+		{S: []int{4, 4}, T: 1, K: []int{1, 0}, Bandwidth: 1e9}, // K entry < 1
+		{S: []int{4, 4}, T: 1},                                 // no bandwidth
+		{S: []int{4, 4}, T: 1, Bandwidth: -5},                  // negative bandwidth
+	}
+	for i, cfg := range bad {
+		if _, err := BuildHyperX(cfg); err == nil {
+			t.Errorf("case %d: BuildHyperX accepted invalid config %+v", i, cfg)
+		}
+	}
+	if _, err := BuildHyperX(HyperXConfig{S: []int{3, 3}, T: 2, Bandwidth: 1e9, Latency: 1e-7}); err != nil {
+		t.Errorf("BuildHyperX rejected a valid config: %v", err)
+	}
+}
+
+func TestBuildXGFTRejectsBadConfigs(t *testing.T) {
+	bad := []XGFTConfig{
+		{M: nil, W: nil, Bandwidth: 1e9},                 // no levels
+		{M: []int{2, 4}, W: []int{1}, Bandwidth: 1e9},    // length mismatch
+		{M: []int{2, 4}, W: []int{2, 2}, Bandwidth: 1e9}, // W[0] != 1
+		{M: []int{2, 0}, W: []int{1, 2}, Bandwidth: 1e9}, // M entry < 1
+		{M: []int{2, 4}, W: []int{1, 2}},                 // no bandwidth
+	}
+	for i, cfg := range bad {
+		if _, err := BuildXGFT(cfg); err == nil {
+			t.Errorf("case %d: BuildXGFT accepted invalid config %+v", i, cfg)
+		}
+	}
+	if _, err := BuildXGFT(XGFTConfig{M: []int{2, 4}, W: []int{1, 2}, Bandwidth: 1e9, Latency: 1e-7}); err != nil {
+		t.Errorf("BuildXGFT rejected a valid config: %v", err)
+	}
+}
+
+func TestNewWrappersPanicOnBadConfig(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic on invalid config", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("NewHyperX", func() { NewHyperX(HyperXConfig{S: []int{1}, T: 1, Bandwidth: 1e9}) })
+	mustPanic("NewXGFT", func() { NewXGFT(XGFTConfig{M: []int{2}, W: []int{2}, Bandwidth: 1e9}) })
+}

@@ -1,14 +1,28 @@
 package topo
 
-import "github.com/hpcsim/t2hx/internal/sim"
+import (
+	"errors"
+	"fmt"
+
+	"github.com/hpcsim/t2hx/internal/sim"
+)
+
+// ErrDegradeShortfall reports that DegradeSwitchLinks could not take down the
+// requested number of links without disconnecting the switch fabric.
+var ErrDegradeShortfall = errors.New("degradation shortfall")
 
 // DegradeSwitchLinks marks n randomly chosen switch-to-switch links as Down,
 // modelling the broken/absent AOCs of the paper's deployment (Sec. 2.3).
 // Terminal links are never degraded (a node with a broken HCA cable was
 // simply replaced on the real system). Degradation never disconnects the
 // switch fabric: candidates whose removal would disconnect it are skipped.
-// It returns the links actually taken down.
-func DegradeSwitchLinks(g *Graph, n int, seed uint64) []*Link {
+//
+// Contract: the returned slice holds the links actually taken down, which
+// may be fewer than n when connectivity vetoes candidates. In that case the
+// error wraps ErrDegradeShortfall; callers that merely want "as degraded as
+// possible" may ignore it, but anything reproducing an exact broken-cable
+// count must check it.
+func DegradeSwitchLinks(g *Graph, n int, seed uint64) ([]*Link, error) {
 	rng := sim.NewRand(seed)
 	candidates := g.LiveSwitchLinks()
 	rng.Shuffle(len(candidates), func(i, j int) {
@@ -26,8 +40,17 @@ func DegradeSwitchLinks(g *Graph, n int, seed uint64) []*Link {
 			l.Down = false
 		}
 	}
-	return downed
+	if len(downed) < n {
+		return downed, fmt.Errorf("topo: %w: downed %d of %d requested switch links",
+			ErrDegradeShortfall, len(downed), n)
+	}
+	return downed, nil
 }
+
+// SwitchFabricConnected reports whether all switches remain mutually
+// reachable over live links — the invariant degradation and runtime fault
+// planning both preserve.
+func SwitchFabricConnected(g *Graph) bool { return switchFabricConnected(g) }
 
 // switchFabricConnected reports whether all switches remain mutually
 // reachable over live links.

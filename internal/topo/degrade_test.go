@@ -1,0 +1,62 @@
+package topo
+
+import (
+	"errors"
+	"testing"
+)
+
+// Regression for the paper's broken-cable counts: both planes must absorb
+// the full Sec. 2.3 degradation without a shortfall (and without
+// disconnecting the switch fabric).
+func TestDegradePaperCountsNoShortfall(t *testing.T) {
+	for _, seed := range []uint64{1, 42, 1234} {
+		hx := NewPaperHyperX(false, 0)
+		downed, err := DegradeSwitchLinks(hx.Graph, PaperHyperXMissingAOCs, seed)
+		if err != nil {
+			t.Errorf("hyperx seed=%d: %v", seed, err)
+		}
+		if len(downed) != PaperHyperXMissingAOCs {
+			t.Errorf("hyperx seed=%d: downed %d, want %d", seed, len(downed), PaperHyperXMissingAOCs)
+		}
+		if !switchFabricConnected(hx.Graph) {
+			t.Errorf("hyperx seed=%d: switch fabric disconnected", seed)
+		}
+
+		ft := NewPaperFatTree(false, 0)
+		downed, err = DegradeSwitchLinks(ft.Graph, PaperFatTreeMissingLinks, seed)
+		if err != nil {
+			t.Errorf("fattree seed=%d: %v", seed, err)
+		}
+		if len(downed) != PaperFatTreeMissingLinks {
+			t.Errorf("fattree seed=%d: downed %d, want %d", seed, len(downed), PaperFatTreeMissingLinks)
+		}
+		if !switchFabricConnected(ft.Graph) {
+			t.Errorf("fattree seed=%d: switch fabric disconnected", seed)
+		}
+	}
+}
+
+// When the request exceeds what connectivity allows, the shortfall must be
+// reported, not silently swallowed.
+func TestDegradeReportsShortfall(t *testing.T) {
+	hx := NewHyperX(HyperXConfig{S: []int{2, 2}, T: 1, Bandwidth: 1e9, Latency: 1e-7})
+	total := len(hx.LiveSwitchLinks())
+	downed, err := DegradeSwitchLinks(hx.Graph, total, 7)
+	if err == nil {
+		t.Fatalf("downing all %d switch links reported no shortfall (downed %d)", total, len(downed))
+	}
+	if !errors.Is(err, ErrDegradeShortfall) {
+		t.Errorf("error %v does not wrap ErrDegradeShortfall", err)
+	}
+	if len(downed) >= total {
+		t.Errorf("downed %d of %d links; the fabric cannot stay connected", len(downed), total)
+	}
+	if !switchFabricConnected(hx.Graph) {
+		t.Error("shortfall path disconnected the switch fabric")
+	}
+	// Degrading more links than exist is also a shortfall, not a crash.
+	ft := NewKaryNTree(2, 2, 1e9, 1e-7)
+	if _, err := DegradeSwitchLinks(ft.Graph, 10_000, 3); !errors.Is(err, ErrDegradeShortfall) {
+		t.Errorf("oversized request: err = %v, want ErrDegradeShortfall", err)
+	}
+}

@@ -47,15 +47,39 @@ type FatTree struct {
 	termIndex map[NodeID]int
 }
 
-// NewXGFT builds an XGFT. Terminals are created in linear-index order so
-// that "linear" rank placement matches consecutive leaf switches.
+// NewXGFT builds an XGFT, panicking on an invalid configuration. It is the
+// constructor for hard-coded shapes (the paper planes, tests);
+// user-supplied shapes should go through BuildXGFT, which returns the
+// validation problem as an error instead.
 func NewXGFT(cfg XGFTConfig) *FatTree {
+	ft, err := BuildXGFT(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return ft
+}
+
+// BuildXGFT validates cfg and builds an XGFT. Terminals are created in
+// linear-index order so that "linear" rank placement matches consecutive
+// leaf switches.
+func BuildXGFT(cfg XGFTConfig) (*FatTree, error) {
 	h := len(cfg.M)
 	if h == 0 || len(cfg.W) != h {
-		panic("topo: XGFT needs len(M) == len(W) >= 1")
+		return nil, fmt.Errorf("topo: XGFT needs len(M) == len(W) >= 1, got M=%v W=%v", cfg.M, cfg.W)
 	}
 	if cfg.W[0] != 1 {
-		panic("topo: XGFT with W[0] != 1 (multi-homed terminals) is not supported")
+		return nil, fmt.Errorf("topo: XGFT with W[0] != 1 (multi-homed terminals) is not supported, got W=%v", cfg.W)
+	}
+	for i, m := range cfg.M {
+		if m < 1 {
+			return nil, fmt.Errorf("topo: XGFT child counts must be >= 1, got M=%v", cfg.M)
+		}
+		if cfg.W[i] < 1 {
+			return nil, fmt.Errorf("topo: XGFT parent counts must be >= 1, got W=%v", cfg.W)
+		}
+	}
+	if cfg.Bandwidth <= 0 {
+		return nil, fmt.Errorf("topo: XGFT needs positive link bandwidth, got %g", cfg.Bandwidth)
 	}
 
 	ft := &FatTree{
@@ -157,7 +181,7 @@ func NewXGFT(cfg XGFTConfig) *FatTree {
 			}
 		}
 	}
-	return ft
+	return ft, nil
 }
 
 func (ft *FatTree) nodesAtLevel(lv int) []NodeID {

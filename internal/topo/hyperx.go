@@ -40,18 +40,33 @@ type HyperX struct {
 	strides  []int
 }
 
-// NewHyperX builds a HyperX network. Switches are created in row-major
-// coordinate order; each switch's T terminals immediately follow the
-// coordinate enumeration so that "linear" placement fills switch by switch,
-// like hostfiles sorted by rack on the real system.
+// NewHyperX builds a HyperX network, panicking on an invalid configuration.
+// It is the constructor for hard-coded shapes (the paper planes, tests);
+// user-supplied shapes (CLI flags, config files) should go through
+// BuildHyperX, which returns the validation problem as an error instead.
 func NewHyperX(cfg HyperXConfig) *HyperX {
+	hx, err := BuildHyperX(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return hx
+}
+
+// BuildHyperX validates cfg and builds a HyperX network. Switches are
+// created in row-major coordinate order; each switch's T terminals
+// immediately follow the coordinate enumeration so that "linear" placement
+// fills switch by switch, like hostfiles sorted by rack on the real system.
+func BuildHyperX(cfg HyperXConfig) (*HyperX, error) {
 	if len(cfg.S) == 0 {
-		panic("topo: HyperX needs at least one dimension")
+		return nil, fmt.Errorf("topo: HyperX needs at least one dimension")
 	}
 	for _, s := range cfg.S {
 		if s < 2 {
-			panic("topo: HyperX dimensions must be >= 2")
+			return nil, fmt.Errorf("topo: HyperX dimensions must be >= 2, got shape %v", cfg.S)
 		}
+	}
+	if cfg.T < 0 {
+		return nil, fmt.Errorf("topo: HyperX terminals per switch must be >= 0, got %d", cfg.T)
 	}
 	if cfg.K == nil {
 		cfg.K = make([]int, len(cfg.S))
@@ -60,7 +75,15 @@ func NewHyperX(cfg HyperXConfig) *HyperX {
 		}
 	}
 	if len(cfg.K) != len(cfg.S) {
-		panic("topo: len(K) must equal len(S)")
+		return nil, fmt.Errorf("topo: HyperX K has %d entries for %d dimensions", len(cfg.K), len(cfg.S))
+	}
+	for _, k := range cfg.K {
+		if k < 1 {
+			return nil, fmt.Errorf("topo: HyperX link multiplicities must be >= 1, got %v", cfg.K)
+		}
+	}
+	if cfg.Bandwidth <= 0 {
+		return nil, fmt.Errorf("topo: HyperX needs positive link bandwidth, got %g", cfg.Bandwidth)
 	}
 	if cfg.TerminalBandwidth == 0 {
 		cfg.TerminalBandwidth = cfg.Bandwidth
@@ -115,7 +138,7 @@ func NewHyperX(cfg HyperXConfig) *HyperX {
 			}
 		}
 	}
-	return hx
+	return hx, nil
 }
 
 // SwitchAt returns the switch at the given lattice coordinates.

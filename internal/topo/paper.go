@@ -40,7 +40,11 @@ func NewPaperHyperX(degrade bool, seed uint64) *HyperX {
 	})
 	hx.Name = "t2hx-hyperx-12x8"
 	if degrade {
-		DegradeSwitchLinks(hx.Graph, PaperHyperXMissingAOCs, seed)
+		if _, err := DegradeSwitchLinks(hx.Graph, PaperHyperXMissingAOCs, seed); err != nil {
+			// 15 of 684 inter-switch links always fit; a shortfall here means
+			// the builder itself is broken.
+			panic(err)
+		}
 	}
 	return hx
 }
@@ -63,7 +67,9 @@ func NewPaperFatTree(degrade bool, seed uint64) *FatTree {
 	})
 	ft.Name = "t2hx-fattree-3level"
 	if degrade {
-		DegradeSwitchLinks(ft.Graph, PaperFatTreeMissingLinks, seed)
+		if _, err := DegradeSwitchLinks(ft.Graph, PaperFatTreeMissingLinks, seed); err != nil {
+			panic(err)
+		}
 	}
 	return ft
 }
