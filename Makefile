@@ -1,0 +1,29 @@
+# Developer entry points; CI runs the same commands (.github/workflows/ci.yml).
+
+DATE := $(shell date +%F)
+
+.PHONY: all build test race vet check bench
+
+all: check
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+vet:
+	go vet ./...
+
+race:
+	go test -race ./internal/...
+
+check: vet build test race
+	go run ./cmd/topocheck -degrade -1 -seed 42
+
+# bench regenerates every figure/ablation benchmark once and records the
+# machine-readable baseline as BENCH_<date>.json (committed per PR so
+# hot-path regressions show up as diffs).
+bench:
+	go test -run xxx -bench . -benchtime 1x . | go run ./cmd/benchjson -out BENCH_$(DATE).json
+	@echo "baseline written to BENCH_$(DATE).json"

@@ -18,6 +18,7 @@ import (
 	"github.com/hpcsim/t2hx/internal/mpi"
 	"github.com/hpcsim/t2hx/internal/route"
 	"github.com/hpcsim/t2hx/internal/sim"
+	"github.com/hpcsim/t2hx/internal/telemetry"
 	"github.com/hpcsim/t2hx/internal/topo"
 	"github.com/hpcsim/t2hx/internal/workloads"
 )
@@ -325,6 +326,46 @@ func BenchmarkAblationPlacement(b *testing.B) {
 				lat = vals[0]
 			}
 			b.ReportMetric(lat, "us/op")
+		})
+	}
+}
+
+// BenchmarkAblationTelemetry quantifies the observability tax: the same
+// alltoall run with no collector (the nil-hook hot path, which must stay
+// within noise of the pre-telemetry baseline), with counters only, and
+// with every recording surface on.
+func BenchmarkAblationTelemetry(b *testing.B) {
+	modes := []struct {
+		name string
+		opts *telemetry.Options
+	}{
+		{"disabled", nil},
+		{"counters", &telemetry.Options{Counters: true}},
+		{"full", &telemetry.Options{Counters: true, Messages: true, Trace: true}},
+	}
+	m, err := exp.BuildMachine(exp.PaperCombos()[2], exp.MachineConfig{Small: true, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range modes {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				spec := exp.TrialSpec{
+					Machine: m, Nodes: 16, Trials: 1, Seed: 3,
+					Build: func(n int) (*workloads.Instance, error) {
+						return workloads.BuildIMB("alltoall", n, 1<<20)
+					},
+				}
+				if mode.opts != nil {
+					spec.Attach = func(_ int, f *fabric.Fabric) {
+						f.AttachTelemetry(telemetry.New(m.G, *mode.opts))
+					}
+				}
+				if _, _, err := exp.RunTrials(spec); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

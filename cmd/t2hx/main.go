@@ -12,17 +12,26 @@
 //	t2hx -combo 4 -bench mpigraph -n 28
 //	t2hx -faults -n 28 -size 262144
 //	t2hx -faults -combo 4 -failures 15 -detect 1ms -sweep 4ms
+//
+// Observability (IB-style counters, FCT records, Chrome trace):
+//
+//	t2hx -combo 0 -bench incast -n 8 -counters 10
+//	t2hx -combo 2 -bench imb:alltoall -n 16 -metrics-out run.jsonl -trace-out run.json
+//	t2hx -faults -combo 2 -trace-out sweep.json -counters 10
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"github.com/hpcsim/t2hx/internal/exp"
+	"github.com/hpcsim/t2hx/internal/fabric"
 	"github.com/hpcsim/t2hx/internal/place"
 	"github.com/hpcsim/t2hx/internal/sim"
+	"github.com/hpcsim/t2hx/internal/telemetry"
 	"github.com/hpcsim/t2hx/internal/trace"
 	"github.com/hpcsim/t2hx/internal/workloads"
 )
@@ -46,7 +55,12 @@ func main() {
 	failures := flag.Int("failures", 0, "runtime link failures to inject (0 = paper count: 15 HyperX / 197 Fat-Tree)")
 	detect := flag.Duration("detect", 0, "SM failure-detection delay (0 = 1ms default)")
 	sweepLat := flag.Duration("sweep", 0, "SM re-sweep latency before tables go live (0 = 4ms default)")
+	metricsOut := flag.String("metrics-out", "", "write run metrics + per-message FCT records + channel counters as JSONL to this file")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON timeline to this file (open in chrome://tracing or Perfetto)")
+	countersN := flag.Int("counters", 0, "after the run, print the N hottest channels by XmitWait (perfquery-style readout)")
 	flag.Parse()
+
+	tel := telCLI{metricsOut: *metricsOut, traceOut: *traceOut, topN: *countersN}
 
 	if *list {
 		fmt.Println("Combos (Sec. 4.4.3):")
@@ -105,7 +119,7 @@ func main() {
 			op: op, n: *n, size: *size, failures: *failures, seed: *seed,
 			detect: sim.Duration(detect.Seconds()), sweep: sim.Duration(sweepLat.Seconds()),
 			small: *small, degrade: !*noDegrade,
-		})
+		}, tel)
 		return
 	}
 
@@ -120,8 +134,21 @@ func main() {
 	switch {
 	case strings.HasPrefix(*bench, "imb:"):
 		op := strings.TrimPrefix(*bench, "imb:")
-		runTrials(m, *n, *trials, *seed, "us/op", func(nn int) (*workloads.Instance, error) {
+		runTrials(m, *n, *trials, *seed, "us/op", tel, func(nn int) (*workloads.Instance, error) {
 			return workloads.BuildIMB(op, nn, *size)
+		})
+	case *bench == "incast" || strings.HasPrefix(*bench, "incast:"):
+		group := 0
+		if s := strings.TrimPrefix(*bench, "incast:"); s != *bench {
+			if _, err := fmt.Sscanf(s, "%d", &group); err != nil {
+				fatal(fmt.Errorf("bad incast group %q", s))
+			}
+		}
+		runTrials(m, *n, *trials, *seed, "us/op", tel, func(nn int) (*workloads.Instance, error) {
+			if group > 0 {
+				return workloads.BuildGroupedIncast(nn, group, *size)
+			}
+			return workloads.BuildIncast(nn, *size)
 		})
 	case strings.HasPrefix(*bench, "app:"):
 		app, err := workloads.FindApp(strings.TrimPrefix(*bench, "app:"))
@@ -135,11 +162,11 @@ func main() {
 			}
 			fmt.Printf("communication profile saved to %s\n", *saveProfile)
 		}
-		runTrials(m, *n, *trials, *seed, app.Metric, func(nn int) (*workloads.Instance, error) {
+		runTrials(m, *n, *trials, *seed, app.Metric, tel, func(nn int) (*workloads.Instance, error) {
 			return app.Instance(nn), nil
 		})
 	case *bench == "baidu":
-		runTrials(m, *n, *trials, *seed, "s", func(nn int) (*workloads.Instance, error) {
+		runTrials(m, *n, *trials, *seed, "s", tel, func(nn int) (*workloads.Instance, error) {
 			return workloads.BuildBaiduAllreduce(nn, *size/4), nil
 		})
 	case *bench == "ebb":
@@ -151,12 +178,14 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		col := tel.attach(m, f)
 		res, err := workloads.EffectiveBisectionBandwidth(f, ranks, *samples, *size, *seed)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("eBB over %d samples: mean %.3f GiB/s (min %.3f, max %.3f)\n",
 			len(res.Samples), res.MeanGiB, res.MinGiB, res.MaxGiB)
+		tel.report(col, "")
 	case *bench == "mpigraph":
 		ranks, err := m.Place(*n, *seed)
 		if err != nil {
@@ -166,11 +195,97 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		col := tel.attach(m, f)
 		res := workloads.MpiGraph(f, ranks, *size)
 		fmt.Printf("mpiGraph avg %.3f GiB/s (min %.3f, max %.3f)\n", res.AvgGiB, res.MinGiB, res.MaxGiB)
+		tel.report(col, "")
 	default:
 		fatal(fmt.Errorf("unknown benchmark %q", *bench))
 	}
+}
+
+// telCLI carries the observability flags: which artifacts to produce and
+// where. The collector always records counters; message records and the
+// trace buffer are only enabled when an output file wants them.
+type telCLI struct {
+	metricsOut string
+	traceOut   string
+	topN       int
+}
+
+func (t telCLI) enabled() bool {
+	return t.metricsOut != "" || t.traceOut != "" || t.topN > 0
+}
+
+// attach builds a collector for the machine's graph and hooks it into the
+// fabric; nil when no observability flag was given.
+func (t telCLI) attach(m *exp.Machine, f *fabric.Fabric) *telemetry.Collector {
+	if !t.enabled() {
+		return nil
+	}
+	col := telemetry.New(m.G, telemetry.Options{
+		Counters: true,
+		Messages: t.metricsOut != "",
+		Trace:    t.traceOut != "",
+	})
+	f.AttachTelemetry(col)
+	return col
+}
+
+// report emits the post-run artifacts: the perfquery-style hot-channel
+// table on stdout plus the JSONL metrics and Chrome trace files. suffix
+// distinguishes combos when one invocation covers several (fault mode).
+func (t telCLI) report(col *telemetry.Collector, suffix string) {
+	if col == nil {
+		return
+	}
+	if t.topN > 0 && col.Chans != nil {
+		fmt.Println()
+		telemetry.FprintHotLinks(os.Stdout, col.Chans, t.topN, col.Now())
+	}
+	if t.metricsOut != "" {
+		path := outName(t.metricsOut, suffix)
+		w, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := col.WriteMetricsJSONL(w); err != nil {
+			fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("metrics written to %s\n", path)
+	}
+	if t.traceOut != "" {
+		path := outName(t.traceOut, suffix)
+		w, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := col.WriteTrace(w); err != nil {
+			fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace written to %s (open in chrome://tracing)\n", path)
+	}
+}
+
+// outName inserts a combo suffix before the extension: run.json +
+// "hyperx-dfsssp" -> run.hyperx-dfsssp.json.
+func outName(base, suffix string) string {
+	if suffix == "" {
+		return base
+	}
+	ext := filepath.Ext(base)
+	return strings.TrimSuffix(base, ext) + "." + suffix + ext
+}
+
+// comboSlug is a filename-safe tag for a combo.
+func comboSlug(c exp.Combo) string {
+	return fmt.Sprintf("%s-%s", c.Topology, c.Routing)
 }
 
 type faultCLI struct {
@@ -188,7 +303,7 @@ type faultCLI struct {
 // runFaults runs the resilience scenario per combo and prints the
 // degradation report: makespans, re-sweep latency stats, damage counters,
 // and goodput before/during/after the outage window.
-func runFaults(selected []exp.Combo, cli faultCLI) {
+func runFaults(selected []exp.Combo, cli faultCLI, tel telCLI) {
 	const gib = 1 << 30
 	for _, c := range selected {
 		m, err := exp.BuildMachine(c, exp.MachineConfig{
@@ -204,9 +319,17 @@ func runFaults(selected []exp.Combo, cli faultCLI) {
 		fmt.Printf("\n%s  plane: %s (%d nodes)\n", c.Name, m.G.Name, m.G.NumTerminals())
 		fmt.Printf("  injecting %d runtime link failures into imb:%s (%d ranks, %d B)\n",
 			failures, cli.op, cli.n, cli.size)
+		var col *telemetry.Collector
+		if tel.enabled() {
+			col = telemetry.New(m.G, telemetry.Options{
+				Counters: true,
+				Messages: tel.metricsOut != "",
+				Trace:    tel.traceOut != "",
+			})
+		}
 		res, err := exp.RunFaultScenario(exp.FaultSpec{
 			Machine: m, Nodes: cli.n, Failures: failures, Seed: cli.seed,
-			Detect: cli.detect, Sweep: cli.sweep,
+			Detect: cli.detect, Sweep: cli.sweep, Telemetry: col,
 			Build: func(nn int) (*workloads.Instance, error) {
 				return workloads.BuildIMB(cli.op, nn, cli.size)
 			},
@@ -224,13 +347,31 @@ func runFaults(selected []exp.Combo, cli faultCLI) {
 			res.TornDown, res.Retries, res.GiveUps, res.Messages)
 		fmt.Printf("  goodput GiB/s: before %.3f | during %.3f | after %.3f\n",
 			res.GoodputBefore/gib, res.GoodputDuring/gib, res.GoodputAfter/gib)
+		suffix := ""
+		if len(selected) > 1 {
+			suffix = comboSlug(c)
+		}
+		tel.report(col, suffix)
 	}
 }
 
-func runTrials(m *exp.Machine, n, trials int, seed uint64, unit string,
+func runTrials(m *exp.Machine, n, trials int, seed uint64, unit string, tel telCLI,
 	build func(int) (*workloads.Instance, error)) {
+	// The collector observes the final trial only, so its counters and
+	// trace cover a single engine timeline rather than overlapping runs.
+	last := trials - 1
+	if last < 0 {
+		last = 0
+	}
+	var col *telemetry.Collector
+	attach := func(t int, f *fabric.Fabric) {
+		if tel.enabled() && t == last {
+			col = tel.attach(m, f)
+		}
+	}
 	vals, _, err := exp.RunTrials(exp.TrialSpec{
 		Machine: m, Nodes: n, Trials: trials, Seed: seed, Jitter: 0.02, Build: build,
+		Attach: attach,
 	})
 	if err != nil {
 		fatal(err)
@@ -242,6 +383,7 @@ func runTrials(m *exp.Machine, n, trials int, seed uint64, unit string,
 	}
 	fmt.Printf("\nmin %.4g | q1 %.4g | median %.4g | q3 %.4g | max %.4g  [%s]\n",
 		st.Min, st.Q1, st.Median, st.Q3, st.Max, unit)
+	tel.report(col, "")
 }
 
 func fatal(err error) {

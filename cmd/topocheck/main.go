@@ -51,9 +51,11 @@ func main() {
 
 	fmt.Println("== Fabric inventory (cf. paper Sec. 2.3) ==")
 	inventory(hx.Graph, "HyperX 12x8 (7 nodes/switch)")
+	census(topo.HyperXDimLinks(hx))
 	fmt.Printf("  worst coordinate bisection: %.1f%% (paper: 57.1%%)\n\n",
 		100*topo.HyperXWorstBisection(hx))
 	inventory(ft.Graph, "Fat-Tree XGFT(3; 14,12,4; 1,18,6)")
+	census(topo.FatTreeLevelLinks(ft))
 	fmt.Println()
 
 	cm := topo.DefaultCostModel()
@@ -114,4 +116,19 @@ func inventory(g *topo.Graph, name string) {
 	term, sw, down := topo.CountLinks(g)
 	fmt.Printf("%s:\n  switches=%d terminals=%d links(term)=%d links(switch)=%d degraded=%d diameter=%d\n",
 		name, g.NumSwitches(), g.NumTerminals(), term, sw, down, topo.Diameter(g))
+}
+
+// census prints the per-dimension (HyperX) or per-level (fat-tree) link
+// counts and sums them into the plane's degradation summary.
+func census(rows []topo.LinkCensus) {
+	var live, down int
+	for _, r := range rows {
+		fmt.Printf("  %-12s live=%-5d down=%-4d (%.1f%% degraded)\n",
+			r.Name, r.Live, r.Down, 100*r.Degraded())
+		live += r.Live
+		down += r.Down
+	}
+	total := topo.LinkCensus{Live: live, Down: down}
+	fmt.Printf("  degradation: %d of %d links down (%.1f%%)\n",
+		down, live+down, 100*total.Degraded())
 }

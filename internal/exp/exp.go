@@ -236,6 +236,11 @@ type TrialSpec struct {
 	// run-to-run variability. Zero keeps runs identical.
 	Jitter float64
 	Build  func(n int) (*workloads.Instance, error)
+	// Attach, when set, observes each trial's fresh fabric before the run
+	// starts — the hook the CLI uses to attach a telemetry collector
+	// (typically to the final trial only, so counters and trace cover one
+	// run rather than overlapping engine timelines).
+	Attach func(trial int, f *fabric.Fabric)
 }
 
 // RunTrials executes the cell and returns the per-trial metric values.
@@ -260,6 +265,9 @@ func RunTrials(spec TrialSpec) ([]float64, *workloads.Instance, error) {
 		f, err := spec.Machine.NewFabric(spec.Seed + uint64(t)*7919)
 		if err != nil {
 			return nil, nil, err
+		}
+		if spec.Attach != nil {
+			spec.Attach(t, f)
 		}
 		res, err := mpi.Run(f, "trial", ranks, inst.Progs, mpi.Options{
 			ComputeJitterSigma: spec.Jitter,

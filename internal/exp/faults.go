@@ -7,6 +7,7 @@ import (
 	"github.com/hpcsim/t2hx/internal/faults"
 	"github.com/hpcsim/t2hx/internal/mpi"
 	"github.com/hpcsim/t2hx/internal/sim"
+	"github.com/hpcsim/t2hx/internal/telemetry"
 	"github.com/hpcsim/t2hx/internal/topo"
 	"github.com/hpcsim/t2hx/internal/workloads"
 )
@@ -31,6 +32,10 @@ type FaultSpec struct {
 	RetryBackoff sim.Duration
 	MaxRetries   int
 	Build        func(n int) (*workloads.Instance, error)
+	// Telemetry, when set, is attached to the faulted run's fabric:
+	// injected faults appear as trace instants, SM sweeps as spans, and
+	// the counters/FCT records cover the run that rode out the outage.
+	Telemetry *telemetry.Collector
 }
 
 // smallMachineFailures keeps scaled-down planes connected: the 4x4 HyperX
@@ -160,6 +165,9 @@ func RunFaultScenario(spec FaultSpec) (*FaultResult, error) {
 	f, err := newFabric()
 	if err != nil {
 		return nil, err
+	}
+	if spec.Telemetry != nil {
+		f.AttachTelemetry(spec.Telemetry)
 	}
 	mgr, err := faults.NewManager(f, faults.SMConfig{
 		DetectionDelay: spec.Detect,

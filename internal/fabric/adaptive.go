@@ -86,17 +86,50 @@ func (f *Fabric) selectAdaptiveLID(src, dst topo.NodeID, _ int64) route.LID {
 	return bestLID
 }
 
-// noteFlow adjusts occupancy counters for a path.
+// noteFlow adjusts occupancy counters for a path. With telemetry attached
+// the selection-time occupancy also raises the channel's concurrent-flow
+// high-watermark, so the adaptive picker's view lands in the same counter
+// set the flow network maintains.
 func (f *Fabric) noteFlow(p []topo.ChannelID, delta int32) {
 	lt := f.loads()
 	for _, c := range p {
 		if int(c) < len(lt.counts) {
 			lt.counts[c] += delta
+			if delta > 0 && f.Tel != nil && f.Tel.Chans != nil {
+				f.Tel.Chans.NoteActive(c, int(lt.counts[c]))
+			}
 		}
 	}
 }
 
-// AdaptiveStats reports the current maximum channel occupancy (tests).
+// MaxChannelOccupancy reports the highest concurrent-flow count seen on any
+// fabric channel: the attached telemetry counters' high-watermark when
+// available, else the adaptive PML's instantaneous selection occupancy.
+func (f *Fabric) MaxChannelOccupancy() int32 {
+	if f.Tel != nil && f.Tel.Chans != nil {
+		if m := f.Tel.Chans.MaxActive(); m > 0 {
+			return m
+		}
+	}
+	if f.lt == nil {
+		return 0
+	}
+	var m int32
+	for _, c := range f.lt.counts {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// AdaptiveStats reports the current maximum channel occupancy.
+//
+// Deprecated: the occupancy high-watermark is part of the telemetry counter
+// set now (telemetry.ChannelCounters.MaxActive, surfaced here as
+// MaxChannelOccupancy), which works under every PML rather than only the
+// adaptive one. This accessor remains for the adaptive-specific
+// instantaneous view.
 func (f *Fabric) AdaptiveStats() (maxOcc int32, err error) {
 	if f.pml != adaptive {
 		return 0, fmt.Errorf("fabric: adaptive routing not enabled")

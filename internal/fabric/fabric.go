@@ -15,6 +15,7 @@ import (
 	"github.com/hpcsim/t2hx/internal/flow"
 	"github.com/hpcsim/t2hx/internal/route"
 	"github.com/hpcsim/t2hx/internal/sim"
+	"github.com/hpcsim/t2hx/internal/telemetry"
 	"github.com/hpcsim/t2hx/internal/topo"
 )
 
@@ -86,6 +87,12 @@ type Fabric struct {
 	// lt tracks per-channel occupancy for adaptive path selection.
 	lt *loadTracker
 
+	// Tel is the attached observability collector; nil (the default)
+	// keeps every telemetry hook on the send/deliver path a no-op. Use
+	// AttachTelemetry rather than setting the field, so the flow network
+	// is wired too.
+	Tel *telemetry.Collector
+
 	// res enables mid-run fault tolerance; nil keeps the legacy fail-fast
 	// behaviour (panic on unroutable sends). See EnableResilience.
 	res *Resilience
@@ -131,6 +138,20 @@ func New(eng *sim.Engine, t *route.Tables, p Params, seed uint64) *Fabric {
 		f.nodeChan0 = f.Net.AddNodeChannels(t.G.NumTerminals(), nb)
 	}
 	return f
+}
+
+// AttachTelemetry wires a collector into the fabric, its flow network and
+// its engine. Call it before traffic starts; pass nil to detach. Counters
+// are sampled on the flow network's rate-recompute events, message records
+// and trace spans on the fabric's send/deliver path.
+func (f *Fabric) AttachTelemetry(c *telemetry.Collector) {
+	f.Tel = c
+	if c == nil {
+		f.Net.SetCounters(nil)
+		return
+	}
+	f.Net.SetCounters(c.Chans)
+	c.AttachEngine(f.Eng)
 }
 
 // EnableBFO switches the fabric to the modified bfo PML for PARX tables on
@@ -223,17 +244,19 @@ func (f *Fabric) PathLatency(p []topo.ChannelID) sim.Duration {
 func (f *Fabric) Send(src, dst topo.NodeID, size int64, onDelivered func(at sim.Time)) {
 	f.Messages++
 	f.Bytes += float64(size)
+	rec := f.Tel.StartMsg(src, dst, size, f.Eng.Now())
 	if src == dst {
 		// Loopback through shared memory: overhead + copy at ~8 GB/s.
 		d := f.overhead() + f.Params.RecvOverhead + sim.Duration(float64(size)/8e9)
 		f.Eng.After(d, func(e *sim.Engine) {
 			f.Delivered++
 			f.DeliveredBytes += float64(size)
+			f.Tel.MsgDelivered(rec, e.Now(), 0, true)
 			onDelivered(e.Now())
 		})
 		return
 	}
-	f.attempt(&pendingSend{src: src, dst: dst, size: size, onDelivered: onDelivered})
+	f.attempt(&pendingSend{src: src, dst: dst, size: size, onDelivered: onDelivered, rec: rec})
 }
 
 // Probe returns the switch-hop count the active PML would use for a message

@@ -51,6 +51,8 @@ type pendingSend struct {
 	// path is the routed (switch-fabric) path of the active attempt; nil
 	// between attempts.
 	path []topo.ChannelID
+	// rec is the telemetry record index, -1 when telemetry is off.
+	rec int
 }
 
 // EnableResilience switches the fabric from fail-fast sends (panic on an
@@ -107,7 +109,9 @@ func (f *Fabric) attempt(m *pendingSend) {
 		f.noteFlow(p, 1)
 	}
 	m.path = p
+	hops := len(p)
 	f.Eng.After(pre, func(*sim.Engine) {
+		f.Tel.MsgWired(m.rec, f.Eng.Now())
 		if f.res != nil && pathBroken(f.G, p) {
 			// The wire died while the head of the message was in flight.
 			if adaptivePath {
@@ -127,7 +131,10 @@ func (f *Fabric) attempt(m *pendingSend) {
 			}
 			f.Delivered++
 			f.DeliveredBytes += float64(m.size)
-			f.Eng.After(recvO, func(e *sim.Engine) { m.onDelivered(e.Now()) })
+			f.Eng.After(recvO, func(e *sim.Engine) {
+				f.Tel.MsgDelivered(m.rec, e.Now(), hops, false)
+				m.onDelivered(e.Now())
+			})
 		})
 		if f.res != nil && id != 0 {
 			f.inflight[id] = m
@@ -146,12 +153,14 @@ func (f *Fabric) sendFailed(m *pendingSend, err error) {
 	m.attempts++
 	if m.attempts > f.res.MaxRetries {
 		f.GiveUps++
+		f.Tel.MsgGiveUp(m.rec, f.Eng.Now())
 		if f.res.OnGiveUp != nil {
 			f.res.OnGiveUp(m.src, m.dst, m.size, err)
 		}
 		return
 	}
 	f.Retries++
+	f.Tel.MsgRetry(m.rec)
 	d := m.attempts - 1
 	if d > maxBackoffDoublings {
 		d = maxBackoffDoublings

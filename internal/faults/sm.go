@@ -6,6 +6,7 @@ import (
 	"github.com/hpcsim/t2hx/internal/fabric"
 	"github.com/hpcsim/t2hx/internal/route"
 	"github.com/hpcsim/t2hx/internal/sim"
+	"github.com/hpcsim/t2hx/internal/telemetry"
 	"github.com/hpcsim/t2hx/internal/topo"
 )
 
@@ -177,14 +178,23 @@ func (m *Manager) apply(ev Event) {
 	if m.OnApply != nil {
 		m.OnApply(ev)
 	}
+	torn := 0
 	if len(dead) > 0 {
-		m.TornDown += m.f.FailChannels(func(c topo.ChannelID) bool {
+		torn = m.f.FailChannels(func(c topo.ChannelID) bool {
 			return dead[m.g.Link(c).ID]
 		})
+		m.TornDown += torn
 	} else {
 		// Repairs kill nothing, but cached paths must not bypass the
 		// restored capacity until the SM actually reroutes.
 		m.f.InvalidatePaths()
+	}
+	if tel := m.f.Tel; tel != nil {
+		args := map[string]any{"event": ev.String()}
+		if torn > 0 {
+			args["flows_torn_down"] = torn
+		}
+		tel.Instant(telemetry.TracePidSM, 0, "fault", ev.Kind.String(), m.eng.Now(), args)
 	}
 	m.eng.After(m.Cfg.DetectionDelay, func(*sim.Engine) { m.maybeSweep() })
 }
@@ -302,6 +312,32 @@ func (m *Manager) startSweep() {
 
 func (m *Manager) finishSweep(s Sweep) {
 	m.Sweeps = append(m.Sweeps, s)
+	if tel := m.f.Tel; tel != nil {
+		// The sweep renders as a span from SM detection to the table swap
+		// (or the rejection instant); the args carry the outage window the
+		// sweep closed and what the revalidation found.
+		end := s.Swapped
+		name := "sm-sweep"
+		args := map[string]any{
+			"events_covered": s.Events,
+			"trigger_s":      float64(s.Trigger),
+		}
+		if s.Rejected != nil {
+			end = m.eng.Now()
+			name = "sm-sweep-rejected"
+			args["rejected"] = s.Rejected.Error()
+		} else {
+			args["outage_window_s"] = float64(s.Latency())
+		}
+		if s.Validated {
+			args["deadlock_free"] = s.DeadlockFree
+			args["unreachable"] = s.Unreachable
+		}
+		tel.Span(telemetry.TracePidSM, 1, "sm", name, s.Detected, end, args)
+		if s.Rejected == nil {
+			tel.Instant(telemetry.TracePidSM, 1, "sm", "tables-swapped", s.Swapped, nil)
+		}
+	}
 	if m.OnSwept != nil {
 		m.OnSwept(s)
 	}

@@ -1,0 +1,111 @@
+package figures
+
+import (
+	"fmt"
+
+	"github.com/hpcsim/t2hx/internal/exp"
+	"github.com/hpcsim/t2hx/internal/fabric"
+	"github.com/hpcsim/t2hx/internal/telemetry"
+	"github.com/hpcsim/t2hx/internal/workloads"
+)
+
+// countersGroup is the shifted-incast group width of the counters figure:
+// one switch's worth of HCAs (scaled down from TSUBAME2's 7-plus-1) all
+// streaming to a receiver under the next group's subtree.
+const countersGroup = 4
+
+// countersMsgSize is the per-sender payload of the counters figure.
+const countersMsgSize = 1 << 20
+
+// FigCounters renders the observability figure the paper built from
+// perfquery sweeps (Sec. 2): per-link utilization heatmaps (switch x
+// switch XmitData) and top-channel counter tables, Fat-Tree/ftree vs
+// HyperX/DFSSSP, under a congesting workload. op selects an IMB
+// collective; the default "" runs the grouped shift-incast, whose
+// signature is the figure's point — the fat-tree funnels the incasts
+// through shared downward links (one hot channel with several converging
+// flows) while the HyperX spreads them across direct dimension links.
+func (s *Session) FigCounters(op string) error {
+	n := 64
+	if s.P.Small {
+		n = 32
+	}
+	if s.P.MaxNodes > 0 && n > s.P.MaxNodes {
+		n = s.P.MaxNodes
+	}
+	n -= n % countersGroup
+	bench := "shift-incast group " + fmt.Sprint(countersGroup)
+	build := func(nn int) (*workloads.Instance, error) {
+		return workloads.BuildGroupedIncast(nn, countersGroup, countersMsgSize)
+	}
+	if op != "" {
+		bench = "imb:" + op
+		build = func(nn int) (*workloads.Instance, error) {
+			return workloads.BuildIMB(op, nn, countersMsgSize)
+		}
+	}
+	s.header(fmt.Sprintf("Counters: per-link utilization under %s, %d nodes", bench, n))
+	combos := exp.PaperCombos()
+	k := s.sink("counters_"+csvName(bench), "combo", "from", "to", "bytes", "wait_s", "hwm")
+	for _, c := range []exp.Combo{combos[0], combos[2]} {
+		m, err := s.Machine(c)
+		if err != nil {
+			return err
+		}
+		var col *telemetry.Collector
+		_, _, err = exp.RunTrials(exp.TrialSpec{
+			Machine: m, Nodes: n, Trials: 1, Seed: s.P.Seed, Build: build,
+			Attach: func(_ int, f *fabric.Fabric) {
+				col = telemetry.New(m.G, telemetry.Options{Counters: true})
+				f.AttachTelemetry(col)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		s.printf("\n%s: switch-to-switch XmitData heatmap (rows = source switch)\n", c.Name)
+		s.switchHeatmap(col.Chans.SwitchMatrix())
+		s.printf("\n")
+		telemetry.FprintHotLinks(s.P.Out, col.Chans, 10, col.Now())
+		for _, h := range col.Chans.HotLinks(0, col.Now()) {
+			k.add(c.Name, h.From, h.To, h.Bytes, float64(h.Wait), int(h.HWM))
+		}
+	}
+	return k.flush()
+}
+
+// switchHeatmap prints the switch x switch byte matrix with Fig. 1's
+// bucket notation: '.' for an idle cell, 1..9 for the fraction of the
+// hottest cell, '#' above 95%.
+func (s *Session) switchHeatmap(m [][]float64) {
+	var max float64
+	for _, row := range m {
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	if max <= 0 {
+		s.printf("(no inter-switch traffic)\n")
+		return
+	}
+	for _, row := range m {
+		for _, v := range row {
+			frac := v / max
+			switch {
+			case v == 0:
+				s.printf(".")
+			case frac > 0.95:
+				s.printf("#")
+			default:
+				d := int(frac * 10)
+				if d == 0 {
+					d = 1 // traffic present: never render as idle
+				}
+				s.printf("%d", d)
+			}
+		}
+		s.printf("\n")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"math"
 
 	"github.com/hpcsim/t2hx/internal/sim"
+	"github.com/hpcsim/t2hx/internal/telemetry"
 	"github.com/hpcsim/t2hx/internal/topo"
 )
 
@@ -27,6 +28,12 @@ type Flow struct {
 	Remaining float64 // bytes left to transfer
 	Rate      float64 // current bytes/second (max-min share)
 	OnDone    func(at sim.Time)
+
+	// solo is the flow's bottleneck-free rate (min capacity along the
+	// path) and bott the channel progressive filling froze it at — the
+	// IB-counter bookkeeping, maintained only when counters are attached.
+	solo float64
+	bott topo.ChannelID
 }
 
 // Network simulates concurrent flows over a topology's directed channels.
@@ -46,6 +53,11 @@ type Network struct {
 	Recomputes uint64
 	// scratch buffers reused across recomputations.
 	perChanFlows map[topo.ChannelID][]*Flow
+
+	// cc receives IB-style per-channel counters, fed exactly on every
+	// advance/recompute interval; nil (the default) costs one pointer
+	// check per hot-path operation.
+	cc *telemetry.ChannelCounters
 }
 
 // NewNetwork builds a flow network over g's channels, driven by eng.
@@ -77,6 +89,13 @@ func (n *Network) AddNodeChannels(count int, capacity float64) topo.ChannelID {
 	return first
 }
 
+// SetCounters attaches an IB-style counter set. Pass nil to detach. With
+// counters attached, every advance() interval credits each flow's moved
+// bytes to its channels (XmitData) and its stalled-time fraction to its
+// bottleneck channel (XmitWait), so the counters integrate the exact
+// piecewise-constant rate trajectory the max-min model computes.
+func (n *Network) SetCounters(cc *telemetry.ChannelCounters) { n.cc = cc }
+
 // Active reports the number of in-flight flows.
 func (n *Network) Active() int { return len(n.flows) }
 
@@ -93,6 +112,14 @@ func (n *Network) Start(path []topo.ChannelID, size float64, onDone func(at sim.
 	}
 	n.advance()
 	f := &Flow{ID: n.nextID, Path: path, Remaining: size, OnDone: onDone}
+	if n.cc != nil {
+		f.solo = math.Inf(1)
+		for _, c := range path {
+			if n.caps[c] < f.solo {
+				f.solo = n.caps[c]
+			}
+		}
+	}
 	n.nextID++
 	n.flows[f.ID] = f
 	n.markDirty()
@@ -110,13 +137,27 @@ func (n *Network) Cancel(id FlowID) {
 	n.markDirty()
 }
 
-// advance integrates transferred bytes up to the current time.
+// advance integrates transferred bytes up to the current time. Rates are
+// piecewise-constant between recomputes, so crediting rate*dt per interval
+// makes the attached counters exact rather than sampled approximations.
 func (n *Network) advance() {
 	now := n.eng.Now()
 	dt := float64(now - n.lastAdvance)
 	if dt > 0 {
 		for _, f := range n.flows {
-			f.Remaining -= f.Rate * dt
+			moved := f.Rate * dt
+			f.Remaining -= moved
+			if n.cc != nil {
+				for _, c := range f.Path {
+					n.cc.AddXmit(c, moved)
+				}
+				if f.solo > 0 && f.Rate < f.solo {
+					// The flow spent this interval below its bottleneck-free
+					// rate: charge the stalled fraction to the channel that
+					// froze it — the PortXmitWait analogue.
+					n.cc.AddWait(f.bott, sim.Duration(dt*(1-f.Rate/f.solo)))
+				}
+			}
 		}
 	}
 	n.lastAdvance = now
@@ -170,6 +211,9 @@ func (n *Network) recompute() {
 	for c, fs := range n.perChanFlows {
 		residual[c] = n.caps[c]
 		unfrozen[c] = len(fs)
+		if n.cc != nil {
+			n.cc.NoteActive(c, len(fs))
+		}
 	}
 	remaining := len(n.flows)
 	for remaining > 0 {
@@ -197,6 +241,7 @@ func (n *Network) recompute() {
 				continue
 			}
 			f.Rate = share
+			f.bott = bott
 			remaining--
 			for _, c := range f.Path {
 				residual[c] -= share
@@ -255,6 +300,15 @@ func (n *Network) completeDue() {
 		}
 	}
 	for _, f := range done {
+		if n.cc != nil {
+			// Round the attributed bytes to exactly the flow's size: the
+			// epsilon left in Remaining (either sign) is what the float
+			// integration missed, and crediting it here is what makes the
+			// bytes x hops conservation identity hold exactly.
+			for _, c := range f.Path {
+				n.cc.AddXmit(c, f.Remaining)
+			}
+		}
 		delete(n.flows, f.ID)
 	}
 	n.markDirty()

@@ -86,6 +86,10 @@ type Engine struct {
 	Processed uint64
 	// MaxEvents aborts the run (via panic) if exceeded; 0 means no limit.
 	MaxEvents uint64
+	// OnStep, when non-nil, observes every executed event (current time and
+	// queue depth after the pop) — the telemetry layer's engine probe. The
+	// nil check is the only cost when unset.
+	OnStep func(at Time, pending int)
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -150,6 +154,9 @@ func (e *Engine) Step() bool {
 	e.Processed++
 	if e.MaxEvents > 0 && e.Processed > e.MaxEvents {
 		panic(fmt.Sprintf("sim: exceeded MaxEvents=%d (runaway simulation?)", e.MaxEvents))
+	}
+	if e.OnStep != nil {
+		e.OnStep(e.now, len(e.queue))
 	}
 	ev.Fn(e)
 	return true

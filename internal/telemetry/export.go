@@ -1,0 +1,139 @@
+package telemetry
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"github.com/hpcsim/t2hx/internal/sim"
+)
+
+// JSONL export: one self-describing object per line, distinguished by a
+// "kind" field — a "run" summary first, then one "msg" line per recorded
+// message and one "chan" line per fabric channel that saw traffic. The
+// format is grep/jq-friendly and append-mergeable across runs.
+
+type runLine struct {
+	Kind      string  `json:"kind"` // "run"
+	Messages  int     `json:"messages"`
+	Delivered int     `json:"delivered"`
+	Bytes     float64 `json:"bytes"`
+	BytesHops float64 `json:"bytes_hops"`
+	XmitData  float64 `json:"xmit_data_total"`
+	FCTp50    float64 `json:"fct_p50_s"`
+	FCTp95    float64 `json:"fct_p95_s"`
+	FCTp99    float64 `json:"fct_p99_s"`
+	FCTMax    float64 `json:"fct_max_s"`
+	HCAWaitS  float64 `json:"hca_wait_s"`
+	Events    uint64  `json:"engine_events"`
+	MaxQueue  int     `json:"engine_max_queue"`
+}
+
+type msgLine struct {
+	Kind      string  `json:"kind"` // "msg"
+	Src       int32   `json:"src"`
+	Dst       int32   `json:"dst"`
+	Size      int64   `json:"size"`
+	Issued    float64 `json:"issued_s"`
+	Wired     float64 `json:"wired_s"`
+	Finished  float64 `json:"finished_s"`
+	FCT       float64 `json:"fct_s"`
+	Hops      int     `json:"hops"`
+	Retries   int     `json:"retries,omitempty"`
+	Delivered bool    `json:"delivered"`
+}
+
+type chanLine struct {
+	Kind     string  `json:"kind"` // "chan"
+	Channel  int32   `json:"channel"`
+	From     string  `json:"from"`
+	To       string  `json:"to"`
+	XmitData float64 `json:"xmit_data"`
+	XmitWait float64 `json:"xmit_wait_s"`
+	HWM      int32   `json:"active_hwm"`
+}
+
+// WriteMetricsJSONL writes the run summary, message records and channel
+// counters as JSON lines.
+func (c *Collector) WriteMetricsJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	s := c.FCTSummary()
+	run := runLine{
+		Kind: "run", Messages: s.N, Delivered: s.Delivered,
+		Bytes: s.Bytes, BytesHops: s.BytesHops,
+		FCTp50: float64(s.P50), FCTp95: float64(s.P95),
+		FCTp99: float64(s.P99), FCTMax: float64(s.Max),
+		Events: c.EventsProcessed(), MaxQueue: c.MaxQueueDepth,
+	}
+	if c.Chans != nil {
+		run.XmitData = c.Chans.TotalXmitData()
+		run.HCAWaitS = float64(c.Chans.HCAWait)
+	}
+	if err := enc.Encode(run); err != nil {
+		return err
+	}
+	for i := range c.Msgs {
+		r := &c.Msgs[i]
+		if err := enc.Encode(msgLine{
+			Kind: "msg", Src: int32(r.Src), Dst: int32(r.Dst), Size: r.Size,
+			Issued: float64(r.Issued), Wired: float64(r.Wired),
+			Finished: float64(r.Finished), FCT: float64(r.FCT()),
+			Hops: r.Hops, Retries: r.Retries, Delivered: r.Delivered,
+		}); err != nil {
+			return err
+		}
+	}
+	if c.Chans != nil {
+		for _, h := range c.Chans.HotLinks(0, 0) {
+			if err := enc.Encode(chanLine{
+				Kind: "chan", Channel: int32(h.Channel), From: h.From, To: h.To,
+				XmitData: h.Bytes, XmitWait: float64(h.Wait), HWM: h.HWM,
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteChannelCSV writes the per-channel counters as CSV (channels with
+// traffic only), for spreadsheet/pandas consumption.
+func (c *Collector) WriteChannelCSV(w io.Writer) error {
+	if c.Chans == nil {
+		return fmt.Errorf("telemetry: channel counters not enabled")
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"channel", "from", "to", "xmit_data_bytes", "xmit_wait_s", "active_hwm"}); err != nil {
+		return err
+	}
+	for _, h := range c.Chans.HotLinks(0, 0) {
+		rec := []string{
+			strconv.Itoa(int(h.Channel)), h.From, h.To,
+			strconv.FormatFloat(h.Bytes, 'g', 10, 64),
+			strconv.FormatFloat(float64(h.Wait), 'g', 10, 64),
+			strconv.Itoa(int(h.HWM)),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// FprintHotLinks renders the paper-style top-n counter readout (the
+// PortXmitData/PortXmitWait table read off TSUBAME2's switches) to w.
+func FprintHotLinks(w io.Writer, cc *ChannelCounters, n int, elapsed sim.Duration) {
+	hot := cc.HotLinks(n, elapsed)
+	fmt.Fprintf(w, "top %d channels by XmitWait (of %d with traffic):\n", len(hot), len(cc.HotLinks(0, 0)))
+	fmt.Fprintf(w, "  %-24s %-24s %12s %12s %6s %6s\n", "from", "to", "XmitData", "XmitWait", "util", "flows")
+	for _, h := range hot {
+		fmt.Fprintf(w, "  %-24s %-24s %10.1fMB %10.3fms %5.1f%% %6d\n",
+			h.From, h.To, h.Bytes/1e6, 1e3*float64(h.Wait), 100*h.Utilization, h.HWM)
+	}
+	if cc.HCAWait > 0 {
+		fmt.Fprintf(w, "  (HCA/node-bandwidth wait, not on any cable: %.3fms)\n", 1e3*float64(cc.HCAWait))
+	}
+}

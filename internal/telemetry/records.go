@@ -1,0 +1,145 @@
+package telemetry
+
+import (
+	"sort"
+
+	"github.com/hpcsim/t2hx/internal/sim"
+	"github.com/hpcsim/t2hx/internal/topo"
+)
+
+// MsgRecord is the lifecycle of one fabric message: issued when the
+// application posted the send, wired when the (final) transfer attempt hit
+// the flow network, finished when the last byte arrived. Retries counts
+// re-sends forced by faults or unroutable tables; Hops is the channel
+// count of the delivering path (terminal links included, 0 for loopback).
+type MsgRecord struct {
+	Src, Dst  topo.NodeID
+	Size      int64
+	Issued    sim.Time
+	Wired     sim.Time
+	Finished  sim.Time
+	Hops      int
+	Retries   int
+	Delivered bool
+	Loopback  bool
+}
+
+// FCT is the message's flow completion time (issue to delivery); 0 for
+// undelivered messages.
+func (r MsgRecord) FCT() sim.Duration {
+	if !r.Delivered {
+		return 0
+	}
+	return r.Finished - r.Issued
+}
+
+// StartMsg opens a record and returns its index, or -1 when message
+// recording is off (callers pass the index back into the other Msg hooks,
+// which all tolerate -1, so the fabric needs no second nil-check).
+func (c *Collector) StartMsg(src, dst topo.NodeID, size int64, now sim.Time) int {
+	if c == nil || !c.Opts.Messages {
+		return -1
+	}
+	c.Msgs = append(c.Msgs, MsgRecord{Src: src, Dst: dst, Size: size, Issued: now, Wired: -1})
+	return len(c.Msgs) - 1
+}
+
+// MsgWired stamps the instant a transfer attempt reached the wire.
+func (c *Collector) MsgWired(rec int, now sim.Time) {
+	if rec >= 0 {
+		c.Msgs[rec].Wired = now
+	}
+}
+
+// MsgRetry counts one failed delivery attempt.
+func (c *Collector) MsgRetry(rec int) {
+	if rec >= 0 {
+		c.Msgs[rec].Retries++
+	}
+}
+
+// MsgDelivered closes a record and, with tracing on, emits the message's
+// lifecycle span.
+func (c *Collector) MsgDelivered(rec int, now sim.Time, hops int, loopback bool) {
+	if rec < 0 {
+		return
+	}
+	r := &c.Msgs[rec]
+	r.Finished = now
+	r.Hops = hops
+	r.Delivered = true
+	r.Loopback = loopback
+	c.traceMsg(r)
+}
+
+// MsgGiveUp closes a record for a message dropped after its retry budget.
+func (c *Collector) MsgGiveUp(rec int, now sim.Time) {
+	if rec < 0 {
+		return
+	}
+	r := &c.Msgs[rec]
+	r.Finished = now
+	c.traceMsg(r)
+}
+
+// Summary holds the FCT distribution statistics the paper-adjacent work
+// (FatPaths, fault-tolerant HyperX routing) reports.
+type Summary struct {
+	N         int
+	Delivered int
+	Mean      sim.Duration
+	P50       sim.Duration
+	P95       sim.Duration
+	P99       sim.Duration
+	Max       sim.Duration
+	// Bytes is the delivered payload; BytesHops the conservation
+	// right-hand side (sum of bytes x hops over delivered messages).
+	Bytes     float64
+	BytesHops float64
+}
+
+// FCTSummary reduces the message records to completion-time percentiles and
+// the conservation right-hand side.
+func (c *Collector) FCTSummary() Summary {
+	s := Summary{N: len(c.Msgs)}
+	var fcts []float64
+	for i := range c.Msgs {
+		r := &c.Msgs[i]
+		if !r.Delivered {
+			continue
+		}
+		s.Delivered++
+		s.Bytes += float64(r.Size)
+		s.BytesHops += float64(r.Size) * float64(r.Hops)
+		fcts = append(fcts, float64(r.FCT()))
+	}
+	if len(fcts) == 0 {
+		return s
+	}
+	sort.Float64s(fcts)
+	var sum float64
+	for _, v := range fcts {
+		sum += v
+	}
+	s.Mean = sim.Duration(sum / float64(len(fcts)))
+	s.P50 = sim.Duration(percentile(fcts, 0.50))
+	s.P95 = sim.Duration(percentile(fcts, 0.95))
+	s.P99 = sim.Duration(percentile(fcts, 0.99))
+	s.Max = sim.Duration(fcts[len(fcts)-1])
+	return s
+}
+
+// percentile linearly interpolates over a sorted slice.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := p * float64(len(sorted)-1)
+	lo := int(idx)
+	hi := lo + 1
+	if hi >= len(sorted) {
+		return sorted[lo]
+	}
+	frac := idx - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

@@ -1,0 +1,98 @@
+// Package telemetry is the observability layer of the simulated fabric:
+// InfiniBand-style per-channel counters (PortXmitData/PortXmitWait
+// analogues), per-message flow-completion records, a Chrome
+// trace_event-compatible event trace, and JSONL/CSV export.
+//
+// Domke et al. diagnosed the HyperX-vs-Fat-Tree congestion behaviour on the
+// real TSUBAME2 by reading exactly these counters off the switches; this
+// package gives the simulator the same lens. A Collector is attached to a
+// fabric with (*fabric.Fabric).AttachTelemetry; every layer it observes
+// (sim engine, flow network, fabric, subnet manager) carries a nil-checked
+// hook, so a fabric without a collector pays nothing.
+//
+// Counters are sampled on the flow network's rate-recompute events — the
+// instants at which per-flow rates change — so the byte and wait-time
+// integrals are exact, not polled approximations. The central invariant
+// (tested in telemetry's integration tests) is conservation: the sum of
+// XmitData over all fabric channels equals the sum over delivered messages
+// of bytes x path-hops.
+package telemetry
+
+import (
+	"github.com/hpcsim/t2hx/internal/sim"
+	"github.com/hpcsim/t2hx/internal/topo"
+)
+
+// Options select what a Collector records.
+type Options struct {
+	// Counters enables the per-channel IB-style counter set. On by
+	// default via New.
+	Counters bool
+	// Messages enables per-message records (FCT distributions).
+	Messages bool
+	// Trace enables the Chrome trace_event timeline (message lifecycle
+	// spans, fault instants, subnet-manager sweeps).
+	Trace bool
+}
+
+// All enables every recording surface.
+func All() Options { return Options{Counters: true, Messages: true, Trace: true} }
+
+// Collector accumulates one run's observability data. It is not
+// concurrency-safe: the simulation is single-threaded by construction.
+type Collector struct {
+	Opts Options
+
+	// Chans is the per-channel counter set; nil when Opts.Counters is
+	// false.
+	Chans *ChannelCounters
+	// Msgs holds one record per submitted message when Opts.Messages is
+	// set.
+	Msgs []MsgRecord
+
+	trace []traceEvent
+
+	// MaxQueueDepth is the high-watermark of the engine's pending-event
+	// queue, sampled per executed event when an engine is attached.
+	MaxQueueDepth int
+
+	eng *sim.Engine
+}
+
+// New builds a collector over g's channels with the given options.
+func New(g *topo.Graph, opts Options) *Collector {
+	c := &Collector{Opts: opts}
+	if opts.Counters {
+		c.Chans = NewChannelCounters(g)
+	}
+	return c
+}
+
+// AttachEngine hooks the collector into the event loop to sample queue
+// depth. The fabric's AttachTelemetry calls this; standalone users may too.
+func (c *Collector) AttachEngine(eng *sim.Engine) {
+	c.eng = eng
+	eng.OnStep = func(_ sim.Time, pending int) {
+		if pending > c.MaxQueueDepth {
+			c.MaxQueueDepth = pending
+		}
+	}
+}
+
+// EventsProcessed reports the attached engine's executed-event count, or 0
+// without an engine.
+func (c *Collector) EventsProcessed() uint64 {
+	if c.eng == nil {
+		return 0
+	}
+	return c.eng.Processed
+}
+
+// Now reports the attached engine's current simulated time — after a run,
+// the elapsed makespan the utilization columns normalize by.
+func (c *Collector) Now() sim.Time {
+	if c.eng == nil {
+		return 0
+	}
+	return c.eng.Now()
+}

@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/hpcsim/t2hx/internal/sim"
+)
+
+// The event trace uses the Chrome trace_event JSON-array format, loadable
+// in chrome://tracing and Perfetto: each event carries a phase ("X" =
+// complete span with duration, "i" = instant), microsecond timestamps, and
+// a (pid, tid) lane. We map layers to pids (1 = fabric traffic, 2 = subnet
+// manager / faults) and, for messages, the source terminal index to tid so
+// each sender renders as its own lane.
+
+const (
+	// TracePidFabric is the trace process lane for message traffic.
+	TracePidFabric = 1
+	// TracePidSM is the trace process lane for faults and SM sweeps.
+	TracePidSM = 2
+)
+
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+func usec(t sim.Time) float64 { return 1e6 * float64(t) }
+
+// Span records a completed interval [start, end] on the given lane.
+func (c *Collector) Span(pid, tid int, cat, name string, start, end sim.Time, args map[string]any) {
+	if c == nil || !c.Opts.Trace {
+		return
+	}
+	c.trace = append(c.trace, traceEvent{
+		Name: name, Cat: cat, Ph: "X",
+		Ts: usec(start), Dur: usec(end - start),
+		Pid: pid, Tid: tid, Args: args,
+	})
+}
+
+// Instant records a point event on the given lane.
+func (c *Collector) Instant(pid, tid int, cat, name string, at sim.Time, args map[string]any) {
+	if c == nil || !c.Opts.Trace {
+		return
+	}
+	c.trace = append(c.trace, traceEvent{
+		Name: name, Cat: cat, Ph: "i", S: "t",
+		Ts: usec(at), Pid: pid, Tid: tid, Args: args,
+	})
+}
+
+// traceMsg emits a closed message record as a lifecycle span on the
+// sender's lane.
+func (c *Collector) traceMsg(r *MsgRecord) {
+	if !c.Opts.Trace {
+		return
+	}
+	name := fmt.Sprintf("msg %d->%d", r.Src, r.Dst)
+	cat := "msg"
+	if !r.Delivered {
+		cat = "msg-lost"
+	}
+	args := map[string]any{"bytes": r.Size, "hops": r.Hops}
+	if r.Retries > 0 {
+		args["retries"] = r.Retries
+	}
+	c.Span(TracePidFabric, int(r.Src), cat, name, r.Issued, r.Finished, args)
+}
+
+// TraceLen reports the number of buffered trace events.
+func (c *Collector) TraceLen() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.trace)
+}
+
+// WriteTrace emits the buffered timeline as Chrome trace_event JSON
+// (object form with a traceEvents array, displayTimeUnit ms).
+func (c *Collector) WriteTrace(w io.Writer) error {
+	events := c.trace
+	if events == nil {
+		events = []traceEvent{}
+	}
+	doc := struct {
+		TraceEvents     []traceEvent `json:"traceEvents"`
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+	}{events, "ms"}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

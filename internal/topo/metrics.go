@@ -1,5 +1,7 @@
 package topo
 
+import "fmt"
+
 // Structural metrics used to validate the built topologies against the
 // numbers the paper reports in Sec. 2.2/2.3.
 
@@ -102,6 +104,77 @@ func HyperXWorstBisection(hx *HyperX) float64 {
 		}
 	}
 	return worst
+}
+
+// LinkCensus is one row of a structural link count: a dimension of a
+// HyperX lattice or a level boundary of a fat-tree.
+type LinkCensus struct {
+	Name       string
+	Live, Down int
+}
+
+// Degraded reports the fraction of the row's links that are down.
+func (c LinkCensus) Degraded() float64 {
+	if c.Live+c.Down == 0 {
+		return 0
+	}
+	return float64(c.Down) / float64(c.Live+c.Down)
+}
+
+// HyperXDimLinks counts the inter-switch links of each lattice dimension,
+// split live/down — the paper's Sec. 2.3 accounting of where the missing
+// AOCs land (all of TSUBAME2's absent cables sit in specific dimensions).
+func HyperXDimLinks(hx *HyperX) []LinkCensus {
+	out := make([]LinkCensus, len(hx.Cfg.S))
+	for d := range out {
+		out[d].Name = fmt.Sprintf("dim %d (S=%d)", d, hx.Cfg.S[d])
+	}
+	for _, l := range hx.Graph.Links {
+		if hx.Graph.Nodes[l.A].Kind != Switch || hx.Graph.Nodes[l.B].Kind != Switch {
+			continue
+		}
+		ca, cb := hx.Coord(l.A), hx.Coord(l.B)
+		for d := range ca {
+			if ca[d] != cb[d] {
+				if l.Down {
+					out[d].Down++
+				} else {
+					out[d].Live++
+				}
+				break
+			}
+		}
+	}
+	return out
+}
+
+// FatTreeLevelLinks counts the links of each level boundary (terminals-L1,
+// L1-L2, ...), split live/down — where a fat-tree's broken cables sit
+// decides whether degradation costs leaf or spine bandwidth.
+func FatTreeLevelLinks(ft *FatTree) []LinkCensus {
+	out := make([]LinkCensus, ft.Height)
+	for i := range out {
+		if i == 0 {
+			out[i].Name = "term-L1"
+		} else {
+			out[i].Name = fmt.Sprintf("L%d-L%d", i, i+1)
+		}
+	}
+	for _, l := range ft.Graph.Links {
+		lo, hi := ft.Level(l.A), ft.Level(l.B)
+		if hi < lo {
+			lo = hi
+		}
+		if lo < 0 || lo >= len(out) {
+			continue
+		}
+		if l.Down {
+			out[lo].Down++
+		} else {
+			out[lo].Live++
+		}
+	}
+	return out
 }
 
 // CountLinks returns (terminalLinks, switchLinks, downLinks).

@@ -79,6 +79,65 @@ func BuildMultiPingPong(n int, size int64, iters int) *Instance {
 	return &Instance{Progs: b.Progs, Ops: iters}
 }
 
+// BuildIncast is the congestion-diagnosis microbenchmark behind the
+// paper's counter readouts: ranks 1..n-1 all stream size bytes to rank 0
+// concurrently. With n = 8 on a fully populated plane this is the
+// 7-to-1 incast of one TSUBAME2 switch's worth of nodes converging on a
+// single HCA — the pattern whose PortXmitWait signature distinguishes hot
+// Fat-Tree uplinks from spread HyperX load.
+func BuildIncast(n int, size int64) (*Instance, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("workloads: incast needs >= 2 ranks, got %d", n)
+	}
+	b := mpi.NewBuilder(n)
+	iters := imbIterations
+	for it := 0; it < iters; it++ {
+		tag := b.NextTag()
+		var handles []int32
+		for i := 1; i < n; i++ {
+			handles = append(handles, b.Progs[0].Irecv(mpi.Rank(i), tag))
+		}
+		for i := 1; i < n; i++ {
+			b.Progs[i].Send(mpi.Rank(0), size, tag)
+		}
+		b.Progs[0].Wait(handles...)
+	}
+	return &Instance{Progs: b.Progs, Ops: iters}, nil
+}
+
+// BuildGroupedIncast runs concurrent shifted incasts: ranks are split into
+// groups of `group`, and group g's non-root members all stream size bytes to
+// the root of group (g+1) mod G. With group = 8 this is the paper's
+// seven-nodes-per-switch pattern at fabric scale: every switch's worth of
+// HCAs converges on a remote receiver, so a fat-tree funnels several
+// incasts through shared downward links (hot uplink/downlink counters)
+// while a HyperX spreads them across its direct dimension links.
+func BuildGroupedIncast(n, group int, size int64) (*Instance, error) {
+	if group < 2 || group > n {
+		return nil, fmt.Errorf("workloads: incast group must be in [2, n], got %d with n = %d", group, n)
+	}
+	if n%group != 0 {
+		return nil, fmt.Errorf("workloads: incast needs n %% group == 0, got n = %d group = %d", n, group)
+	}
+	b := mpi.NewBuilder(n)
+	groups := n / group
+	for it := 0; it < imbIterations; it++ {
+		tag := b.NextTag()
+		for g := 0; g < groups; g++ {
+			root := mpi.Rank(((g + 1) % groups) * group)
+			var handles []int32
+			for i := 1; i < group; i++ {
+				handles = append(handles, b.Progs[root].Irecv(mpi.Rank(g*group+i), tag))
+			}
+			for i := 1; i < group; i++ {
+				b.Progs[g*group+i].Send(root, size, tag)
+			}
+			b.Progs[root].Wait(handles...)
+		}
+	}
+	return &Instance{Progs: b.Progs, Ops: imbIterations}, nil
+}
+
 // BuildEmDL is the paper's modified IMB Allreduce mimicking deep-learning
 // training (footnote 12): alternating a large allreduce with a 0.1 s
 // compute phase.
