@@ -2,7 +2,11 @@
 
 DATE := $(shell date +%F)
 
-.PHONY: all build test race vet check bench
+.PHONY: all build test race vet check bench bench-check
+
+# BASELINE is the committed bench document bench-check compares against;
+# override with `make bench-check BASELINE=BENCH_....json`.
+BASELINE := $(lastword $(sort $(wildcard BENCH_*.json)))
 
 all: check
 
@@ -27,3 +31,8 @@ check: vet build test race
 bench:
 	go test -run xxx -bench . -benchtime 1x . | go run ./cmd/benchjson -out BENCH_$(DATE).json
 	@echo "baseline written to BENCH_$(DATE).json"
+
+# bench-check reruns the benchmarks once and compares ns/op against the
+# newest committed baseline, warning (not failing) on >10% regressions.
+bench-check:
+	go test -run xxx -bench . -benchtime 1x . | go run ./cmd/benchjson -baseline $(BASELINE) > /dev/null

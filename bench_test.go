@@ -358,8 +358,8 @@ func BenchmarkAblationTelemetry(b *testing.B) {
 					},
 				}
 				if mode.opts != nil {
-					spec.Attach = func(_ int, f *fabric.Fabric) {
-						f.AttachTelemetry(telemetry.New(m.G, *mode.opts))
+					spec.Attach = func(_ int, msgr fabric.Messenger) {
+						msgr.(*fabric.Fabric).AttachTelemetry(telemetry.New(m.G, *mode.opts))
 					}
 				}
 				if _, _, err := exp.RunTrials(spec); err != nil {

@@ -6,6 +6,14 @@
 // Usage:
 //
 //	go test -run xxx -bench . -benchtime 1x . | benchjson -out BENCH_$(date +%F).json
+//
+// With -baseline it additionally compares the run's ns/op against a
+// previously committed document and warns on hot-path regressions beyond
+// -warn percent. The comparison is advisory (exit status stays 0):
+// single-iteration benchmarks are too noisy to gate a merge on, but the
+// warning in the CI log flags what to re-measure properly.
+//
+//	go test -run xxx -bench . -benchtime 1x . | benchjson -baseline BENCH_2026-08-06.json
 package main
 
 import (
@@ -37,6 +45,8 @@ type Doc struct {
 
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
+	baseline := flag.String("baseline", "", "committed BENCH_*.json to compare ns/op against (warn-only)")
+	warnPct := flag.Float64("warn", 10, "with -baseline: regression percentage that triggers a warning")
 	flag.Parse()
 
 	doc := Doc{Benchmarks: []Entry{}}
@@ -78,6 +88,61 @@ func main() {
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(doc); err != nil {
 		fatal(err)
+	}
+
+	if *baseline != "" {
+		compareBaseline(doc, *baseline, *warnPct)
+	}
+}
+
+// compareBaseline diffs ns/op per benchmark name against a committed
+// document and prints the movers to stderr. Regressions past warnPct get a
+// WARNING prefix; benchmarks present on only one side are listed so a
+// renamed hot path doesn't silently drop out of the comparison.
+func compareBaseline(cur Doc, path string, warnPct float64) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var base Doc
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatal(fmt.Errorf("parsing baseline %s: %w", path, err))
+	}
+	baseNs := make(map[string]float64, len(base.Benchmarks))
+	for _, e := range base.Benchmarks {
+		if v, ok := e.Metrics["ns/op"]; ok {
+			baseNs[e.Name] = v
+		}
+	}
+	fmt.Fprintf(os.Stderr, "\nbenchjson: comparing ns/op against %s (warn at +%.0f%%)\n", path, warnPct)
+	var regressions int
+	for _, e := range cur.Benchmarks {
+		v, ok := e.Metrics["ns/op"]
+		if !ok {
+			continue
+		}
+		b, ok := baseNs[e.Name]
+		delete(baseNs, e.Name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "  new       %-50s %14.0f ns/op (no baseline)\n", e.Name, v)
+			continue
+		}
+		pct := 100 * (v/b - 1)
+		switch {
+		case b > 0 && pct > warnPct:
+			regressions++
+			fmt.Fprintf(os.Stderr, "  WARNING   %-50s %14.0f ns/op, %+.1f%% vs baseline %.0f\n",
+				e.Name, v, pct, b)
+		default:
+			fmt.Fprintf(os.Stderr, "  ok        %-50s %14.0f ns/op, %+.1f%%\n", e.Name, v, pct)
+		}
+	}
+	for name, b := range baseNs {
+		fmt.Fprintf(os.Stderr, "  missing   %-50s baseline %14.0f ns/op, absent from this run\n", name, b)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed past +%.0f%% — re-measure with a longer -benchtime before trusting this\n",
+			regressions, warnPct)
 	}
 }
 

@@ -28,7 +28,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "figure to regenerate: 1, 4, 5a, 5b, 5c, 6, 7, counters, all")
+	fig := flag.String("fig", "", "figure to regenerate: 1, 4, 5a, 5b, 5c, 6, 7, counters, planes, all")
 	table := flag.Int("table", 0, "table to regenerate: 1")
 	coll := flag.String("coll", "", "Fig. 4 collective (default: all six)")
 	app := flag.String("app", "", "Fig. 6 app abbreviation (default: all twelve)")
@@ -105,9 +105,11 @@ func main() {
 			check(s.Fig7())
 		case "counters":
 			check(s.FigCounters(*coll))
+		case "planes":
+			check(s.FigPlanes())
 		case "all":
 			check(s.Table1())
-			for _, f := range []string{"1", "4", "5a", "5b", "5c", "6", "7", "counters"} {
+			for _, f := range []string{"1", "4", "5a", "5b", "5c", "6", "7", "counters", "planes"} {
 				run(f)
 			}
 		default:

@@ -1,6 +1,7 @@
 // Command t2hx runs a single benchmark on one of the paper's five
-// topology/routing/placement combinations and prints per-trial metrics
-// with whisker statistics.
+// topology/routing/placement combinations — or on a multi-plane machine
+// built from -planes specs — and prints per-trial metrics with whisker
+// statistics.
 //
 // Examples:
 //
@@ -12,6 +13,12 @@
 //	t2hx -combo 4 -bench mpigraph -n 28
 //	t2hx -faults -n 28 -size 262144
 //	t2hx -faults -combo 4 -failures 15 -detect 1ms -sweep 4ms
+//
+// Dual-plane machines (TSUBAME2's Fat-Tree rail + HyperX rail):
+//
+//	t2hx -combo 5 -bench imb:alltoall -n 28
+//	t2hx -planes ft:updown,hyperx:parx -policy sizesplit:16384 -bench imb:alltoall -n 28
+//	t2hx -planes ft:ftree,hx:parx -policy failover:1 -bench incast -n 16 -small
 //
 // Observability (IB-style counters, FCT records, Chrome trace):
 //
@@ -32,16 +39,19 @@ import (
 	"github.com/hpcsim/t2hx/internal/place"
 	"github.com/hpcsim/t2hx/internal/sim"
 	"github.com/hpcsim/t2hx/internal/telemetry"
+	"github.com/hpcsim/t2hx/internal/topo"
 	"github.com/hpcsim/t2hx/internal/trace"
 	"github.com/hpcsim/t2hx/internal/workloads"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list combos and benchmarks")
-	comboIdx := flag.Int("combo", 0, "combo index 0-4 (see -list)")
+	comboIdx := flag.Int("combo", 0, "combo index (see -list)")
 	topoF := flag.String("topo", "", "custom combo: topology (fattree|hyperx); overrides -combo")
 	routing := flag.String("routing", "", "custom combo: routing (ftree|sssp|dfsssp|updown|lash|parx)")
 	placement := flag.String("placement", "linear", "custom combo: placement (linear|clustered|random)")
+	planesF := flag.String("planes", "", "multi-plane machine: comma-separated topology:routing[:name] specs (e.g. ft:updown,hyperx:parx); overrides -combo and -topo")
+	policy := flag.String("policy", "", "plane selection policy: single[:plane], sizesplit[:bytes], roundrobin, striped, failover[:primary]")
 	bench := flag.String("bench", "", "benchmark: imb:<op>, app:<abbrev>, baidu, ebb, mpigraph")
 	n := flag.Int("n", 28, "node count")
 	size := flag.Int64("size", 1<<20, "message size / array length in bytes")
@@ -63,8 +73,8 @@ func main() {
 	tel := telCLI{metricsOut: *metricsOut, traceOut: *traceOut, topN: *countersN}
 
 	if *list {
-		fmt.Println("Combos (Sec. 4.4.3):")
-		for i, c := range exp.PaperCombos() {
+		fmt.Println("Combos (Sec. 4.4.3 plus the dual-plane machine):")
+		for i, c := range exp.AllCombos() {
 			fmt.Printf("  %d: %s\n", i, c.Name)
 		}
 		fmt.Println("Benchmarks:")
@@ -80,7 +90,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	combos := exp.PaperCombos()
+	combos := exp.AllCombos()
 	if *comboIdx < 0 || *comboIdx >= len(combos) {
 		fatal(fmt.Errorf("combo index out of range"))
 	}
@@ -94,6 +104,18 @@ func main() {
 			Topology:  *topoF,
 			Routing:   *routing,
 			Placement: place.Strategy(*placement),
+		}
+	}
+	if *planesF != "" {
+		specs, err := exp.ParsePlaneSpecs(*planesF)
+		if err != nil {
+			fatal(err)
+		}
+		combo = exp.Combo{
+			Name:      fmt.Sprintf("custom planes %s / %s", *planesF, *placement),
+			Placement: place.Strategy(*placement),
+			Planes:    specs,
+			Policy:    *policy,
 		}
 	}
 	if *faultsMode {
@@ -124,12 +146,19 @@ func main() {
 	}
 
 	m, err := exp.BuildMachine(combo, exp.MachineConfig{
-		Degrade: !*noDegrade, Seed: *seed, Small: *small,
+		Degrade: !*noDegrade, Seed: *seed, Small: *small, Policy: *policy,
 	})
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("combo: %s  plane: %s (%d nodes)\n", combo.Name, m.G.Name, m.G.NumTerminals())
+	if m.MultiPlane() {
+		fmt.Printf("combo: %s  policy: %s\n", combo.Name, m.PolicySpec())
+		for i, p := range m.Planes {
+			fmt.Printf("  plane %d: %s — %s (%d nodes)\n", i, p.Spec.Label(), p.G.Name, p.G.NumTerminals())
+		}
+	} else {
+		fmt.Printf("combo: %s  plane: %s (%d nodes)\n", combo.Name, m.G.Name, m.G.NumTerminals())
+	}
 
 	switch {
 	case strings.HasPrefix(*bench, "imb:"):
@@ -174,31 +203,35 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		f, err := m.NewFabric(*seed)
+		msgr, err := m.NewMessenger(*seed)
 		if err != nil {
 			fatal(err)
 		}
-		col := tel.attach(m, f)
-		res, err := workloads.EffectiveBisectionBandwidth(f, ranks, *samples, *size, *seed)
+		col, tm := tel.attachAny(m, msgr)
+		res, err := workloads.EffectiveBisectionBandwidth(msgr, ranks, *samples, *size, *seed)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("eBB over %d samples: mean %.3f GiB/s (min %.3f, max %.3f)\n",
 			len(res.Samples), res.MeanGiB, res.MinGiB, res.MaxGiB)
+		printPlaneShares(msgr)
 		tel.report(col, "")
+		tel.reportMulti(tm, "")
 	case *bench == "mpigraph":
 		ranks, err := m.Place(*n, *seed)
 		if err != nil {
 			fatal(err)
 		}
-		f, err := m.NewFabric(*seed)
+		msgr, err := m.NewMessenger(*seed)
 		if err != nil {
 			fatal(err)
 		}
-		col := tel.attach(m, f)
-		res := workloads.MpiGraph(f, ranks, *size)
+		col, tm := tel.attachAny(m, msgr)
+		res := workloads.MpiGraph(msgr, ranks, *size)
 		fmt.Printf("mpiGraph avg %.3f GiB/s (min %.3f, max %.3f)\n", res.AvgGiB, res.MinGiB, res.MaxGiB)
+		printPlaneShares(msgr)
 		tel.report(col, "")
+		tel.reportMulti(tm, "")
 	default:
 		fatal(fmt.Errorf("unknown benchmark %q", *bench))
 	}
@@ -230,6 +263,41 @@ func (t telCLI) attach(m *exp.Machine, f *fabric.Fabric) *telemetry.Collector {
 	})
 	f.AttachTelemetry(col)
 	return col
+}
+
+// attachMulti builds one collector per plane and hooks the set into the
+// multi-fabric; nil when no observability flag was given.
+func (t telCLI) attachMulti(m *exp.Machine, mf *fabric.MultiFabric) *telemetry.Multi {
+	if !t.enabled() {
+		return nil
+	}
+	gs := make([]*topo.Graph, len(m.Planes))
+	names := make([]string, len(m.Planes))
+	for i, p := range m.Planes {
+		gs[i] = p.G
+		names[i] = p.Spec.Label()
+	}
+	tm := telemetry.NewMulti(gs, names, telemetry.Options{
+		Counters: true,
+		Messages: t.metricsOut != "",
+		Trace:    t.traceOut != "",
+	})
+	if err := mf.AttachTelemetry(tm); err != nil {
+		fatal(err)
+	}
+	return tm
+}
+
+// attachAny dispatches on the messenger's concrete type; exactly one of
+// the returns is non-nil when observability is on.
+func (t telCLI) attachAny(m *exp.Machine, msgr fabric.Messenger) (*telemetry.Collector, *telemetry.Multi) {
+	switch f := msgr.(type) {
+	case *fabric.MultiFabric:
+		return nil, t.attachMulti(m, f)
+	case *fabric.Fabric:
+		return t.attach(m, f), nil
+	}
+	return nil, nil
 }
 
 // report emits the post-run artifacts: the perfquery-style hot-channel
@@ -271,6 +339,74 @@ func (t telCLI) report(col *telemetry.Collector, suffix string) {
 		}
 		fmt.Printf("trace written to %s (open in chrome://tracing)\n", path)
 	}
+}
+
+// reportMulti emits the per-plane artifacts for a multi-plane run: one
+// hot-channel table per plane, the interleaved JSONL metrics (a machine
+// summary line first, then every plane's lines stamped with its id), and
+// the merged Chrome trace where each plane gets its own pid group.
+func (t telCLI) reportMulti(tm *telemetry.Multi, suffix string) {
+	if tm == nil {
+		return
+	}
+	if t.topN > 0 {
+		for _, c := range tm.Planes {
+			if c.Chans == nil {
+				continue
+			}
+			fmt.Printf("\n[%s]\n", c.PlaneName)
+			telemetry.FprintHotLinks(os.Stdout, c.Chans, t.topN, c.Now())
+		}
+	}
+	if t.metricsOut != "" {
+		path := outName(t.metricsOut, suffix)
+		w, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tm.WriteMetricsJSONL(w); err != nil {
+			fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("metrics written to %s\n", path)
+	}
+	if t.traceOut != "" {
+		path := outName(t.traceOut, suffix)
+		w, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tm.WriteTrace(w); err != nil {
+			fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace written to %s (open in chrome://tracing)\n", path)
+	}
+}
+
+// printPlaneShares prints the policy's traffic split after a multi-plane
+// run; a no-op for plain fabrics.
+func printPlaneShares(msgr fabric.Messenger) {
+	mf, ok := msgr.(*fabric.MultiFabric)
+	if !ok {
+		return
+	}
+	fmt.Printf("policy %s plane shares:", mf.PolicyName())
+	for p := 0; p < mf.NumPlanes(); p++ {
+		share := 0.0
+		if mf.Messages > 0 {
+			share = 100 * float64(mf.PlaneMessages[p]) / float64(mf.Messages)
+		}
+		fmt.Printf("  %s %d msgs (%.1f%%)", mf.PlaneName(p), mf.PlaneMessages[p], share)
+	}
+	if mf.Redispatches > 0 {
+		fmt.Printf("  [%d redispatched across planes]", mf.Redispatches)
+	}
+	fmt.Println()
 }
 
 // outName inserts a combo suffix before the extension: run.json +
@@ -364,9 +500,14 @@ func runTrials(m *exp.Machine, n, trials int, seed uint64, unit string, tel telC
 		last = 0
 	}
 	var col *telemetry.Collector
-	attach := func(t int, f *fabric.Fabric) {
-		if tel.enabled() && t == last {
-			col = tel.attach(m, f)
+	var tm *telemetry.Multi
+	var lastMsgr fabric.Messenger
+	attach := func(t int, msgr fabric.Messenger) {
+		if t == last {
+			lastMsgr = msgr
+			if tel.enabled() {
+				col, tm = tel.attachAny(m, msgr)
+			}
 		}
 	}
 	vals, _, err := exp.RunTrials(exp.TrialSpec{
@@ -383,7 +524,11 @@ func runTrials(m *exp.Machine, n, trials int, seed uint64, unit string, tel telC
 	}
 	fmt.Printf("\nmin %.4g | q1 %.4g | median %.4g | q3 %.4g | max %.4g  [%s]\n",
 		st.Min, st.Q1, st.Median, st.Q3, st.Max, unit)
+	if lastMsgr != nil {
+		printPlaneShares(lastMsgr)
+	}
 	tel.report(col, "")
+	tel.reportMulti(tm, "")
 }
 
 func fatal(err error) {

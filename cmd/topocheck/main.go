@@ -2,6 +2,12 @@
 // routing engine on them (reachability, loop-freedom, deadlock-freedom,
 // virtual-lane budget), and prints the Sec. 2.3-style fabric inventory.
 //
+// With -planes it instead builds a multi-plane machine from the given
+// specs and validates each plane's tables independently:
+//
+//	topocheck -planes ft:ftree,hyperx:parx
+//	topocheck -planes ft:updown,hx:parx -small
+//
 // The exit status is the CI contract: 0 only when every engine builds and
 // validates clean (all pairs reachable, deadlock-free); any build error,
 // unreachable pair, or deadlock-prone table exits 1.
@@ -14,6 +20,7 @@ import (
 	"text/tabwriter"
 
 	"github.com/hpcsim/t2hx/internal/core"
+	"github.com/hpcsim/t2hx/internal/exp"
 	"github.com/hpcsim/t2hx/internal/route"
 	"github.com/hpcsim/t2hx/internal/topo"
 )
@@ -22,12 +29,23 @@ func main() {
 	degrade := flag.Int("degrade", -1,
 		"switch links to remove per plane: -1 = paper counts (15 HyperX / 197 Fat-Tree), 0 = pristine, n = exactly n")
 	seed := flag.Uint64("seed", 42, "degradation seed")
+	planesF := flag.String("planes", "",
+		"validate a multi-plane machine instead: comma-separated topology:routing[:name] specs (e.g. ft:ftree,hyperx:parx)")
+	small := flag.Bool("small", false, "with -planes: use the 32-node test planes")
 	flag.Parse()
 
 	failed := false
 	fail := func(format string, args ...any) {
 		failed = true
 		fmt.Fprintf(os.Stderr, "topocheck: "+format+"\n", args...)
+	}
+
+	if *planesF != "" {
+		checkPlanes(*planesF, *small, *degrade != 0, *seed, fail)
+		if failed {
+			os.Exit(1)
+		}
+		return
 	}
 
 	hx := topo.NewPaperHyperX(*degrade == -1, *seed)
@@ -109,6 +127,51 @@ func main() {
 	}
 	if failed {
 		os.Exit(1)
+	}
+}
+
+// checkPlanes builds the multi-plane machine described by the spec list
+// and validates every plane's forwarding tables independently — each rail
+// of a dual-rail machine must stand on its own, since a policy may route
+// any message over any plane.
+func checkPlanes(specList string, small, degrade bool, seed uint64, fail func(string, ...any)) {
+	specs, err := exp.ParsePlaneSpecs(specList)
+	if err != nil {
+		fail("%v", err)
+		return
+	}
+	m, err := exp.BuildMachine(exp.Combo{Name: "custom planes", Planes: specs},
+		exp.MachineConfig{Small: small, Degrade: degrade, Seed: seed})
+	if err != nil {
+		fail("build: %v", err)
+		return
+	}
+	fmt.Printf("== Multi-plane machine: %d planes, %d nodes each ==\n",
+		len(m.Planes), m.G.NumTerminals())
+	for i, p := range m.Planes {
+		inventory(p.G, fmt.Sprintf("plane %d: %s", i, p.Spec.Label()))
+	}
+	fmt.Println()
+	w := tabwriter.NewWriter(os.Stdout, 4, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "plane\tengine\tpaths\tunreach\tmaxHops\tavgHops\tmaxLoad\tVLs\tdeadlockFree")
+	for _, p := range m.Planes {
+		label := p.Spec.Label()
+		rep, err := route.Validate(p.Tables)
+		if err != nil {
+			fmt.Fprintf(w, "%s\t%s\tERROR: %v\n", label, p.Spec.Routing, err)
+			fail("%s: validate: %v", label, err)
+			continue
+		}
+		fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%d\t%.2f\t%d\t%d\t%v\n",
+			label, p.Spec.Routing, rep.Paths, rep.Unreachable, rep.MaxSwitchHops,
+			rep.AvgSwitchHops, rep.MaxChannelLoad, rep.VLs, rep.DeadlockFree)
+		w.Flush()
+		if rep.Unreachable > 0 {
+			fail("%s: %d unreachable (src, dst-LID) pairs", label, rep.Unreachable)
+		}
+		if !rep.DeadlockFree {
+			fail("%s: tables are deadlock-prone", label)
+		}
 	}
 }
 

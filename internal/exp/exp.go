@@ -20,34 +20,79 @@ import (
 	"github.com/hpcsim/t2hx/internal/workloads"
 )
 
-// Combo is one of the evaluated topology/routing/placement combinations.
+// Combo is one of the evaluated machine configurations: either a single
+// topology/routing pair, or a multi-plane machine described by Planes.
 type Combo struct {
 	Name      string
 	Topology  string // "fattree" | "hyperx"
 	Routing   string // "ftree" | "sssp" | "dfsssp" | "parx"
 	Placement place.Strategy
+
+	// Planes, when non-empty, makes this a multi-plane combo: each spec
+	// is one rail attached to the same nodes, and Topology/Routing are
+	// ignored. Policy names the fabric.SelectionPolicy that picks the
+	// plane per message (fabric.ParsePolicy syntax); empty means single
+	// (all traffic on plane 0).
+	Planes []PlaneSpec
+	Policy string
 }
 
-// PaperCombos returns the five combinations of Sec. 4.4.3 in paper order;
-// index 0 is the baseline.
+// MultiPlane reports whether the combo describes a machine with more than
+// one network plane.
+func (c Combo) MultiPlane() bool { return len(c.Planes) > 1 }
+
+// PaperCombos returns the five single-plane combinations of Sec. 4.4.3 in
+// paper order; index 0 is the baseline. The dual-plane machine the paper
+// actually operated is DualPlaneCombo (kept out of this list so per-combo
+// figures and tests keep their historical five columns); AllCombos
+// returns both.
 func PaperCombos() []Combo {
 	return []Combo{
-		{"Fat-Tree / ftree / linear", "fattree", "ftree", place.Linear},
-		{"Fat-Tree / SSSP / clustered", "fattree", "sssp", place.Clustered},
-		{"HyperX / DFSSSP / linear", "hyperx", "dfsssp", place.Linear},
-		{"HyperX / DFSSSP / random", "hyperx", "dfsssp", place.Random},
-		{"HyperX / PARX / clustered", "hyperx", "parx", place.Clustered},
+		{Name: "Fat-Tree / ftree / linear", Topology: "fattree", Routing: "ftree", Placement: place.Linear},
+		{Name: "Fat-Tree / SSSP / clustered", Topology: "fattree", Routing: "sssp", Placement: place.Clustered},
+		{Name: "HyperX / DFSSSP / linear", Topology: "hyperx", Routing: "dfsssp", Placement: place.Linear},
+		{Name: "HyperX / DFSSSP / random", Topology: "hyperx", Routing: "dfsssp", Placement: place.Random},
+		{Name: "HyperX / PARX / clustered", Topology: "hyperx", Routing: "parx", Placement: place.Clustered},
 	}
 }
 
-// Machine is a built and routed network plane, reusable across runs (the
-// routing tables are read-only at run time).
+// DualPlaneCombo is the machine the paper actually operated (Sec. 2):
+// TSUBAME2's compute nodes kept their first rail on the 3-level Fat-Tree
+// (ftree routing) while the second rail was rebuilt into the 12x8 HyperX
+// driven by PARX. The sizesplit policy generalizes PARX's message-size
+// LID switch to plane granularity: latency-bound messages ride the
+// diameter-2 HyperX, bandwidth-bound ones the full-bisection Fat-Tree.
+func DualPlaneCombo() Combo {
+	return Combo{
+		Name:      "TSUBAME2 dual-plane / ftree+parx / sizesplit",
+		Placement: place.Linear,
+		Planes: []PlaneSpec{
+			{Name: "fattree", Topology: "fattree", Routing: "ftree"},
+			{Name: "hyperx", Topology: "hyperx", Routing: "parx"},
+		},
+		Policy: "sizesplit",
+	}
+}
+
+// AllCombos returns the five paper combos followed by the dual-plane
+// machine configuration.
+func AllCombos() []Combo { return append(PaperCombos(), DualPlaneCombo()) }
+
+// Machine is a built and routed machine, reusable across runs (the
+// routing tables are read-only at run time). It owns one or more network
+// planes; Planes[0] is the primary plane, whose terminal NodeIDs are the
+// machine's canonical addresses (placement, workloads and the Messenger
+// API all speak primary-plane IDs).
 type Machine struct {
 	Combo  Combo
 	Cfg    MachineConfig
+	Planes []*Plane
+
+	// G/HX/FT/Tables mirror the primary plane, preserving the
+	// single-plane API every existing caller was built against.
 	G      *topo.Graph
-	HX     *topo.HyperX  // non-nil for HyperX planes
-	FT     *topo.FatTree // non-nil for Fat-Tree planes
+	HX     *topo.HyperX  // non-nil for HyperX primary planes
+	FT     *topo.FatTree // non-nil for Fat-Tree primary planes
 	Tables *route.Tables
 }
 
@@ -63,107 +108,106 @@ type MachineConfig struct {
 	// Small builds a scaled-down machine (4x4 HyperX / 4-ary tree with 32
 	// terminals) for tests and benches.
 	Small bool
+	// Planes overrides the combo's plane list (multi-plane machine spec);
+	// Policy overrides the combo's plane-selection policy.
+	Planes []PlaneSpec
+	Policy string
 }
 
-// BuildMachine constructs the plane for a combo.
+// BuildMachine constructs every plane of a combo. The plane list resolves
+// as MachineConfig.Planes, then Combo.Planes, then the single plane named
+// by Combo.Topology/Routing; all planes must attach the same number of
+// terminals.
 func BuildMachine(c Combo, cfg MachineConfig) (*Machine, error) {
 	m := &Machine{Combo: c, Cfg: cfg}
-	switch c.Topology {
-	case "hyperx":
-		if cfg.Small {
-			var err error
-			m.HX, err = topo.BuildHyperX(topo.HyperXConfig{
-				S: []int{4, 4}, T: 2,
-				Bandwidth: topo.QDRBandwidth, Latency: topo.QDRLinkLatency,
-			})
-			if err != nil {
-				return nil, err
-			}
-			if cfg.Degrade {
-				if _, err := topo.DegradeSwitchLinks(m.HX.Graph, 2, cfg.Seed); err != nil {
-					return nil, err
-				}
-			}
-		} else {
-			m.HX = topo.NewPaperHyperX(cfg.Degrade, cfg.Seed)
-		}
-		m.G = m.HX.Graph
-	case "fattree":
-		if cfg.Small {
-			var err error
-			m.FT, err = topo.BuildXGFT(topo.XGFTConfig{
-				M: []int{2, 4, 4}, W: []int{1, 3, 2},
-				Bandwidth: topo.QDRBandwidth, Latency: topo.QDRLinkLatency,
-			})
-			if err != nil {
-				return nil, err
-			}
-			if cfg.Degrade {
-				if _, err := topo.DegradeSwitchLinks(m.FT.Graph, 4, cfg.Seed); err != nil {
-					return nil, err
-				}
-			}
-		} else {
-			m.FT = topo.NewPaperFatTree(cfg.Degrade, cfg.Seed)
-		}
-		m.G = m.FT.Graph
-	default:
-		return nil, fmt.Errorf("exp: unknown topology %q", c.Topology)
+	specs := cfg.Planes
+	if len(specs) == 0 {
+		specs = c.Planes
 	}
-
-	var err error
-	m.Tables, err = m.buildTables()
-	if err != nil {
-		return nil, err
+	if len(specs) == 0 {
+		specs = []PlaneSpec{{Topology: c.Topology, Routing: c.Routing}}
 	}
+	for _, spec := range specs {
+		p, err := BuildPlane(spec, cfg)
+		if err != nil {
+			return nil, err
+		}
+		m.Planes = append(m.Planes, p)
+	}
+	prim := m.Planes[0]
+	for _, p := range m.Planes[1:] {
+		if p.G.NumTerminals() != prim.G.NumTerminals() {
+			return nil, fmt.Errorf("exp: plane %s attaches %d terminals, plane %s attaches %d — planes must serve the same nodes",
+				p.Spec.Label(), p.G.NumTerminals(), prim.Spec.Label(), prim.G.NumTerminals())
+		}
+	}
+	m.G, m.HX, m.FT, m.Tables = prim.G, prim.HX, prim.FT, prim.Tables
 	return m, nil
 }
 
-// buildTables routes the machine's graph in its current link state with the
-// combo's engine.
-func (m *Machine) buildTables() (*route.Tables, error) {
-	switch m.Combo.Routing {
-	case "ftree":
-		if m.FT == nil {
-			return nil, fmt.Errorf("exp: ftree routing needs a Fat-Tree")
-		}
-		return route.FTree(m.FT, 0)
-	case "sssp":
-		return route.SSSP(m.G, 0)
-	case "dfsssp":
-		return route.DFSSSP(m.G, 0, 8)
-	case "updown":
-		return route.UpDown(m.G, 0)
-	case "lash":
-		return route.LASH(m.G, 0, 8)
-	case "nue":
-		return route.Nue(m.G, 0, 2)
-	case "parx":
-		if m.HX == nil {
-			return nil, fmt.Errorf("exp: PARX needs a HyperX")
-		}
-		return core.PARX(m.HX, core.Config{MaxVL: 8, Demands: m.Cfg.Demands})
-	default:
-		return nil, fmt.Errorf("exp: unknown routing %q", m.Combo.Routing)
+// Primary returns the machine's primary plane (Planes[0]).
+func (m *Machine) Primary() *Plane { return m.Planes[0] }
+
+// MultiPlane reports whether the machine was built with more than one
+// plane.
+func (m *Machine) MultiPlane() bool { return len(m.Planes) > 1 }
+
+// PolicySpec resolves the machine's plane-selection policy string:
+// MachineConfig overrides the combo, default "single".
+func (m *Machine) PolicySpec() string {
+	if m.Cfg.Policy != "" {
+		return m.Cfg.Policy
 	}
+	if m.Combo.Policy != "" {
+		return m.Combo.Policy
+	}
+	return "single"
 }
 
-// RebuildTables re-runs the combo's routing engine against the graph's
-// current link state — the subnet manager's recompute step during a
-// re-sweep. Machine.Tables is left untouched; the caller decides what to
-// swap where.
-func (m *Machine) RebuildTables() (*route.Tables, error) { return m.buildTables() }
-
-// NewFabric creates a fresh fabric (own engine and flow state) over the
-// machine's tables; the bfo PML is enabled automatically for PARX.
+// NewFabric creates a fresh single-plane fabric (own engine and flow
+// state) over the machine's primary plane; the bfo PML is enabled
+// automatically for PARX.
 func (m *Machine) NewFabric(seed uint64) (*fabric.Fabric, error) {
-	f := fabric.New(sim.NewEngine(), m.Tables, fabric.DefaultParams(), seed)
-	if m.Combo.Routing == "parx" {
-		if err := f.EnableBFO(m.HX, 0); err != nil {
+	return m.Primary().NewFabric(sim.NewEngine(), seed)
+}
+
+// NewMultiFabric creates a fresh multi-plane fabric: one engine shared by
+// per-plane fabrics, with sends routed by the machine's policy. Plane 0's
+// fabric is seeded exactly like NewFabric's, so the single policy on a
+// multi-fabric reproduces a plain single-plane run byte for byte.
+func (m *Machine) NewMultiFabric(seed uint64) (*fabric.MultiFabric, error) {
+	eng := sim.NewEngine()
+	planes := make([]*fabric.Fabric, 0, len(m.Planes))
+	names := make([]string, 0, len(m.Planes))
+	for i, p := range m.Planes {
+		s := seed
+		if i > 0 {
+			// Decorrelate secondary planes' PML randomness from plane 0
+			// without touching the primary's seed.
+			s = seed + uint64(i)*0x9e3779b97f4a7c15
+		}
+		f, err := p.NewFabric(eng, s)
+		if err != nil {
 			return nil, err
 		}
+		planes = append(planes, f)
+		names = append(names, p.Spec.Label())
 	}
-	return f, nil
+	pol, err := fabric.ParsePolicy(m.PolicySpec(), len(planes))
+	if err != nil {
+		return nil, err
+	}
+	return fabric.NewMulti(planes, names, pol)
+}
+
+// NewMessenger creates the transport for a run: a plain fabric for
+// single-plane machines (byte-for-byte the historical behaviour), a
+// MultiFabric for multi-plane ones.
+func (m *Machine) NewMessenger(seed uint64) (fabric.Messenger, error) {
+	if !m.MultiPlane() {
+		return m.NewFabric(seed)
+	}
+	return m.NewMultiFabric(seed)
 }
 
 // Place selects n nodes per the combo's placement strategy.
@@ -236,11 +280,13 @@ type TrialSpec struct {
 	// run-to-run variability. Zero keeps runs identical.
 	Jitter float64
 	Build  func(n int) (*workloads.Instance, error)
-	// Attach, when set, observes each trial's fresh fabric before the run
-	// starts — the hook the CLI uses to attach a telemetry collector
+	// Attach, when set, observes each trial's fresh transport before the
+	// run starts — the hook the CLI uses to attach a telemetry collector
 	// (typically to the final trial only, so counters and trace cover one
-	// run rather than overlapping engine timelines).
-	Attach func(trial int, f *fabric.Fabric)
+	// run rather than overlapping engine timelines). The messenger is a
+	// *fabric.Fabric for single-plane machines and a *fabric.MultiFabric
+	// for multi-plane ones; type-switch to reach plane internals.
+	Attach func(trial int, f fabric.Messenger)
 }
 
 // RunTrials executes the cell and returns the per-trial metric values.
@@ -262,7 +308,7 @@ func RunTrials(spec TrialSpec) ([]float64, *workloads.Instance, error) {
 			return nil, nil, err
 		}
 		lastInst = inst
-		f, err := spec.Machine.NewFabric(spec.Seed + uint64(t)*7919)
+		f, err := spec.Machine.NewMessenger(spec.Seed + uint64(t)*7919)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -91,9 +91,11 @@ func (r FaultResult) SweepStats() Stats {
 	return Summarize(vals)
 }
 
-// RunFaultScenario executes the experiment. The machine's graph is mutated
-// during the faulted run and restored before returning, so machines remain
-// reusable. An error from the faulted run (a rank wedged beyond the retry
+// RunFaultScenario executes the experiment against the machine's primary
+// plane (whole-plane failover across a multi-plane machine is exercised
+// separately, via fabric.MultiFabric with a failover policy and
+// faults.PlaneOutage). The plane's graph is mutated during the faulted run
+// and restored before returning, so machines remain reusable. An error from the faulted run (a rank wedged beyond the retry
 // budget) is returned as-is — that outcome is the experiment failing, not
 // an infrastructure problem.
 func RunFaultScenario(spec FaultSpec) (*FaultResult, error) {
@@ -172,7 +174,7 @@ func RunFaultScenario(spec FaultSpec) (*FaultResult, error) {
 	mgr, err := faults.NewManager(f, faults.SMConfig{
 		DetectionDelay: spec.Detect,
 		SweepLatency:   spec.Sweep,
-		Rebuild:        m.RebuildTables,
+		Rebuild:        m.Primary().Rebuild,
 		Revalidate:     true,
 	})
 	if err != nil {

@@ -1,0 +1,253 @@
+package exp
+
+import (
+	"math"
+	"testing"
+
+	"github.com/hpcsim/t2hx/internal/fabric"
+	"github.com/hpcsim/t2hx/internal/faults"
+	"github.com/hpcsim/t2hx/internal/mpi"
+	"github.com/hpcsim/t2hx/internal/sim"
+	"github.com/hpcsim/t2hx/internal/telemetry"
+	"github.com/hpcsim/t2hx/internal/topo"
+	"github.com/hpcsim/t2hx/internal/workloads"
+)
+
+// planeTelemetry builds a Multi over the machine's planes for tests.
+func planeTelemetry(m *Machine, opts telemetry.Options) *telemetry.Multi {
+	gs := make([]*topo.Graph, len(m.Planes))
+	names := make([]string, len(m.Planes))
+	for i, p := range m.Planes {
+		gs[i] = p.G
+		names[i] = p.Spec.Label()
+	}
+	return telemetry.NewMulti(gs, names, opts)
+}
+
+// TestSinglePlaneMultiFabricMatchesFabric is the refactor's equivalence
+// property: for every paper combo, wrapping the plane in a MultiFabric
+// under the default single-plane policy must reproduce the plain Fabric
+// run byte-for-byte — same makespan, same per-message FCTs, same
+// XmitData. The message sizes bracket the PARX threshold so both LID
+// quadrants are exercised.
+func TestSinglePlaneMultiFabricMatchesFabric(t *testing.T) {
+	const n = 16
+	opts := telemetry.Options{Counters: true, Messages: true}
+	for _, c := range PaperCombos() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			m, err := BuildMachine(c, MachineConfig{Small: true, Degrade: true, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ranks, err := m.Place(n, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, size := range []int64{256, 64 << 10} {
+				build := func() []*mpi.Program {
+					inst, err := workloads.BuildIMB("alltoall", n, size)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return inst.Progs
+				}
+
+				f, err := m.NewFabric(99)
+				if err != nil {
+					t.Fatal(err)
+				}
+				colF := telemetry.New(m.G, opts)
+				f.AttachTelemetry(colF)
+				resF, err := mpi.Run(f, "single", ranks, build(), mpi.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				mf, err := m.NewMultiFabric(99)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if mf.NumPlanes() != 1 || mf.PolicyName() != "single" {
+					t.Fatalf("single-plane machine gave %d planes, policy %s", mf.NumPlanes(), mf.PolicyName())
+				}
+				tm := planeTelemetry(m, opts)
+				if err := mf.AttachTelemetry(tm); err != nil {
+					t.Fatal(err)
+				}
+				resM, err := mpi.Run(mf, "multi", ranks, build(), mpi.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				if resF.Elapsed != resM.Elapsed {
+					t.Errorf("size %d: makespan %v (fabric) != %v (multifabric)", size, resF.Elapsed, resM.Elapsed)
+				}
+				if got, want := tm.TotalXmitData(), colF.Chans.TotalXmitData(); got != want {
+					t.Errorf("size %d: XmitData %v (multifabric) != %v (fabric)", size, got, want)
+				}
+				recs := tm.ForPlane(0).Msgs
+				if len(recs) != len(colF.Msgs) {
+					t.Fatalf("size %d: %d records (multifabric) != %d (fabric)", size, len(recs), len(colF.Msgs))
+				}
+				for i := range recs {
+					a, b := colF.Msgs[i], recs[i]
+					if a.Src != b.Src || a.Dst != b.Dst || a.Size != b.Size || a.FCT() != b.FCT() {
+						t.Fatalf("size %d: record %d diverged: fabric %+v, multifabric %+v", size, i, a, b)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDualPlaneSizeSplitConservation runs mixed-size traffic over the
+// dual-plane machine and checks the machine-level invariants: both planes
+// carry traffic (small messages on the HyperX, large on the Fat-Tree),
+// the conservation identity holds across the union of both planes'
+// channel sets, nothing is lost, and both planes emit trace spans.
+func TestDualPlaneSizeSplitConservation(t *testing.T) {
+	const n = 16
+	m, err := BuildMachine(DualPlaneCombo(), MachineConfig{Small: true, Degrade: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranks, err := m.Place(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf, err := m.NewMultiFabric(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := planeTelemetry(m, telemetry.Options{Counters: true, Messages: true, Trace: true})
+	if err := mf.AttachTelemetry(tm); err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range []int64{512, 1 << 20} {
+		inst, err := workloads.BuildIMB("alltoall", n, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := mpi.Run(mf, "mixed", ranks, inst.Progs, mpi.Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if mf.Delivered != mf.Messages {
+		t.Errorf("delivered %d of %d messages", mf.Delivered, mf.Messages)
+	}
+	for p := 0; p < mf.NumPlanes(); p++ {
+		if mf.PlaneMessages[p] == 0 {
+			t.Errorf("plane %s carried no messages under sizesplit", mf.PlaneName(p))
+		}
+		if tm.ForPlane(p).Chans.TotalXmitData() <= 0 {
+			t.Errorf("plane %s has no XmitData", mf.PlaneName(p))
+		}
+		if tm.ForPlane(p).TraceLen() == 0 {
+			t.Errorf("plane %s emitted no trace events", mf.PlaneName(p))
+		}
+	}
+	sum := tm.FCTSummary()
+	if sum.Delivered != int(mf.Delivered) {
+		t.Errorf("telemetry delivered %d, fabric delivered %d", sum.Delivered, mf.Delivered)
+	}
+	lhs, rhs := tm.TotalXmitData(), sum.BytesHops
+	if rhs <= 0 || math.Abs(lhs-rhs) > 1e-6*rhs {
+		t.Errorf("conservation violated: ΣXmitData %v != Σ bytes×hops %v", lhs, rhs)
+	}
+}
+
+// TestFailoverSurvivesFullPlaneOutage kills every inter-switch link of
+// the HyperX plane mid-Alltoall under a failover policy primed on that
+// plane. The acceptance criterion is zero lost messages: in-flight
+// traffic redispatches onto the Fat-Tree plane and new sends skip the
+// unhealthy plane, reusing the retry/re-sweep machinery.
+func TestFailoverSurvivesFullPlaneOutage(t *testing.T) {
+	const n = 16
+	m, err := BuildMachine(DualPlaneCombo(), MachineConfig{
+		Small: true, Degrade: true, Seed: 1, Policy: "failover:1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranks, err := m.Place(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func() []*mpi.Program {
+		inst, err := workloads.BuildIMB("alltoall", n, 64<<10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return inst.Progs
+	}
+
+	mfBase, err := m.NewMultiFabric(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := mpi.Run(mfBase, "baseline", ranks, build(), mpi.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mfBase.PlaneMessages[1] != mfBase.Messages {
+		t.Fatalf("failover:1 baseline put %d of %d messages on the primary plane",
+			mfBase.PlaneMessages[1], mfBase.Messages)
+	}
+
+	// The outage mutates the HyperX graph's link state; restore it so the
+	// machine stays valid for other tests reusing the combo.
+	g := m.Planes[1].G
+	downBefore := make([]bool, len(g.Links))
+	for i, l := range g.Links {
+		downBefore[i] = l.Down
+	}
+	defer func() {
+		for i, l := range g.Links {
+			l.Down = downBefore[i]
+		}
+	}()
+
+	mf, err := m.NewMultiFabric(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf.EnableResilience(fabric.Resilience{})
+	mgr, err := faults.NewManager(mf.Plane(1), faults.SMConfig{
+		Rebuild:    m.Planes[1].Rebuild,
+		Revalidate: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr.OnHealth = func(healthy bool) { mf.SetPlaneHealth(1, healthy) }
+	sched := faults.PlaneOutage(g, sim.Time(base.Elapsed)/3, 0)
+	if len(sched) == 0 {
+		t.Fatal("PlaneOutage produced no events")
+	}
+	if err := mgr.Inject(sched); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mpi.Run(mf, "plane-outage", ranks, build(), mpi.Options{}); err != nil {
+		t.Fatalf("faulted run failed: %v", err)
+	}
+
+	if mf.Delivered != mf.Messages {
+		t.Errorf("lost messages: delivered %d of %d", mf.Delivered, mf.Messages)
+	}
+	for p := 0; p < mf.NumPlanes(); p++ {
+		if g := mf.Plane(p).GiveUps; g != 0 {
+			t.Errorf("plane %s gave up on %d messages", mf.PlaneName(p), g)
+		}
+	}
+	if mf.PlaneMessages[0] == 0 {
+		t.Error("fat-tree plane carried no traffic after the outage")
+	}
+	if mgr.TornDown > 0 && mf.Redispatches == 0 {
+		t.Errorf("%d flows torn down but nothing redispatched across planes", mgr.TornDown)
+	}
+	if mf.PlaneHealthy(1) {
+		t.Error("shattered plane still marked healthy")
+	}
+}

@@ -1,8 +1,6 @@
 package fabric
 
 import (
-	"fmt"
-
 	"github.com/hpcsim/t2hx/internal/core"
 	"github.com/hpcsim/t2hx/internal/route"
 	"github.com/hpcsim/t2hx/internal/topo"
@@ -121,23 +119,4 @@ func (f *Fabric) MaxChannelOccupancy() int32 {
 		}
 	}
 	return m
-}
-
-// AdaptiveStats reports the current maximum channel occupancy.
-//
-// Deprecated: the occupancy high-watermark is part of the telemetry counter
-// set now (telemetry.ChannelCounters.MaxActive, surfaced here as
-// MaxChannelOccupancy), which works under every PML rather than only the
-// adaptive one. This accessor remains for the adaptive-specific
-// instantaneous view.
-func (f *Fabric) AdaptiveStats() (maxOcc int32, err error) {
-	if f.pml != adaptive {
-		return 0, fmt.Errorf("fabric: adaptive routing not enabled")
-	}
-	for _, c := range f.loads().counts {
-		if c > maxOcc {
-			maxOcc = c
-		}
-	}
-	return maxOcc, nil
 }

@@ -114,6 +114,9 @@ type Fabric struct {
 	TornDown uint64
 	Retries  uint64
 	GiveUps  uint64
+	// Redispatched counts messages this fabric handed to a sibling plane
+	// via Resilience.Redispatch instead of retrying locally.
+	Redispatched uint64
 }
 
 // New builds a fabric over routed tables using the ob1 PML.

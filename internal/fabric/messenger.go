@@ -1,0 +1,40 @@
+package fabric
+
+import (
+	"github.com/hpcsim/t2hx/internal/sim"
+	"github.com/hpcsim/t2hx/internal/topo"
+)
+
+// Messenger is the transport surface the MPI and workload layers run over:
+// a discrete-event engine plus point-to-point message delivery between
+// terminals. Both the single-plane Fabric and the multi-plane MultiFabric
+// implement it, so jobs and benchmarks are oblivious to how many network
+// planes the machine they run on has.
+type Messenger interface {
+	// Engine returns the discrete-event engine driving the transport.
+	Engine() *sim.Engine
+	// Send transfers size bytes from terminal src to terminal dst and
+	// calls onDelivered when the last byte has arrived.
+	Send(src, dst topo.NodeID, size int64, onDelivered func(at sim.Time))
+}
+
+// Engine returns the fabric's discrete-event engine.
+func (f *Fabric) Engine() *sim.Engine { return f.Eng }
+
+// CanRoute reports whether the active tables resolve a live path for a
+// message of the given size under the active PML — the reachability probe
+// plane-selection policies use to skip planes that are down or whose
+// subnet manager has not yet routed around a fault. Loopback is always
+// routable. Like Send, it falls back to the base LID when the PML's
+// preferred LID is unroutable.
+func (f *Fabric) CanRoute(src, dst topo.NodeID, size int64) bool {
+	if src == dst {
+		return true
+	}
+	lid := f.selectLID(src, dst, size)
+	if _, err := f.pathTo(src, lid); err == nil {
+		return true
+	}
+	_, err := f.pathTo(src, f.Tables.BaseLID[f.Tables.TermIndex(dst)])
+	return err == nil
+}

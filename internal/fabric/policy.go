@@ -1,0 +1,241 @@
+package fabric
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/hpcsim/t2hx/internal/topo"
+)
+
+// SelectionPolicy picks the network plane that carries a message on a
+// MultiFabric. It generalizes PARX's message-size LID switch (Sec. 3.2.4
+// of the paper) from "which quadrant path within one plane" to "which
+// plane of the machine". src and dst are primary-plane (plane 0) terminal
+// IDs; the MultiFabric translates them for whichever plane is chosen.
+//
+// Policies may keep per-fabric state (RoundRobin does), so a fresh value
+// must be constructed per MultiFabric — which is why the exp layer passes
+// policies around as ParsePolicy spec strings, not values.
+type SelectionPolicy interface {
+	// Name identifies the policy in CLI flags and run reports.
+	Name() string
+	// SelectPlane returns the plane index for one message.
+	SelectPlane(mf *MultiFabric, src, dst topo.NodeID, size int64) int
+}
+
+// SinglePlane pins all traffic to one plane — byte-for-byte the
+// historical single-fabric behaviour, and the compatibility anchor of the
+// multi-plane refactor: a MultiFabric under SinglePlane{0} must reproduce
+// a plain Fabric run exactly.
+type SinglePlane struct {
+	Plane int
+}
+
+// Name implements SelectionPolicy.
+func (s SinglePlane) Name() string { return "single" }
+
+// SelectPlane implements SelectionPolicy.
+func (s SinglePlane) SelectPlane(*MultiFabric, topo.NodeID, topo.NodeID, int64) int {
+	return s.Plane
+}
+
+// DefaultSizeSplitThreshold splits at 16 KiB — past the MPI eager window,
+// where a transfer stops being latency-bound and starts being
+// bandwidth-bound.
+const DefaultSizeSplitThreshold int64 = 16 << 10
+
+// SizeSplit routes messages below Threshold to the Small plane (lowest
+// switch-level diameter: fewest hops, lowest latency — the HyperX rail)
+// and the rest to the Large plane (highest bisection — the Fat-Tree
+// rail). Small/Large left negative are resolved by NewMulti from the
+// planes' graph diameters.
+type SizeSplit struct {
+	Threshold int64
+	Small     int
+	Large     int
+}
+
+// NewSizeSplit returns a SizeSplit with auto-resolved planes; threshold
+// <= 0 selects DefaultSizeSplitThreshold.
+func NewSizeSplit(threshold int64) *SizeSplit {
+	if threshold <= 0 {
+		threshold = DefaultSizeSplitThreshold
+	}
+	return &SizeSplit{Threshold: threshold, Small: -1, Large: -1}
+}
+
+// Name implements SelectionPolicy.
+func (s *SizeSplit) Name() string { return "sizesplit" }
+
+// SelectPlane implements SelectionPolicy.
+func (s *SizeSplit) SelectPlane(_ *MultiFabric, _, _ topo.NodeID, size int64) int {
+	if size < s.Threshold {
+		return s.Small
+	}
+	return s.Large
+}
+
+// resolve fills unset plane choices from the switch-level diameters of
+// the attached planes: the lowest-diameter plane serves small messages,
+// the highest-diameter one (on TSUBAME2, the full-bisection Fat-Tree)
+// serves large ones.
+func (s *SizeSplit) resolve(planes []*Fabric) {
+	if s.Threshold <= 0 {
+		s.Threshold = DefaultSizeSplitThreshold
+	}
+	if s.Small >= 0 && s.Large >= 0 {
+		return
+	}
+	small, large := 0, 0
+	minD, maxD := int(^uint(0)>>1), -1
+	for p, f := range planes {
+		d := topo.Diameter(f.G)
+		if d < minD {
+			minD, small = d, p
+		}
+		if d > maxD {
+			maxD, large = d, p
+		}
+	}
+	if small == large && len(planes) > 1 {
+		large = (small + 1) % len(planes)
+	}
+	if s.Small < 0 {
+		s.Small = small
+	}
+	if s.Large < 0 {
+		s.Large = large
+	}
+}
+
+// RoundRobin cycles sends across all planes in submission order —
+// dual-rail bandwidth aggregation with no per-pair affinity. Stateful:
+// construct one per MultiFabric.
+type RoundRobin struct {
+	next int
+}
+
+// Name implements SelectionPolicy.
+func (r *RoundRobin) Name() string { return "roundrobin" }
+
+// SelectPlane implements SelectionPolicy.
+func (r *RoundRobin) SelectPlane(mf *MultiFabric, _, _ topo.NodeID, _ int64) int {
+	p := r.next % len(mf.planes)
+	r.next = (r.next + 1) % len(mf.planes)
+	return p
+}
+
+// Striped pins each (src, dst) terminal pair to one plane by index hash:
+// bandwidth aggregates across pairs while any single pair's messages stay
+// ordered on one rail, preserving MPI point-to-point ordering.
+type Striped struct{}
+
+// Name implements SelectionPolicy.
+func (Striped) Name() string { return "striped" }
+
+// SelectPlane implements SelectionPolicy.
+func (Striped) SelectPlane(mf *MultiFabric, src, dst topo.NodeID, _ int64) int {
+	si := mf.termIndex(src)
+	di := mf.termIndex(dst)
+	return (si*31 + di) % len(mf.planes)
+}
+
+// Failover prefers planes in Order (nil means plane order) and skips any
+// that is marked unhealthy — its subnet manager is mid-re-sweep after a
+// fault, see faults.Manager.OnHealth and MultiFabric.SetPlaneHealth — or
+// whose tables cannot currently route the message. If no plane passes
+// both filters, reachability alone decides; if none is reachable the
+// first preference takes the message into its bounded retry loop.
+type Failover struct {
+	Order []int
+}
+
+// Name implements SelectionPolicy.
+func (f *Failover) Name() string { return "failover" }
+
+// SelectPlane implements SelectionPolicy.
+func (f *Failover) SelectPlane(mf *MultiFabric, src, dst topo.NodeID, size int64) int {
+	for _, p := range f.Order {
+		if mf.PlaneHealthy(p) && mf.CanRoute(p, src, dst, size) {
+			return p
+		}
+	}
+	for _, p := range f.Order {
+		if mf.CanRoute(p, src, dst, size) {
+			return p
+		}
+	}
+	return f.Order[0]
+}
+
+// failoverOrder builds a preference order starting at primary, then the
+// remaining planes ascending.
+func failoverOrder(primary, n int) []int {
+	order := []int{primary}
+	for p := 0; p < n; p++ {
+		if p != primary {
+			order = append(order, p)
+		}
+	}
+	return order
+}
+
+// ParsePolicy builds a selection policy from its CLI spec for a machine
+// with numPlanes planes:
+//
+//	single[:plane]        pin to one plane (default 0)
+//	sizesplit[:bytes]     small messages to the low-diameter plane,
+//	                      large to the high-bisection one (default 16384)
+//	roundrobin            cycle planes per message
+//	striped               pin each terminal pair to a plane
+//	failover[:primary]    prefer primary, skip unhealthy/unroutable planes
+func ParsePolicy(spec string, numPlanes int) (SelectionPolicy, error) {
+	if numPlanes < 1 {
+		return nil, fmt.Errorf("fabric: policy needs at least one plane")
+	}
+	name, arg := spec, ""
+	if i := strings.IndexByte(spec, ':'); i >= 0 {
+		name, arg = spec[:i], spec[i+1:]
+	}
+	planeArg := func(def int) (int, error) {
+		if arg == "" {
+			return def, nil
+		}
+		p, err := strconv.Atoi(arg)
+		if err != nil || p < 0 || p >= numPlanes {
+			return 0, fmt.Errorf("fabric: policy %q: plane %q out of range [0,%d)", name, arg, numPlanes)
+		}
+		return p, nil
+	}
+	switch name {
+	case "", "single":
+		p, err := planeArg(0)
+		if err != nil {
+			return nil, err
+		}
+		return SinglePlane{Plane: p}, nil
+	case "sizesplit":
+		thr := DefaultSizeSplitThreshold
+		if arg != "" {
+			v, err := strconv.ParseInt(arg, 10, 64)
+			if err != nil || v <= 0 {
+				return nil, fmt.Errorf("fabric: policy sizesplit: bad threshold %q", arg)
+			}
+			thr = v
+		}
+		return NewSizeSplit(thr), nil
+	case "roundrobin", "rr":
+		return &RoundRobin{}, nil
+	case "striped":
+		return Striped{}, nil
+	case "failover":
+		p, err := planeArg(0)
+		if err != nil {
+			return nil, err
+		}
+		return &Failover{Order: failoverOrder(p, numPlanes)}, nil
+	default:
+		return nil, fmt.Errorf("fabric: unknown selection policy %q (want single, sizesplit, roundrobin, striped, or failover)", name)
+	}
+}

@@ -28,6 +28,13 @@ type Resilience struct {
 	// OnGiveUp is invoked when a message exhausts its retry budget and is
 	// dropped. nil just counts the loss in GiveUps.
 	OnGiveUp func(src, dst topo.NodeID, size int64, err error)
+	// Redispatch, when set, is consulted before a failed message enters
+	// the retry loop. Returning true means another transport (a sibling
+	// plane of a MultiFabric) has taken ownership of the message, so this
+	// fabric closes its record and stops retrying; false leaves the
+	// message to the local backoff/retry budget. Redispatched messages do
+	// not consume retry budget on the plane they leave.
+	Redispatch func(src, dst topo.NodeID, size int64, onDelivered func(at sim.Time)) bool
 }
 
 // DefaultRetryBackoff mirrors a QDR-era local-ACK timeout of a few hundred
@@ -150,6 +157,12 @@ func (f *Fabric) sendFailed(m *pendingSend, err error) {
 			f.G.Nodes[m.src].Label, f.G.Nodes[m.dst].Label, err))
 	}
 	m.path = nil
+	if f.res.Redispatch != nil && f.res.Redispatch(m.src, m.dst, m.size, m.onDelivered) {
+		// A sibling plane took the message; its delivery is tracked there.
+		f.Redispatched++
+		f.Tel.MsgRedispatched(m.rec, f.Eng.Now())
+		return
+	}
 	m.attempts++
 	if m.attempts > f.res.MaxRetries {
 		f.GiveUps++

@@ -177,6 +177,24 @@ func MTBFSchedule(g *topo.Graph, mtbf, repair sim.Duration, start, end sim.Time,
 	return sched.Sorted()
 }
 
+// PlaneOutage fails every live switch-to-switch link of a plane at the
+// given time — the whole-plane power or SM loss a dual-rail machine like
+// TSUBAME2 is built to survive. Unlike PlanLinkFailures there is no
+// connectivity veto: the plane's switch fabric is meant to shatter, and
+// traffic must fail over to a sibling plane (fabric.MultiFabric with a
+// Failover policy). Terminal links stay up. repair > 0 schedules the
+// matching LinkUp wave.
+func PlaneOutage(g *topo.Graph, at sim.Time, repair sim.Duration) Schedule {
+	var sched Schedule
+	for _, l := range g.LiveSwitchLinks() {
+		sched = append(sched, Event{At: at, Kind: LinkDown, Link: l.ID})
+		if repair > 0 {
+			sched = append(sched, Event{At: at + repair, Kind: LinkUp, Link: l.ID})
+		}
+	}
+	return sched.Sorted()
+}
+
 // SwitchOutage builds the event pair for a whole-switch failure at the
 // given time, repaired after repair (repair <= 0 makes it permanent). Note
 // that a dead switch strands its attached terminals: messages to them fail

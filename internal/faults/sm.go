@@ -88,6 +88,12 @@ type Manager struct {
 	// completed sweep.
 	OnApply func(ev Event)
 	OnSwept func(s Sweep)
+	// OnHealth observes the plane's health transitions: false when a
+	// destructive change degrades the fabric, true once a successful sweep
+	// has covered every change applied so far. Multi-plane failover wires
+	// this to fabric.MultiFabric.SetPlaneHealth so a plane whose SM is
+	// mid-re-sweep is skipped by plane selection.
+	OnHealth func(healthy bool)
 
 	f   *fabric.Fabric
 	eng *sim.Engine
@@ -180,6 +186,9 @@ func (m *Manager) apply(ev Event) {
 	}
 	torn := 0
 	if len(dead) > 0 {
+		if m.OnHealth != nil {
+			m.OnHealth(false)
+		}
 		torn = m.f.FailChannels(func(c topo.ChannelID) bool {
 			return dead[m.g.Link(c).ID]
 		})
@@ -301,6 +310,10 @@ func (m *Manager) startSweep() {
 		} else {
 			m.sweptRev = startRev
 			s.Swapped = m.eng.Now()
+			if m.sweptRev >= m.rev && m.OnHealth != nil {
+				// Every change so far is covered by the swapped tables.
+				m.OnHealth(true)
+			}
 		}
 		m.finishSweep(s)
 		// Changes may have queued up while we were programming switches;

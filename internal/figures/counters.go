@@ -55,9 +55,9 @@ func (s *Session) FigCounters(op string) error {
 		var col *telemetry.Collector
 		_, _, err = exp.RunTrials(exp.TrialSpec{
 			Machine: m, Nodes: n, Trials: 1, Seed: s.P.Seed, Build: build,
-			Attach: func(_ int, f *fabric.Fabric) {
+			Attach: func(_ int, msgr fabric.Messenger) {
 				col = telemetry.New(m.G, telemetry.Options{Counters: true})
-				f.AttachTelemetry(col)
+				msgr.(*fabric.Fabric).AttachTelemetry(col)
 			},
 		})
 		if err != nil {

@@ -1,0 +1,106 @@
+package figures
+
+import (
+	"fmt"
+	"text/tabwriter"
+
+	"github.com/hpcsim/t2hx/internal/exp"
+	"github.com/hpcsim/t2hx/internal/fabric"
+	"github.com/hpcsim/t2hx/internal/telemetry"
+	"github.com/hpcsim/t2hx/internal/topo"
+	"github.com/hpcsim/t2hx/internal/workloads"
+)
+
+// planesSmallMsg is the latency-bound payload of the planes figure; it
+// sits well under the sizesplit default, so the policy steers it onto the
+// low-diameter HyperX rail.
+const planesSmallMsg = 512
+
+// FigPlanes compares the counters figure's grouped shift-incast run on
+// each rail alone against the dual-plane TSUBAME2 machine, at a
+// latency-bound and a bandwidth-bound message size. The dual-plane rows
+// carry the figure's point: the sizesplit policy routes the 512 B incast
+// almost entirely over the diameter-2 HyperX plane while the 1 MiB incast
+// rides the full-bisection Fat-Tree, so each rail's XmitData share flips
+// between the two sizes.
+func (s *Session) FigPlanes() error {
+	n := 64
+	if s.P.Small {
+		n = 32
+	}
+	if s.P.MaxNodes > 0 && n > s.P.MaxNodes {
+		n = s.P.MaxNodes
+	}
+	n -= n % countersGroup
+	s.header(fmt.Sprintf("Planes: single- vs dual-plane shift-incast (group %d), %d nodes", countersGroup, n))
+	k := s.sink("planes", "machine", "size", "score", "plane", "msgs", "xmit_bytes", "share")
+	combos := exp.PaperCombos()
+	cases := []exp.Combo{combos[0], combos[4], exp.DualPlaneCombo()}
+	w := tabwriter.NewWriter(s.P.Out, 4, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "machine\tsize\tus/op\tplane\tmsgs\txmit MiB\tshare")
+	for _, c := range cases {
+		m, err := s.Machine(c)
+		if err != nil {
+			return err
+		}
+		for _, size := range []int64{planesSmallMsg, countersMsgSize} {
+			var col *telemetry.Collector
+			var tm *telemetry.Multi
+			var mf *fabric.MultiFabric
+			var single *fabric.Fabric
+			vals, _, err := exp.RunTrials(exp.TrialSpec{
+				Machine: m, Nodes: n, Trials: 1, Seed: s.P.Seed,
+				Build: func(nn int) (*workloads.Instance, error) {
+					return workloads.BuildGroupedIncast(nn, countersGroup, size)
+				},
+				Attach: func(_ int, msgr fabric.Messenger) {
+					switch f := msgr.(type) {
+					case *fabric.MultiFabric:
+						mf = f
+						gs := make([]*topo.Graph, len(m.Planes))
+						names := make([]string, len(m.Planes))
+						for i, p := range m.Planes {
+							gs[i] = p.G
+							names[i] = p.Spec.Label()
+						}
+						tm = telemetry.NewMulti(gs, names, telemetry.Options{Counters: true})
+						if err := f.AttachTelemetry(tm); err != nil {
+							panic(err) // lengths match by construction
+						}
+					case *fabric.Fabric:
+						single = f
+						col = telemetry.New(m.G, telemetry.Options{Counters: true})
+						f.AttachTelemetry(col)
+					}
+				},
+			})
+			if err != nil {
+				return err
+			}
+			score := vals[0]
+			const mib = 1 << 20
+			if tm != nil {
+				total := tm.TotalXmitData()
+				for p, cl := range tm.Planes {
+					share := 0.0
+					if total > 0 {
+						share = cl.Chans.TotalXmitData() / total
+					}
+					fmt.Fprintf(w, "%s\t%d\t%.4g\t%s\t%d\t%.2f\t%.1f%%\n",
+						c.Name, size, score, cl.PlaneName, mf.PlaneMessages[p],
+						cl.Chans.TotalXmitData()/mib, 100*share)
+					k.add(c.Name, size, score, cl.PlaneName, int(mf.PlaneMessages[p]),
+						cl.Chans.TotalXmitData(), share)
+				}
+			} else {
+				fmt.Fprintf(w, "%s\t%d\t%.4g\t%s\t%d\t%.2f\t%.1f%%\n",
+					c.Name, size, score, "(single)", single.Messages,
+					col.Chans.TotalXmitData()/mib, 100.0)
+				k.add(c.Name, size, score, "single", int(single.Messages),
+					col.Chans.TotalXmitData(), 1.0)
+			}
+		}
+		w.Flush()
+	}
+	return k.flush()
+}

@@ -37,14 +37,15 @@ type Result struct {
 }
 
 // Job is a set of rank programs bound to terminals, executing on a shared
-// fabric. Multiple jobs may run concurrently on one fabric (the capacity
-// evaluation of Sec. 4.4.2).
+// transport — a single-plane Fabric or a multi-plane MultiFabric; the MPI
+// layer only needs the Messenger surface. Multiple jobs may run
+// concurrently on one transport (the capacity evaluation of Sec. 4.4.2).
 type Job struct {
 	Name  string
 	Ranks []topo.NodeID // rank -> terminal
 	Progs []*Program
 
-	f      *fabric.Fabric
+	f      fabric.Messenger
 	opts   Options
 	rng    *sim.Rand
 	onDone func(Result)
@@ -87,7 +88,7 @@ type availMsg struct {
 // Launch starts a job on f at the current simulated time; onDone fires when
 // every rank has finished its program. The returned Job can be inspected
 // after completion.
-func Launch(f *fabric.Fabric, name string, ranks []topo.NodeID, progs []*Program, opts Options, onDone func(Result)) (*Job, error) {
+func Launch(f fabric.Messenger, name string, ranks []topo.NodeID, progs []*Program, opts Options, onDone func(Result)) (*Job, error) {
 	if len(ranks) != len(progs) {
 		return nil, fmt.Errorf("mpi: %d ranks but %d programs", len(ranks), len(progs))
 	}
@@ -101,7 +102,7 @@ func Launch(f *fabric.Fabric, name string, ranks []topo.NodeID, progs []*Program
 		Name: name, Ranks: ranks, Progs: progs,
 		f: f, opts: opts, rng: sim.NewRand(opts.Seed ^ 0xa5a5a5a5),
 		onDone:  onDone,
-		start:   f.Eng.Now(),
+		start:   f.Engine().Now(),
 		pending: len(ranks),
 		state:   make([]rankState, len(ranks)),
 	}
@@ -117,13 +118,13 @@ func Launch(f *fabric.Fabric, name string, ranks []topo.NodeID, progs []*Program
 
 // Run executes a single job to completion on a fresh engine and returns its
 // result — the capability-run entry point.
-func Run(f *fabric.Fabric, name string, ranks []topo.NodeID, progs []*Program, opts Options) (Result, error) {
+func Run(f fabric.Messenger, name string, ranks []topo.NodeID, progs []*Program, opts Options) (Result, error) {
 	var res Result
 	j, err := Launch(f, name, ranks, progs, opts, func(r Result) { res = r })
 	if err != nil {
 		return res, err
 	}
-	f.Eng.Run()
+	f.Engine().Run()
 	if !j.done {
 		return res, fmt.Errorf("mpi: job %q deadlocked: %s", name, j.stuckReport())
 	}
@@ -189,7 +190,7 @@ func (j *Job) advance(r Rank) {
 			}
 			st.blocked = true
 			st.waiting = nil
-			j.f.Eng.After(d, func(*sim.Engine) {
+			j.f.Engine().After(d, func(*sim.Engine) {
 				j.advance(r)
 				j.checkDone()
 			})
@@ -228,8 +229,8 @@ func (j *Job) checkDone() {
 	j.done = true
 	j.result = Result{
 		Start:   j.start,
-		End:     j.f.Eng.Now(),
-		Elapsed: j.f.Eng.Now() - j.start,
+		End:     j.f.Engine().Now(),
+		Elapsed: j.f.Engine().Now() - j.start,
 	}
 	if j.onDone != nil {
 		j.onDone(j.result)
@@ -299,7 +300,7 @@ func (j *Job) consume(r Rank, m availMsg, recvHandle int32) {
 	}
 	src := m.src
 	sendHandle := m.sendHandle
-	j.f.Eng.After(j.opts.RendezvousDelay, func(*sim.Engine) {
+	j.f.Engine().After(j.opts.RendezvousDelay, func(*sim.Engine) {
 		j.f.Send(j.Ranks[src], j.Ranks[r], m.size, func(sim.Time) {
 			j.complete(src, sendHandle)
 			j.complete(r, recvHandle)

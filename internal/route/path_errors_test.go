@@ -1,0 +1,148 @@
+package route
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/hpcsim/t2hx/internal/topo"
+)
+
+// pathFixture builds SSSP tables on the small HyperX plus a (src, dst-LID)
+// pair whose path crosses at least one inter-switch hop, so every LFT-walk
+// failure mode can be staged on it.
+func pathFixture(t *testing.T, lmc uint8) (*Tables, topo.NodeID, LID) {
+	t.Helper()
+	hx := smallHX(t)
+	tb, err := SSSP(hx.Graph, lmc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	terms := hx.Graph.Terminals()
+	src := terms[0]
+	for _, dst := range terms[1:] {
+		if hx.Graph.SwitchOf(dst) == hx.Graph.SwitchOf(src) {
+			continue
+		}
+		return tb, src, tb.LIDFor(dst, 0)
+	}
+	t.Fatal("no cross-switch terminal pair")
+	return nil, 0, 0
+}
+
+func wantPathErr(t *testing.T, tb *Tables, src topo.NodeID, lid LID, substr string) {
+	t.Helper()
+	path, err := tb.Path(src, lid)
+	if err == nil {
+		t.Fatalf("Path(%d, %d) = %v, want error containing %q", src, lid, path, substr)
+	}
+	if !strings.Contains(err.Error(), substr) {
+		t.Fatalf("Path(%d, %d) error %q, want substring %q", src, lid, err, substr)
+	}
+}
+
+func TestPathUnassignedLID(t *testing.T) {
+	tb, src, _ := pathFixture(t, 0)
+	// LID 0 is reserved in IB and never assigned.
+	wantPathErr(t, tb, src, 0, "unassigned")
+	// Anything past the highest assigned LID is equally unroutable.
+	wantPathErr(t, tb, src, tb.MaxLID()+1, "unassigned")
+}
+
+func TestPathLMCOffsetPastMaxLID(t *testing.T) {
+	// With LMC=2 every terminal owns 4 LIDs; an offset computed past the
+	// last terminal's span walks off the LID space entirely and must fail
+	// as unassigned rather than panic or alias another terminal.
+	tb, src, _ := pathFixture(t, 2)
+	span := LID(1) << tb.LMC
+	wantPathErr(t, tb, src, tb.MaxLID()+span, "unassigned")
+}
+
+func TestPathDetachedSource(t *testing.T) {
+	tb, src, lid := pathFixture(t, 0)
+	for _, l := range tb.G.Nodes[src].Ports {
+		if l != nil {
+			l.Down = true
+			defer func(l *topo.Link) { l.Down = false }(l)
+		}
+	}
+	wantPathErr(t, tb, src, lid, "detached")
+}
+
+func TestPathTruncatedNextHopChain(t *testing.T) {
+	tb, src, lid := pathFixture(t, 0)
+	path, err := tb.Path(src, lid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) < 3 {
+		t.Fatalf("fixture path too short to truncate: %v", path)
+	}
+	// Clear the second switch's entry: the walk injects, takes one
+	// inter-switch hop, then finds the chain cut mid-route.
+	sw2 := tb.G.ChannelTo(path[1])
+	tb.SetNextHop(sw2, lid, NoChannel)
+	wantPathErr(t, tb, src, lid, "has no entry for LID")
+}
+
+func TestPathForwardingLoop(t *testing.T) {
+	tb, src, lid := pathFixture(t, 0)
+	path, err := tb.Path(src, lid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Point the second switch straight back at the first: a two-switch
+	// ping-pong the MaxHops bound must catch.
+	l := tb.G.Link(path[1])
+	sw1 := tb.G.SwitchOf(src)
+	sw2 := tb.G.ChannelTo(path[1])
+	tb.SetNextHop(sw2, lid, l.Channel(sw2))
+	tb.SetNextHop(sw1, lid, l.Channel(sw1))
+	wantPathErr(t, tb, src, lid, "forwarding loop")
+}
+
+func TestPathEntryUsesDownLink(t *testing.T) {
+	tb, src, lid := pathFixture(t, 0)
+	path, err := tb.Path(src, lid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := tb.G.Link(path[1])
+	l.Down = true
+	defer func() { l.Down = false }()
+	wantPathErr(t, tb, src, lid, "uses down link")
+}
+
+func TestPathDeliveredToWrongTerminal(t *testing.T) {
+	tb, src, lid := pathFixture(t, 0)
+	// Rewire the source's switch to hand the message to a co-located
+	// terminal that does not own the LID.
+	sw := tb.G.SwitchOf(src)
+	var wrong topo.ChannelID = NoChannel
+	owner := tb.TermByIndex(tb.OwnerOf(lid))
+	for _, l := range tb.G.Nodes[sw].Ports {
+		if l == nil || l.Down {
+			continue
+		}
+		other := l.Other(sw)
+		if tb.G.Nodes[other].Kind == topo.Terminal && other != src && other != owner {
+			wrong = l.Channel(sw)
+			break
+		}
+	}
+	if wrong == NoChannel {
+		t.Fatal("no co-located wrong terminal on the source switch")
+	}
+	tb.SetNextHop(sw, lid, wrong)
+	wantPathErr(t, tb, src, lid, "wrong terminal")
+}
+
+func TestPathLoopbackIsEmpty(t *testing.T) {
+	tb, src, _ := pathFixture(t, 0)
+	path, err := tb.Path(src, tb.LIDFor(src, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != nil {
+		t.Fatalf("loopback path = %v, want nil", path)
+	}
+}

@@ -94,8 +94,8 @@ func (cc *ChannelCounters) MaxWait() (topo.ChannelID, sim.Duration) {
 }
 
 // MaxActive returns the highest concurrent-flow watermark over all fabric
-// channels — the counter-set replacement for the old test-only
-// Fabric.AdaptiveStats accessor, now maintained for every PML.
+// channels, maintained for every PML (Fabric.MaxChannelOccupancy surfaces
+// it fabric-side, replacing the removed AdaptiveStats accessor).
 func (cc *ChannelCounters) MaxActive() int32 {
 	var m int32
 	for _, v := range cc.ActiveHWM {

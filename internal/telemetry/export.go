@@ -17,6 +17,8 @@ import (
 
 type runLine struct {
 	Kind      string  `json:"kind"` // "run"
+	Plane     int     `json:"plane"`
+	PlaneName string  `json:"plane_name,omitempty"`
 	Messages  int     `json:"messages"`
 	Delivered int     `json:"delivered"`
 	Bytes     float64 `json:"bytes"`
@@ -32,21 +34,24 @@ type runLine struct {
 }
 
 type msgLine struct {
-	Kind      string  `json:"kind"` // "msg"
-	Src       int32   `json:"src"`
-	Dst       int32   `json:"dst"`
-	Size      int64   `json:"size"`
-	Issued    float64 `json:"issued_s"`
-	Wired     float64 `json:"wired_s"`
-	Finished  float64 `json:"finished_s"`
-	FCT       float64 `json:"fct_s"`
-	Hops      int     `json:"hops"`
-	Retries   int     `json:"retries,omitempty"`
-	Delivered bool    `json:"delivered"`
+	Kind         string  `json:"kind"` // "msg"
+	Plane        int     `json:"plane"`
+	Src          int32   `json:"src"`
+	Dst          int32   `json:"dst"`
+	Size         int64   `json:"size"`
+	Issued       float64 `json:"issued_s"`
+	Wired        float64 `json:"wired_s"`
+	Finished     float64 `json:"finished_s"`
+	FCT          float64 `json:"fct_s"`
+	Hops         int     `json:"hops"`
+	Retries      int     `json:"retries,omitempty"`
+	Delivered    bool    `json:"delivered"`
+	Redispatched bool    `json:"redispatched,omitempty"`
 }
 
 type chanLine struct {
 	Kind     string  `json:"kind"` // "chan"
+	Plane    int     `json:"plane"`
 	Channel  int32   `json:"channel"`
 	From     string  `json:"from"`
 	To       string  `json:"to"`
@@ -58,10 +63,16 @@ type chanLine struct {
 // WriteMetricsJSONL writes the run summary, message records and channel
 // counters as JSON lines.
 func (c *Collector) WriteMetricsJSONL(w io.Writer) error {
-	enc := json.NewEncoder(w)
+	return c.writeMetrics(json.NewEncoder(w))
+}
+
+// writeMetrics streams the collector's lines onto an existing encoder, so
+// Multi can interleave several planes into one document.
+func (c *Collector) writeMetrics(enc *json.Encoder) error {
 	s := c.FCTSummary()
 	run := runLine{
-		Kind: "run", Messages: s.N, Delivered: s.Delivered,
+		Kind: "run", Plane: c.Plane, PlaneName: c.PlaneName,
+		Messages: s.N, Delivered: s.Delivered,
 		Bytes: s.Bytes, BytesHops: s.BytesHops,
 		FCTp50: float64(s.P50), FCTp95: float64(s.P95),
 		FCTp99: float64(s.P99), FCTMax: float64(s.Max),
@@ -77,10 +88,11 @@ func (c *Collector) WriteMetricsJSONL(w io.Writer) error {
 	for i := range c.Msgs {
 		r := &c.Msgs[i]
 		if err := enc.Encode(msgLine{
-			Kind: "msg", Src: int32(r.Src), Dst: int32(r.Dst), Size: r.Size,
+			Kind: "msg", Plane: c.Plane, Src: int32(r.Src), Dst: int32(r.Dst), Size: r.Size,
 			Issued: float64(r.Issued), Wired: float64(r.Wired),
 			Finished: float64(r.Finished), FCT: float64(r.FCT()),
 			Hops: r.Hops, Retries: r.Retries, Delivered: r.Delivered,
+			Redispatched: r.Redispatched,
 		}); err != nil {
 			return err
 		}
@@ -88,7 +100,7 @@ func (c *Collector) WriteMetricsJSONL(w io.Writer) error {
 	if c.Chans != nil {
 		for _, h := range c.Chans.HotLinks(0, 0) {
 			if err := enc.Encode(chanLine{
-				Kind: "chan", Channel: int32(h.Channel), From: h.From, To: h.To,
+				Kind: "chan", Plane: c.Plane, Channel: int32(h.Channel), From: h.From, To: h.To,
 				XmitData: h.Bytes, XmitWait: float64(h.Wait), HWM: h.HWM,
 			}); err != nil {
 				return err

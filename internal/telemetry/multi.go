@@ -1,0 +1,133 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+
+	"github.com/hpcsim/t2hx/internal/sim"
+	"github.com/hpcsim/t2hx/internal/topo"
+)
+
+// Multi bundles one Collector per plane of a multi-plane machine and
+// merges their exports. Per-plane counters stay separate — each plane has
+// its own graph and channel ID space — while the machine-level summary,
+// the JSONL stream and the Chrome trace interleave all planes with the
+// plane id stamped on every row and pid lane. Attach it with
+// (*fabric.MultiFabric).AttachTelemetry.
+type Multi struct {
+	Planes []*Collector
+}
+
+// NewMulti builds one collector per plane over the planes' graphs, wiring
+// plane ids and display names (names may be shorter than gs).
+func NewMulti(gs []*topo.Graph, names []string, opts Options) *Multi {
+	m := &Multi{}
+	for i, g := range gs {
+		c := New(g, opts)
+		c.Plane = i
+		if i < len(names) {
+			c.PlaneName = names[i]
+		}
+		m.Planes = append(m.Planes, c)
+	}
+	return m
+}
+
+// ForPlane returns plane p's collector.
+func (m *Multi) ForPlane(p int) *Collector { return m.Planes[p] }
+
+// TotalXmitData sums transmitted bytes over every plane's channel set —
+// the left-hand side of the machine-level conservation identity
+// (ΣXmitData == Σ bytes×hops over delivered messages, all planes).
+func (m *Multi) TotalXmitData() float64 {
+	var total float64
+	for _, c := range m.Planes {
+		if c.Chans != nil {
+			total += c.Chans.TotalXmitData()
+		}
+	}
+	return total
+}
+
+// FCTSummary merges every plane's delivered-message records into one
+// machine-level completion-time distribution. Records closed as
+// redispatched are plane-local bookkeeping (the carrying plane holds the
+// delivered record) and are excluded from N like any undelivered record
+// is from the percentiles.
+func (m *Multi) FCTSummary() Summary {
+	var s Summary
+	var fcts []float64
+	for _, c := range m.Planes {
+		s.N += len(c.Msgs)
+		for i := range c.Msgs {
+			r := &c.Msgs[i]
+			if !r.Delivered {
+				continue
+			}
+			s.Delivered++
+			s.Bytes += float64(r.Size)
+			s.BytesHops += float64(r.Size) * float64(r.Hops)
+			fcts = append(fcts, float64(r.FCT()))
+		}
+	}
+	if len(fcts) == 0 {
+		return s
+	}
+	sort.Float64s(fcts)
+	var sum float64
+	for _, v := range fcts {
+		sum += v
+	}
+	s.Mean = sim.Duration(sum / float64(len(fcts)))
+	s.P50 = sim.Duration(percentile(fcts, 0.50))
+	s.P95 = sim.Duration(percentile(fcts, 0.95))
+	s.P99 = sim.Duration(percentile(fcts, 0.99))
+	s.Max = sim.Duration(fcts[len(fcts)-1])
+	return s
+}
+
+// WriteTrace merges every plane's timeline (each on its own pid lanes,
+// see TracePlaneStride) into one Chrome trace_event document.
+func (m *Multi) WriteTrace(w io.Writer) error {
+	var events []traceEvent
+	for _, c := range m.Planes {
+		events = append(events, c.metaEvents()...)
+		events = append(events, c.trace...)
+	}
+	return writeTraceDoc(w, events)
+}
+
+// WriteMetricsJSONL writes a machine-level summary line ("kind":
+// "machine") followed by every plane's full line stream; per-plane lines
+// carry their plane id.
+func (m *Multi) WriteMetricsJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	s := m.FCTSummary()
+	machine := struct {
+		Kind      string  `json:"kind"` // "machine"
+		Planes    int     `json:"planes"`
+		Messages  int     `json:"messages"`
+		Delivered int     `json:"delivered"`
+		Bytes     float64 `json:"bytes"`
+		BytesHops float64 `json:"bytes_hops"`
+		XmitData  float64 `json:"xmit_data_total"`
+		FCTp50    float64 `json:"fct_p50_s"`
+		FCTp99    float64 `json:"fct_p99_s"`
+	}{
+		Kind: "machine", Planes: len(m.Planes),
+		Messages: s.N, Delivered: s.Delivered,
+		Bytes: s.Bytes, BytesHops: s.BytesHops,
+		XmitData: m.TotalXmitData(),
+		FCTp50:   float64(s.P50), FCTp99: float64(s.P99),
+	}
+	if err := enc.Encode(machine); err != nil {
+		return err
+	}
+	for _, c := range m.Planes {
+		if err := c.writeMetrics(enc); err != nil {
+			return err
+		}
+	}
+	return nil
+}

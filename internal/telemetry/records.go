@@ -22,6 +22,10 @@ type MsgRecord struct {
 	Retries   int
 	Delivered bool
 	Loopback  bool
+	// Redispatched marks a message that left this plane for a sibling
+	// plane of a MultiFabric; its delivery is recorded by the collector
+	// of the plane that carried it.
+	Redispatched bool
 }
 
 // FCT is the message's flow completion time (issue to delivery); 0 for
@@ -69,6 +73,18 @@ func (c *Collector) MsgDelivered(rec int, now sim.Time, hops int, loopback bool)
 	r.Hops = hops
 	r.Delivered = true
 	r.Loopback = loopback
+	c.traceMsg(r)
+}
+
+// MsgRedispatched closes a record for a message handed to a sibling
+// plane; the receiving plane's collector opens a fresh record for it.
+func (c *Collector) MsgRedispatched(rec int, now sim.Time) {
+	if rec < 0 {
+		return
+	}
+	r := &c.Msgs[rec]
+	r.Finished = now
+	r.Redispatched = true
 	c.traceMsg(r)
 }
 

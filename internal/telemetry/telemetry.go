@@ -43,6 +43,14 @@ func All() Options { return Options{Counters: true, Messages: true, Trace: true}
 type Collector struct {
 	Opts Options
 
+	// Plane identifies the network plane this collector observes (0 for
+	// single-plane machines) and PlaneName its display label. On
+	// multi-plane machines each plane gets its own collector (see Multi);
+	// the plane id is threaded through trace pid lanes and exported rows
+	// so per-plane traffic stays separable after export.
+	Plane     int
+	PlaneName string
+
 	// Chans is the per-channel counter set; nil when Opts.Counters is
 	// false.
 	Chans *ChannelCounters

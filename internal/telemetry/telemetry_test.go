@@ -26,9 +26,9 @@ func runWithCollector(t *testing.T, combo exp.Combo, n int, opts telemetry.Optio
 	var col *telemetry.Collector
 	_, _, err = exp.RunTrials(exp.TrialSpec{
 		Machine: m, Nodes: n, Trials: 1, Seed: 1, Build: build,
-		Attach: func(_ int, f *fabric.Fabric) {
+		Attach: func(_ int, msgr fabric.Messenger) {
 			col = telemetry.New(m.G, opts)
-			f.AttachTelemetry(col)
+			msgr.(*fabric.Fabric).AttachTelemetry(col)
 		},
 	})
 	if err != nil {

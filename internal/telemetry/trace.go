@@ -20,6 +20,13 @@ const (
 	TracePidFabric = 1
 	// TracePidSM is the trace process lane for faults and SM sweeps.
 	TracePidSM = 2
+	// TracePlaneStride separates the pid lanes of successive planes of a
+	// multi-plane machine: plane p's fabric traffic renders as pid
+	// TracePidFabric + p*TracePlaneStride, its subnet manager as
+	// TracePidSM + p*TracePlaneStride. The stride is applied inside
+	// Span/Instant from the collector's Plane field, so every layer that
+	// traces through a plane's collector lands on that plane's lanes.
+	TracePlaneStride = 10
 )
 
 type traceEvent struct {
@@ -44,7 +51,7 @@ func (c *Collector) Span(pid, tid int, cat, name string, start, end sim.Time, ar
 	c.trace = append(c.trace, traceEvent{
 		Name: name, Cat: cat, Ph: "X",
 		Ts: usec(start), Dur: usec(end - start),
-		Pid: pid, Tid: tid, Args: args,
+		Pid: pid + TracePlaneStride*c.Plane, Tid: tid, Args: args,
 	})
 }
 
@@ -55,7 +62,7 @@ func (c *Collector) Instant(pid, tid int, cat, name string, at sim.Time, args ma
 	}
 	c.trace = append(c.trace, traceEvent{
 		Name: name, Cat: cat, Ph: "i", S: "t",
-		Ts: usec(at), Pid: pid, Tid: tid, Args: args,
+		Ts: usec(at), Pid: pid + TracePlaneStride*c.Plane, Tid: tid, Args: args,
 	})
 }
 
@@ -67,7 +74,10 @@ func (c *Collector) traceMsg(r *MsgRecord) {
 	}
 	name := fmt.Sprintf("msg %d->%d", r.Src, r.Dst)
 	cat := "msg"
-	if !r.Delivered {
+	switch {
+	case r.Redispatched:
+		cat = "msg-redispatched"
+	case !r.Delivered:
 		cat = "msg-lost"
 	}
 	args := map[string]any{"bytes": r.Size, "hops": r.Hops}
@@ -85,10 +95,31 @@ func (c *Collector) TraceLen() int {
 	return len(c.trace)
 }
 
+// metaEvents names the collector's pid lanes with "M"-phase process_name
+// metadata, so Perfetto shows "fabric [hyperx]" instead of a bare pid.
+func (c *Collector) metaEvents() []traceEvent {
+	if !c.Opts.Trace {
+		return nil
+	}
+	suffix := ""
+	if c.PlaneName != "" {
+		suffix = " [" + c.PlaneName + "]"
+	}
+	name := func(n string) map[string]any { return map[string]any{"name": n + suffix} }
+	return []traceEvent{
+		{Name: "process_name", Ph: "M", Pid: TracePidFabric + TracePlaneStride*c.Plane, Args: name("fabric")},
+		{Name: "process_name", Ph: "M", Pid: TracePidSM + TracePlaneStride*c.Plane, Args: name("subnet-manager")},
+	}
+}
+
 // WriteTrace emits the buffered timeline as Chrome trace_event JSON
 // (object form with a traceEvents array, displayTimeUnit ms).
 func (c *Collector) WriteTrace(w io.Writer) error {
-	events := c.trace
+	return writeTraceDoc(w, append(c.metaEvents(), c.trace...))
+}
+
+// writeTraceDoc encodes a trace_event document around any event list.
+func writeTraceDoc(w io.Writer, events []traceEvent) error {
 	if events == nil {
 		events = []traceEvent{}
 	}

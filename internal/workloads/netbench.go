@@ -31,7 +31,7 @@ type MpiGraphResult struct {
 // mpiGraph: for each offset k, every rank i streams msgSize bytes to rank
 // (i+k) mod n simultaneously, so shared cables show up as dark bands.
 // Equivalent to MpiGraphWindow with a window of 1.
-func MpiGraph(f *fabric.Fabric, ranks []topo.NodeID, msgSize int64) *MpiGraphResult {
+func MpiGraph(f fabric.Messenger, ranks []topo.NodeID, msgSize int64) *MpiGraphResult {
 	return MpiGraphWindow(f, ranks, msgSize, 1)
 }
 
@@ -39,7 +39,7 @@ func MpiGraph(f *fabric.Fabric, ranks []topo.NodeID, msgSize int64) *MpiGraphRes
 // concurrently, like the real benchmark's send window — deepening
 // congestion on shared cables and pulling the averages toward the paper's
 // at-scale numbers.
-func MpiGraphWindow(f *fabric.Fabric, ranks []topo.NodeID, msgSize int64, window int) *MpiGraphResult {
+func MpiGraphWindow(f fabric.Messenger, ranks []topo.NodeID, msgSize int64, window int) *MpiGraphResult {
 	n := len(ranks)
 	if window < 1 {
 		window = 1
@@ -49,7 +49,7 @@ func MpiGraphWindow(f *fabric.Fabric, ranks []topo.NodeID, msgSize int64, window
 		res.BW[i] = make([]float64, n)
 	}
 	for k := 1; k < n; k += window {
-		start := f.Eng.Now()
+		start := f.Engine().Now()
 		for w := 0; w < window && k+w < n; w++ {
 			for i := 0; i < n; i++ {
 				src, dst := i, (i+k+w)%n
@@ -58,7 +58,7 @@ func MpiGraphWindow(f *fabric.Fabric, ranks []topo.NodeID, msgSize int64, window
 				})
 			}
 		}
-		f.Eng.Run()
+		f.Engine().Run()
 	}
 	var sum float64
 	cnt := 0
@@ -98,7 +98,7 @@ type EBBResult struct {
 // random bisections of the allocation; in each, every pair exchanges
 // msgSize bytes in both directions simultaneously and the per-pair
 // bandwidth is averaged. The paper uses 1000 samples of 1 MiB.
-func EffectiveBisectionBandwidth(f *fabric.Fabric, ranks []topo.NodeID, samples int, msgSize int64, seed uint64) (*EBBResult, error) {
+func EffectiveBisectionBandwidth(f fabric.Messenger, ranks []topo.NodeID, samples int, msgSize int64, seed uint64) (*EBBResult, error) {
 	n := len(ranks)
 	if n < 2 {
 		return nil, fmt.Errorf("workloads: eBB needs >= 2 nodes")
@@ -108,7 +108,7 @@ func EffectiveBisectionBandwidth(f *fabric.Fabric, ranks []topo.NodeID, samples 
 	pairs := n / 2
 	for s := 0; s < samples; s++ {
 		perm := rng.Perm(n)
-		start := f.Eng.Now()
+		start := f.Engine().Now()
 		pairBW := make([]float64, pairs)
 		for p := 0; p < pairs; p++ {
 			a, b := ranks[perm[2*p]], ranks[perm[2*p+1]]
@@ -126,7 +126,7 @@ func EffectiveBisectionBandwidth(f *fabric.Fabric, ranks []topo.NodeID, samples 
 			f.Send(a, b, msgSize, func(at sim.Time) { tA = at; record() })
 			f.Send(b, a, msgSize, func(at sim.Time) { tB = at; record() })
 		}
-		f.Eng.Run()
+		f.Engine().Run()
 		var mean float64
 		for _, bw := range pairBW {
 			mean += bw
