@@ -2,7 +2,7 @@
 
 DATE := $(shell date +%F)
 
-.PHONY: all build test race vet check bench bench-check
+.PHONY: all build test race vet check bench bench-check bench-solver
 
 # BASELINE is the committed bench document bench-check compares against;
 # override with `make bench-check BASELINE=BENCH_....json`.
@@ -21,6 +21,7 @@ vet:
 
 race:
 	go test -race ./internal/...
+	go test -race -tags flowref ./internal/flow/ ./internal/fabric/ ./internal/telemetry/
 
 check: vet build test race
 	go run ./cmd/topocheck -degrade -1 -seed 42
@@ -32,7 +33,14 @@ bench:
 	go test -run xxx -bench . -benchtime 1x . | go run ./cmd/benchjson -out BENCH_$(DATE).json
 	@echo "baseline written to BENCH_$(DATE).json"
 
-# bench-check reruns the benchmarks once and compares ns/op against the
-# newest committed baseline, warning (not failing) on >10% regressions.
+# bench-check reruns the benchmarks once and compares ns/op plus the
+# "/s" throughput metrics against the newest committed baseline, warning
+# (not failing) on >10% regressions.
 bench-check:
 	go test -run xxx -bench . -benchtime 1x . | go run ./cmd/benchjson -baseline $(BASELINE) > /dev/null
+
+# bench-solver reruns only the flow-solver churn microbench with enough
+# iterations for stable flows/s numbers — the 1x figures from bench are
+# too noisy to compare solvers on. Use this when touching internal/flow.
+bench-solver:
+	go test -run xxx -bench BenchmarkSolverChurn -benchtime 100x .

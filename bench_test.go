@@ -424,3 +424,127 @@ func BenchmarkCDGInsertion(b *testing.B) {
 		}
 	}
 }
+
+// --- flow-solver microbench (DESIGN.md Sec. 7) ---
+
+// solverChurnPaths pre-resolves nflows paths on the 6x4 HyperX under one
+// of two contention shapes:
+//
+//   - "local": flows are spread round-robin over 12 disjoint
+//     adjacent-switch pairs (3-channel paths: inject, direct link,
+//     deliver), so the contention graph splits into 12 independent
+//     components and a churned flow dirties only its own — the shape the
+//     incremental solver's region recompute is built for.
+//   - "uniform": DFSSSP-routed paths between scattered terminal pairs,
+//     one network-spanning component — the incremental solver's worst
+//     case, degenerating into a heap-driven full solve.
+func solverChurnPaths(b *testing.B, hx *topo.HyperX, pattern string, nflows int) [][]topo.ChannelID {
+	b.Helper()
+	g := hx.Graph
+	paths := make([][]topo.ChannelID, 0, nflows)
+	switch pattern {
+	case "local":
+		type pair struct {
+			a, z   topo.NodeID
+			direct topo.ChannelID
+		}
+		var pairs []pair
+		for x := 0; x < 6; x += 2 {
+			for y := 0; y < 4; y++ {
+				a, z := hx.SwitchAt(x, y), hx.SwitchAt(x+1, y)
+				for _, l := range g.UpLinks(a) {
+					if l.Other(a) == z {
+						pairs = append(pairs, pair{a, z, l.Channel(a)})
+						break
+					}
+				}
+			}
+		}
+		for i := 0; i < nflows; i++ {
+			pr := pairs[i%len(pairs)]
+			srcs, dsts := hx.TerminalsOf(pr.a), hx.TerminalsOf(pr.z)
+			src := srcs[(i/len(pairs))%len(srcs)]
+			dst := dsts[(i/len(pairs)+1)%len(dsts)]
+			paths = append(paths, []topo.ChannelID{
+				g.Nodes[src].Ports[0].Channel(src), pr.direct, g.Nodes[dst].Ports[0].Channel(pr.z),
+			})
+		}
+	case "uniform":
+		tb, err := route.DFSSSP(g, 0, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		terms := hx.Terminals()
+		for i := 0; len(paths) < nflows; i++ {
+			src := terms[i%len(terms)]
+			dst := terms[(i*7+3)%len(terms)]
+			if src == dst {
+				continue
+			}
+			p, err := tb.Path(src, tb.BaseLID[tb.TermIndex(dst)])
+			if err != nil {
+				b.Fatal(err)
+			}
+			paths = append(paths, p)
+		}
+	default:
+		b.Fatalf("unknown pattern %q", pattern)
+	}
+	return paths
+}
+
+// BenchmarkSolverChurn measures steady-state solver throughput: with N
+// long-lived concurrent flows, each op cancels one flow, starts a
+// replacement on the same path, and settles the rates. The flows/s metric
+// is the churn events absorbed per second. The reference solver is
+// skipped at 100k flows: its per-Start advanceAll makes even the harness
+// setup quadratic there, which is the point of the incremental solver.
+func BenchmarkSolverChurn(b *testing.B) {
+	for _, pattern := range []string{"local", "uniform"} {
+		pattern := pattern
+		b.Run(pattern, func(b *testing.B) {
+			for _, nflows := range []int{1000, 10000, 100000} {
+				nflows := nflows
+				b.Run(fmt.Sprintf("flows=%d", nflows), func(b *testing.B) {
+					solvers := []struct {
+						name string
+						s    flow.Solver
+					}{{"incremental", flow.SolverIncremental}}
+					if nflows <= 10000 {
+						solvers = append(solvers, struct {
+							name string
+							s    flow.Solver
+						}{"reference", flow.SolverReference})
+					}
+					for _, sv := range solvers {
+						sv := sv
+						b.Run(sv.name, func(b *testing.B) {
+							hx := benchHX()
+							paths := solverChurnPaths(b, hx, pattern, nflows)
+							eng := sim.NewEngine()
+							net := flow.NewNetwork(eng, hx.Graph)
+							net.SetSolver(sv.s)
+							ids := make([]flow.FlowID, nflows)
+							for i, p := range paths {
+								// Effectively-infinite sizes: nothing
+								// completes, so every op measures pure
+								// cancel+start+settle churn.
+								ids[i] = net.Start(p, 1e15, func(sim.Time) {})
+							}
+							eng.RunUntil(0)
+							b.ResetTimer()
+							for i := 0; i < b.N; i++ {
+								k := i % nflows
+								net.Cancel(ids[k])
+								ids[k] = net.Start(paths[k], 1e15, func(sim.Time) {})
+								eng.RunUntil(0)
+							}
+							b.StopTimer()
+							b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "flows/s")
+						})
+					}
+				})
+			}
+		})
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -95,10 +96,12 @@ func main() {
 	}
 }
 
-// compareBaseline diffs ns/op per benchmark name against a committed
-// document and prints the movers to stderr. Regressions past warnPct get a
-// WARNING prefix; benchmarks present on only one side are listed so a
-// renamed hot path doesn't silently drop out of the comparison.
+// compareBaseline diffs ns/op (lower is better) and every "/s"-suffixed
+// throughput metric (higher is better, e.g. the solver bench's flows/s)
+// per benchmark name against a committed document and prints the movers
+// to stderr. Regressions past warnPct get a WARNING prefix; benchmarks
+// present on only one side are listed so a renamed hot path doesn't
+// silently drop out of the comparison.
 func compareBaseline(cur Doc, path string, warnPct float64) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -108,42 +111,69 @@ func compareBaseline(cur Doc, path string, warnPct float64) {
 	if err := json.Unmarshal(raw, &base); err != nil {
 		fatal(fmt.Errorf("parsing baseline %s: %w", path, err))
 	}
-	baseNs := make(map[string]float64, len(base.Benchmarks))
+	baseMet := make(map[string]map[string]float64, len(base.Benchmarks))
 	for _, e := range base.Benchmarks {
-		if v, ok := e.Metrics["ns/op"]; ok {
-			baseNs[e.Name] = v
-		}
+		baseMet[e.Name] = e.Metrics
 	}
-	fmt.Fprintf(os.Stderr, "\nbenchjson: comparing ns/op against %s (warn at +%.0f%%)\n", path, warnPct)
+	fmt.Fprintf(os.Stderr, "\nbenchjson: comparing against %s (warn at %.0f%%)\n", path, warnPct)
 	var regressions int
 	for _, e := range cur.Benchmarks {
-		v, ok := e.Metrics["ns/op"]
+		bm, ok := baseMet[e.Name]
+		delete(baseMet, e.Name)
 		if !ok {
+			if v, has := e.Metrics["ns/op"]; has {
+				fmt.Fprintf(os.Stderr, "  new       %-50s %14.0f ns/op (no baseline)\n", e.Name, v)
+			}
 			continue
 		}
-		b, ok := baseNs[e.Name]
-		delete(baseNs, e.Name)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "  new       %-50s %14.0f ns/op (no baseline)\n", e.Name, v)
-			continue
-		}
-		pct := 100 * (v/b - 1)
-		switch {
-		case b > 0 && pct > warnPct:
-			regressions++
-			fmt.Fprintf(os.Stderr, "  WARNING   %-50s %14.0f ns/op, %+.1f%% vs baseline %.0f\n",
-				e.Name, v, pct, b)
-		default:
-			fmt.Fprintf(os.Stderr, "  ok        %-50s %14.0f ns/op, %+.1f%%\n", e.Name, v, pct)
+		for _, unit := range compareUnits(e.Metrics) {
+			v, b := e.Metrics[unit], bm[unit]
+			if b <= 0 {
+				continue
+			}
+			// For time-per-op an increase regresses; for throughput a
+			// decrease does. Normalize so positive pct always means worse.
+			pct := 100 * (v/b - 1)
+			if strings.HasSuffix(unit, "/s") {
+				pct = -pct
+			}
+			switch {
+			case pct > warnPct:
+				regressions++
+				fmt.Fprintf(os.Stderr, "  WARNING   %-50s %14.1f %s, %.1f%% worse than baseline %.1f\n",
+					e.Name, v, unit, pct, b)
+			default:
+				fmt.Fprintf(os.Stderr, "  ok        %-50s %14.1f %s, %+.1f%% vs baseline\n",
+					e.Name, v, unit, -pct)
+			}
 		}
 	}
-	for name, b := range baseNs {
-		fmt.Fprintf(os.Stderr, "  missing   %-50s baseline %14.0f ns/op, absent from this run\n", name, b)
+	for name, bm := range baseMet {
+		if b, ok := bm["ns/op"]; ok {
+			fmt.Fprintf(os.Stderr, "  missing   %-50s baseline %14.0f ns/op, absent from this run\n", name, b)
+		}
 	}
 	if regressions > 0 {
 		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed past +%.0f%% — re-measure with a longer -benchtime before trusting this\n",
 			regressions, warnPct)
 	}
+}
+
+// compareUnits lists the comparable metrics of one entry: ns/op plus any
+// throughput ("/s") metrics, in a deterministic order.
+func compareUnits(m map[string]float64) []string {
+	units := make([]string, 0, 2)
+	if _, ok := m["ns/op"]; ok {
+		units = append(units, "ns/op")
+	}
+	var th []string
+	for u := range m {
+		if strings.HasSuffix(u, "/s") {
+			th = append(th, u)
+		}
+	}
+	sort.Strings(th)
+	return append(units, th...)
 }
 
 // parseBench decodes one result line: name, iteration count, then

@@ -143,7 +143,9 @@ func (f *Fabric) attempt(m *pendingSend) {
 				m.onDelivered(e.Now())
 			})
 		})
-		if f.res != nil && id != 0 {
+		// Zero-size flows get a real, cancellable ID too, so a link dying
+		// under a header-only message tears it down like any other.
+		if f.res != nil {
 			f.inflight[id] = m
 		}
 	})

@@ -1,0 +1,104 @@
+package fabric
+
+import (
+	"testing"
+
+	"github.com/hpcsim/t2hx/internal/route"
+	"github.com/hpcsim/t2hx/internal/sim"
+	"github.com/hpcsim/t2hx/internal/topo"
+)
+
+// A zero-size (header-only) message occupies the fabric for an instant —
+// between wire time and its same-instant completion — and a link dying in
+// exactly that window must tear it down and feed the retry loop, not let
+// the "delivery" fire over a dead path. Before flow.Start returned live
+// IDs for zero-size flows, these messages were invisible to FailChannels
+// (the sentinel ID 0 was skipped) and their callbacks fired regardless.
+func TestFailChannelsTearsDownZeroSizeFlow(t *testing.T) {
+	hx, f, eng := resilientFabric(t)
+	f.EnableResilience(Resilience{RetryBackoff: 10 * sim.Microsecond, MaxRetries: 8})
+	src := hx.Terminals()[0]
+	dst := hx.Terminals()[15]
+
+	path, err := f.Tables.Path(src, f.Tables.BaseLID[f.Tables.TermIndex(dst)])
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := hx.Graph.Link(path[1]) // first switch-to-switch hop
+	wire := f.Params.SendOverhead + f.PathLatency(path)
+
+	var deliveries []sim.Time
+	f.Send(src, dst, 0, func(at sim.Time) { deliveries = append(deliveries, at) })
+
+	// The flow starts at exactly `wire` and completes at the same instant
+	// (zero bytes to stream). This event is scheduled after Send, so it
+	// runs between those two: the cable dies while the header is "on the
+	// wire".
+	eng.Schedule(wire, func(*sim.Engine) {
+		victim.Down = true
+		if n := f.FailChannels(func(c topo.ChannelID) bool { return hx.Graph.Link(c) == victim }); n != 1 {
+			t.Errorf("tore down %d flows, want 1 (the zero-size flow)", n)
+		}
+	})
+	// The "SM" routes around the failure a little later.
+	eng.Schedule(100*sim.Microsecond, func(*sim.Engine) {
+		nt, err := route.SSSP(hx.Graph, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.SwapTables(nt); err != nil {
+			t.Fatal(err)
+		}
+	})
+	eng.Run()
+
+	if len(deliveries) != 1 {
+		t.Fatalf("callback fired %d times, want exactly once (after the retry)", len(deliveries))
+	}
+	if deliveries[0] <= wire {
+		t.Errorf("delivered at %v, not after the teardown at %v", deliveries[0], wire)
+	}
+	if f.TornDown != 1 {
+		t.Errorf("TornDown = %d, want 1", f.TornDown)
+	}
+	if f.Retries == 0 {
+		t.Error("no retries recorded for the torn-down zero-size message")
+	}
+	if f.GiveUps != 0 {
+		t.Errorf("GiveUps = %d, want 0", f.GiveUps)
+	}
+	if f.Delivered != 1 {
+		t.Errorf("Delivered = %d, want 1", f.Delivered)
+	}
+	if len(f.inflight) != 0 {
+		t.Errorf("%d flows left in the inflight map after delivery", len(f.inflight))
+	}
+}
+
+// The redelivered path of a torn-down zero-size message must avoid the
+// dead link, and an un-failed zero-size message must still deliver at
+// wire time with no retry bookkeeping.
+func TestZeroSizeDeliversAtWireTimeUnderResilience(t *testing.T) {
+	hx, f, eng := resilientFabric(t)
+	f.EnableResilience(Resilience{})
+	src := hx.Terminals()[0]
+	dst := hx.Terminals()[15]
+	path, err := f.Tables.Path(src, f.Tables.BaseLID[f.Tables.TermIndex(dst)])
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := f.Params.SendOverhead + f.PathLatency(path) + f.Params.RecvOverhead
+	delivered := sim.Time(-1)
+	f.Send(src, dst, 0, func(at sim.Time) { delivered = at })
+	eng.Run()
+	if delivered != wire {
+		t.Errorf("zero-size delivered at %v, want %v", delivered, wire)
+	}
+	if f.TornDown != 0 || f.Retries != 0 || f.GiveUps != 0 {
+		t.Errorf("spurious fault bookkeeping: torndown=%d retries=%d giveups=%d",
+			f.TornDown, f.Retries, f.GiveUps)
+	}
+	if len(f.inflight) != 0 {
+		t.Errorf("%d flows left in the inflight map", len(f.inflight))
+	}
+}

@@ -7,11 +7,27 @@
 // phenomenon — many flows squeezed onto one QDR cable — is modelled
 // exactly, while per-packet effects are folded into latency and overhead
 // terms handled by internal/fabric.
+//
+// Two solvers compute the allocation (DESIGN.md §7):
+//
+//   - SolverIncremental (the default): a min-heap over channel fair
+//     shares replaces the linear bottleneck scan, and each settle
+//     re-solves only the connected region of the flow/channel contention
+//     graph reachable from the channels whose flow membership actually
+//     changed. Because distinct components of that graph share no
+//     channels, the restricted re-solve is exactly the global max-min
+//     allocation; when the dirty region spans the whole network it
+//     degenerates into a (heap-driven) full solve.
+//   - SolverReference: the original O(active flows × touched channels)
+//     progressive filling, kept as the oracle the incremental solver is
+//     property-tested against. Build with `-tags flowref` to make it the
+//     default.
 package flow
 
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"github.com/hpcsim/t2hx/internal/sim"
 	"github.com/hpcsim/t2hx/internal/telemetry"
@@ -34,7 +50,31 @@ type Flow struct {
 	// IB-counter bookkeeping, maintained only when counters are attached.
 	solo float64
 	bott topo.ChannelID
+
+	// last is the flow's integration frontier: Remaining is exact as of
+	// this time. With counters attached every flow advances in lockstep
+	// (the exact-integration contract); without, flows advance lazily so
+	// a partial recompute never pays for flows outside its region.
+	last sim.Time
+	// pos[i] is the flow's slot index in Network.chanFlows[Path[i]]
+	// (incremental solver only; enables O(1) membership removal).
+	pos []int32
+	// mark is the region-BFS epoch stamp (incremental solver).
+	mark uint64
+	// doneGen invalidates stale completion-heap entries: an entry is live
+	// only while its recorded generation matches.
+	doneGen uint64
 }
+
+// Solver selects the max-min rate computation strategy.
+type Solver uint8
+
+const (
+	// SolverIncremental is the heap + dirty-region solver.
+	SolverIncremental Solver = iota
+	// SolverReference is the original full progressive-filling scan.
+	SolverReference
+)
 
 // Network simulates concurrent flows over a topology's directed channels.
 type Network struct {
@@ -44,15 +84,55 @@ type Network struct {
 	flows  map[FlowID]*Flow
 	nextID FlowID
 
-	lastAdvance sim.Time
-	dirty       bool
-	settleEv    *sim.Event
-	doneEv      *sim.Event
+	dirty    bool
+	settleEv *sim.Event
+	doneEv   *sim.Event
+
+	solver Solver
+
+	// zeroPending tracks the same-instant completion events of zero-size
+	// flows so Cancel honors its contract ("aborts a flow without firing
+	// its callback") for them too.
+	zeroPending map[FlowID]*sim.Event
 
 	// Recomputes counts rate recomputations (for ablation benchmarks).
 	Recomputes uint64
-	// scratch buffers reused across recomputations.
+	// perChanFlows is the reference solver's scratch index, rebuilt from
+	// scratch on every recompute (that full rebuild is precisely what the
+	// incremental solver's persistent membership avoids).
 	perChanFlows map[topo.ChannelID][]*Flow
+
+	// --- incremental solver state (see solver_incremental.go) ---
+
+	// chanFlows is the persistent channel -> flow membership, parallel to
+	// caps; maintained on Start/Cancel/completion instead of rebuilt per
+	// recompute.
+	chanFlows [][]chanSlot
+	// dirtyChans lists channels whose membership changed since the last
+	// recompute; dirtyStamp dedupes against dirtyEpoch.
+	dirtyChans []topo.ChannelID
+	dirtyStamp []uint64
+	dirtyEpoch uint64
+	// epoch stamps region discovery (regionStamp per channel, Flow.mark
+	// per flow) so no per-solve clearing is needed.
+	epoch       uint64
+	regionStamp []uint64
+	// Per-channel progressive-filling state, valid only for channels
+	// stamped in the current solve.
+	residual    []float64
+	unfrozenCnt []int32
+	chanGen     []uint32
+	pushedGen   []uint32
+	// Scratch reused across solves.
+	shareHeap   shareHeap
+	tieScratch  []shareEntry
+	regionChans []topo.ChannelID
+	regionFlows []*Flow
+	freeze      []*Flow
+	doneScratch []*Flow
+	// doneHeap orders predicted completion times; entries invalidate
+	// lazily via Flow.doneGen.
+	doneHeap doneHeap
 
 	// cc receives IB-style per-channel counters, fed exactly on every
 	// advance/recompute interval; nil (the default) costs one pointer
@@ -60,14 +140,19 @@ type Network struct {
 	cc *telemetry.ChannelCounters
 }
 
-// NewNetwork builds a flow network over g's channels, driven by eng.
+// NewNetwork builds a flow network over g's channels, driven by eng. The
+// solver defaults to SolverIncremental (SolverReference under the flowref
+// build tag); use SetSolver before starting traffic to override.
 func NewNetwork(eng *sim.Engine, g *topo.Graph) *Network {
 	n := &Network{
 		eng:          eng,
 		caps:         make([]float64, 2*len(g.Links)),
 		flows:        make(map[FlowID]*Flow),
 		perChanFlows: make(map[topo.ChannelID][]*Flow),
+		zeroPending:  make(map[FlowID]*sim.Event),
 		nextID:       1,
+		solver:       defaultSolver,
+		dirtyEpoch:   1,
 	}
 	for _, l := range g.Links {
 		n.caps[2*l.ID] = l.Bandwidth
@@ -75,6 +160,19 @@ func NewNetwork(eng *sim.Engine, g *topo.Graph) *Network {
 	}
 	return n
 }
+
+// SetSolver selects the rate solver. It must be called before any flow
+// starts: the two solvers keep different bookkeeping, so switching with
+// active flows panics.
+func (n *Network) SetSolver(s Solver) {
+	if len(n.flows) != 0 {
+		panic("flow: SetSolver with active flows")
+	}
+	n.solver = s
+}
+
+// SolverKind reports the active solver.
+func (n *Network) SolverKind() Solver { return n.solver }
 
 // AddNodeChannels appends count virtual channels of the given capacity and
 // returns the ID of the first one. The fabric layer uses these to model
@@ -96,22 +194,33 @@ func (n *Network) AddNodeChannels(count int, capacity float64) topo.ChannelID {
 // piecewise-constant rate trajectory the max-min model computes.
 func (n *Network) SetCounters(cc *telemetry.ChannelCounters) { n.cc = cc }
 
-// Active reports the number of in-flight flows.
+// Active reports the number of in-flight flows (zero-size flows, which
+// complete at the current instant, are not counted).
 func (n *Network) Active() int { return len(n.flows) }
 
 // Start begins transferring size bytes along path; onDone fires when the
 // last byte has been put on the wire. Zero/negative sizes complete at the
-// current time. The path must be non-empty for positive sizes.
+// current time but still return a live FlowID: cancelling it before the
+// same-instant completion event fires suppresses the callback, per the
+// Cancel contract. The path must be non-empty for positive sizes.
 func (n *Network) Start(path []topo.ChannelID, size float64, onDone func(at sim.Time)) FlowID {
+	id := n.nextID
+	n.nextID++
 	if size <= 0 {
-		n.eng.After(0, func(e *sim.Engine) { onDone(e.Now()) })
-		return 0
+		ev := n.eng.After(0, func(e *sim.Engine) {
+			delete(n.zeroPending, id)
+			onDone(e.Now())
+		})
+		n.zeroPending[id] = ev
+		return id
 	}
 	if len(path) == 0 {
 		panic("flow: positive-size flow with empty path")
 	}
-	n.advance()
-	f := &Flow{ID: n.nextID, Path: path, Remaining: size, OnDone: onDone}
+	if n.cc != nil || n.solver == SolverReference {
+		n.advanceAll()
+	}
+	f := &Flow{ID: id, Path: path, Remaining: size, OnDone: onDone, last: n.eng.Now()}
 	if n.cc != nil {
 		f.solo = math.Inf(1)
 		for _, c := range path {
@@ -120,47 +229,77 @@ func (n *Network) Start(path []topo.ChannelID, size float64, onDone func(at sim.
 			}
 		}
 	}
-	n.nextID++
-	n.flows[f.ID] = f
+	n.flows[id] = f
+	if n.solver == SolverIncremental {
+		n.addMembership(f)
+	}
 	n.markDirty()
-	return f.ID
+	return id
 }
 
 // Cancel aborts a flow without firing its callback. Unknown IDs are
-// ignored.
+// ignored. The partial bytes a cancelled flow moved before this instant
+// stay credited to the attached counters — that is what keeps the
+// bytes×hops conservation identity exact under mid-flight teardown.
 func (n *Network) Cancel(id FlowID) {
-	if _, ok := n.flows[id]; !ok {
+	if ev, ok := n.zeroPending[id]; ok {
+		n.eng.Cancel(ev)
+		delete(n.zeroPending, id)
 		return
 	}
-	n.advance()
-	delete(n.flows, id)
+	f, ok := n.flows[id]
+	if !ok {
+		return
+	}
+	if n.cc != nil || n.solver == SolverReference {
+		n.advanceAll()
+	}
+	n.removeFlow(f)
 	n.markDirty()
 }
 
-// advance integrates transferred bytes up to the current time. Rates are
-// piecewise-constant between recomputes, so crediting rate*dt per interval
-// makes the attached counters exact rather than sampled approximations.
-func (n *Network) advance() {
-	now := n.eng.Now()
-	dt := float64(now - n.lastAdvance)
+// removeFlow detaches a flow from every solver structure; the caller has
+// already integrated its transferred bytes up to now.
+func (n *Network) removeFlow(f *Flow) {
+	if n.solver == SolverIncremental {
+		n.removeMembership(f)
+	}
+	f.doneGen++ // invalidate any completion-heap entry
+	delete(n.flows, f.ID)
+}
+
+// advanceFlow integrates one flow's transferred bytes up to now. Rates
+// are piecewise-constant between recomputes, so crediting rate*dt per
+// interval makes the attached counters exact rather than sampled
+// approximations.
+func (n *Network) advanceFlow(f *Flow, now sim.Time) {
+	dt := float64(now - f.last)
 	if dt > 0 {
-		for _, f := range n.flows {
-			moved := f.Rate * dt
-			f.Remaining -= moved
-			if n.cc != nil {
-				for _, c := range f.Path {
-					n.cc.AddXmit(c, moved)
-				}
-				if f.solo > 0 && f.Rate < f.solo {
-					// The flow spent this interval below its bottleneck-free
-					// rate: charge the stalled fraction to the channel that
-					// froze it — the PortXmitWait analogue.
-					n.cc.AddWait(f.bott, sim.Duration(dt*(1-f.Rate/f.solo)))
-				}
+		moved := f.Rate * dt
+		f.Remaining -= moved
+		if n.cc != nil {
+			for _, c := range f.Path {
+				n.cc.AddXmit(c, moved)
+			}
+			if f.solo > 0 && f.Rate < f.solo {
+				// The flow spent this interval below its bottleneck-free
+				// rate: charge the stalled fraction to the channel that
+				// froze it — the PortXmitWait analogue.
+				n.cc.AddWait(f.bott, sim.Duration(dt*(1-f.Rate/f.solo)))
 			}
 		}
 	}
-	n.lastAdvance = now
+	f.last = now
+}
+
+// advanceAll integrates every flow up to the current time. Mandatory with
+// counters attached (the integrals must cover every interval); the
+// incremental solver otherwise advances lazily per flow.
+func (n *Network) advanceAll() {
+	now := n.eng.Now()
+	for _, f := range n.flows {
+		n.advanceFlow(f, now)
+	}
 }
 
 // markDirty schedules a same-instant settle event that recomputes rates
@@ -182,123 +321,41 @@ func (n *Network) settle() {
 		return
 	}
 	n.dirty = false
-	n.advance()
-	n.recompute()
-	n.scheduleNextDone()
-}
-
-// recompute performs progressive filling: repeatedly find the channel with
-// the smallest fair share among unfrozen flows, freeze its flows at that
-// rate, reduce residual capacities, and continue until every flow is
-// frozen.
-func (n *Network) recompute() {
-	n.Recomputes++
-	if len(n.flows) == 0 {
+	if n.solver == SolverReference {
+		n.advanceAll()
+		n.recomputeReference()
+		n.scheduleNextDoneScan()
 		return
 	}
-	// Build channel -> flows index (only channels actually used).
-	for c := range n.perChanFlows {
-		delete(n.perChanFlows, c)
+	if n.cc != nil {
+		n.advanceAll()
 	}
-	for _, f := range n.flows {
-		f.Rate = -1 // unfrozen
-		for _, c := range f.Path {
-			n.perChanFlows[c] = append(n.perChanFlows[c], f)
-		}
-	}
-	residual := make(map[topo.ChannelID]float64, len(n.perChanFlows))
-	unfrozen := make(map[topo.ChannelID]int, len(n.perChanFlows))
-	for c, fs := range n.perChanFlows {
-		residual[c] = n.caps[c]
-		unfrozen[c] = len(fs)
-		if n.cc != nil {
-			n.cc.NoteActive(c, len(fs))
-		}
-	}
-	remaining := len(n.flows)
-	for remaining > 0 {
-		// Bottleneck channel: minimal residual/unfrozen.
-		var bott topo.ChannelID
-		share := math.Inf(1)
-		found := false
-		for c, u := range unfrozen {
-			if u == 0 {
-				continue
-			}
-			s := residual[c] / float64(u)
-			if s < share || (s == share && (!found || c < bott)) {
-				share = s
-				bott = c
-				found = true
-			}
-		}
-		if !found {
-			panic("flow: unfrozen flows but no bottleneck channel")
-		}
-		// Freeze every unfrozen flow crossing the bottleneck.
-		for _, f := range n.perChanFlows[bott] {
-			if f.Rate >= 0 {
-				continue
-			}
-			f.Rate = share
-			f.bott = bott
-			remaining--
-			for _, c := range f.Path {
-				residual[c] -= share
-				if residual[c] < 0 {
-					residual[c] = 0
-				}
-				unfrozen[c]--
-			}
-		}
-	}
-}
-
-// scheduleNextDone finds the earliest completing flow(s) and schedules the
-// completion event.
-func (n *Network) scheduleNextDone() {
-	if n.doneEv != nil {
-		n.eng.Cancel(n.doneEv)
-		n.doneEv = nil
-	}
-	if len(n.flows) == 0 {
-		return
-	}
-	soonest := sim.Infinity
-	for _, f := range n.flows {
-		if f.Rate <= 0 {
-			panic(fmt.Sprintf("flow %d has rate %v", f.ID, f.Rate))
-		}
-		t := n.eng.Now() + sim.Time(f.Remaining/f.Rate)
-		if t < soonest {
-			soonest = t
-		}
-	}
-	n.doneEv = n.eng.Schedule(soonest, func(e *sim.Engine) {
-		n.doneEv = nil
-		n.completeDue()
-	})
+	n.recomputeIncremental()
+	n.scheduleNextDoneHeap()
 }
 
 // completeDue finishes every flow whose remaining bytes have drained
 // (within a relative epsilon to absorb float error), fires callbacks, and
 // settles.
 func (n *Network) completeDue() {
-	n.advance()
-	var done []*Flow
-	for _, f := range n.flows {
-		if f.Remaining <= f.Rate*1e-12+1e-6 {
-			done = append(done, f)
-		}
+	if n.solver == SolverReference {
+		n.completeDueScan()
+		return
 	}
-	// Deterministic callback order.
-	for i := 0; i < len(done); i++ {
-		for j := i + 1; j < len(done); j++ {
-			if done[j].ID < done[i].ID {
-				done[i], done[j] = done[j], done[i]
-			}
-		}
-	}
+	n.completeDueHeap()
+}
+
+// drained reports whether a flow's remaining bytes are within float noise
+// of zero.
+func drained(f *Flow) bool {
+	return f.Remaining <= f.Rate*1e-12+1e-6
+}
+
+// finishFlows removes the done flows (crediting the float-integration
+// residue so bytes×hops conservation holds exactly), re-settles, and
+// fires the callbacks in deterministic ID order.
+func (n *Network) finishFlows(done []*Flow) {
+	sort.Slice(done, func(i, j int) bool { return done[i].ID < done[j].ID })
 	for _, f := range done {
 		if n.cc != nil {
 			// Round the attributed bytes to exactly the flow's size: the
@@ -309,14 +366,62 @@ func (n *Network) completeDue() {
 				n.cc.AddXmit(c, f.Remaining)
 			}
 		}
-		delete(n.flows, f.ID)
+		n.removeFlow(f)
 	}
 	n.markDirty()
+	now := n.eng.Now()
 	for _, f := range done {
-		f.OnDone(n.eng.Now())
+		f.OnDone(now)
 	}
-	if len(done) == 0 {
-		// Numerical guard: re-schedule.
-		n.markDirty()
+}
+
+// scheduleDoneAt points the completion event at t, reusing the queued
+// event when possible.
+func (n *Network) scheduleDoneAt(t sim.Time) {
+	if n.doneEv != nil && n.eng.Reschedule(n.doneEv, t) {
+		return
+	}
+	n.doneEv = n.eng.Schedule(t, func(*sim.Engine) {
+		n.doneEv = nil
+		n.completeDue()
+	})
+}
+
+// cancelDoneEv drops the pending completion event, if any.
+func (n *Network) cancelDoneEv() {
+	if n.doneEv != nil {
+		n.eng.Cancel(n.doneEv)
+		n.doneEv = nil
+	}
+}
+
+// shareEps is the relative tolerance under which two channel fair shares
+// count as equal. Mathematically-equal shares computed in different
+// orders can differ in the last ulp; comparing exactly would make the
+// frozen-channel choice (and thus XmitWait attribution) depend on
+// summation order, i.e. nondeterministic across platforms. Within the
+// tolerance the smallest channel ID wins.
+const shareEps = 1e-9
+
+// sharesEqual is the epsilon-tolerant share comparison.
+func sharesEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	m := a
+	if b > m {
+		m = b
+	}
+	return d <= shareEps*m
+}
+
+// checkRate guards the solver invariant that every settled flow moves.
+func checkRate(f *Flow) {
+	if f.Rate <= 0 {
+		panic(fmt.Sprintf("flow %d has rate %v", f.ID, f.Rate))
 	}
 }

@@ -1,0 +1,7 @@
+//go:build !flowref
+
+package flow
+
+// defaultSolver selects the incremental heap/dirty-region solver unless
+// the flowref build tag pins the reference implementation.
+const defaultSolver = SolverIncremental

@@ -1,0 +1,8 @@
+//go:build flowref
+
+package flow
+
+// defaultSolver under the flowref tag: every Network uses the reference
+// progressive-filling solver unless SetSolver overrides it. CI runs the
+// flow tests under this tag so the oracle stays a working implementation.
+const defaultSolver = SolverReference

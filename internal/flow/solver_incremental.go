@@ -1,0 +1,419 @@
+package flow
+
+import (
+	"container/heap"
+
+	"github.com/hpcsim/t2hx/internal/sim"
+	"github.com/hpcsim/t2hx/internal/topo"
+)
+
+// This file is the incremental max-min solver. Three ideas replace the
+// reference solver's per-settle full re-solve:
+//
+//  1. Persistent membership: chanFlows (channel -> flows, with O(1)
+//     swap-remove via Flow.pos) is maintained on Start/Cancel/completion
+//     instead of being rebuilt from every active flow on every settle.
+//  2. Dirty-region re-solve: a settle re-rates only the connected region
+//     of the flow/channel contention graph reachable from channels whose
+//     membership changed. Distinct components share no channels, so the
+//     global max-min allocation decomposes per component; re-solving the
+//     touched components from scratch while keeping every other flow's
+//     rate is exactly the global solution. When the dirty region spans
+//     the whole network this degenerates into a full (heap-driven) solve.
+//  3. Heaps for both bottleneck selection (shareHeap over channel fair
+//     shares, lazily invalidated by chanGen) and completion scheduling
+//     (doneHeap over predicted finish times, lazily invalidated by
+//     Flow.doneGen), replacing the linear scans.
+//
+// Determinism: region channels are initialized and frozen in an order
+// fixed by (share, channel ID) with the epsilon tie-break, and flows on a
+// bottleneck freeze in ID order, so the float arithmetic — and therefore
+// rates, XmitWait attribution and event timing — is reproducible.
+
+// chanSlot is one entry of a channel's flow membership list; hop is the
+// flow's path index for this channel, so a swap-remove can repair the
+// moved flow's back-pointer in O(1).
+type chanSlot struct {
+	f   *Flow
+	hop int32
+}
+
+// shareEntry is a (fair share, channel) candidate in the bottleneck heap;
+// stale entries are recognized by gen != chanGen[c].
+type shareEntry struct {
+	share float64
+	c     topo.ChannelID
+	gen   uint32
+}
+
+type shareHeap []shareEntry
+
+func (h shareHeap) Len() int { return len(h) }
+func (h shareHeap) Less(i, j int) bool {
+	if h[i].share != h[j].share {
+		return h[i].share < h[j].share
+	}
+	return h[i].c < h[j].c
+}
+func (h shareHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *shareHeap) Push(x any)        { *h = append(*h, x.(shareEntry)) }
+func (h *shareHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// doneEntry is a predicted flow completion; stale entries are recognized
+// by gen != f.doneGen.
+type doneEntry struct {
+	at  sim.Time
+	id  FlowID
+	f   *Flow
+	gen uint64
+}
+
+type doneHeap []doneEntry
+
+func (h doneHeap) Len() int { return len(h) }
+func (h doneHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].id < h[j].id
+}
+func (h doneHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *doneHeap) Push(x any)   { *h = append(*h, x.(doneEntry)) }
+func (h *doneHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = doneEntry{}
+	*h = old[:n-1]
+	return e
+}
+
+// ensureChanArrays grows the per-channel solver arrays to cover every
+// capacity slot (AddNodeChannels appends after construction).
+func (n *Network) ensureChanArrays() {
+	if len(n.chanFlows) >= len(n.caps) {
+		return
+	}
+	grow := len(n.caps)
+	for len(n.chanFlows) < grow {
+		n.chanFlows = append(n.chanFlows, nil)
+	}
+	n.dirtyStamp = append(n.dirtyStamp, make([]uint64, grow-len(n.dirtyStamp))...)
+	n.regionStamp = append(n.regionStamp, make([]uint64, grow-len(n.regionStamp))...)
+	n.residual = append(n.residual, make([]float64, grow-len(n.residual))...)
+	n.unfrozenCnt = append(n.unfrozenCnt, make([]int32, grow-len(n.unfrozenCnt))...)
+	n.chanGen = append(n.chanGen, make([]uint32, grow-len(n.chanGen))...)
+	n.pushedGen = append(n.pushedGen, make([]uint32, grow-len(n.pushedGen))...)
+}
+
+// dirtyChan records a membership change on c for the next recompute.
+func (n *Network) dirtyChan(c topo.ChannelID) {
+	if n.dirtyStamp[c] == n.dirtyEpoch {
+		return
+	}
+	n.dirtyStamp[c] = n.dirtyEpoch
+	n.dirtyChans = append(n.dirtyChans, c)
+}
+
+// addMembership inserts f into the membership list of every channel it
+// crosses, dirtying them.
+func (n *Network) addMembership(f *Flow) {
+	n.ensureChanArrays()
+	f.pos = make([]int32, len(f.Path))
+	for i, c := range f.Path {
+		f.pos[i] = int32(len(n.chanFlows[c]))
+		n.chanFlows[c] = append(n.chanFlows[c], chanSlot{f: f, hop: int32(i)})
+		n.dirtyChan(c)
+	}
+}
+
+// removeMembership swap-removes f from its channels' membership lists,
+// dirtying them.
+func (n *Network) removeMembership(f *Flow) {
+	for i, c := range f.Path {
+		s := n.chanFlows[c]
+		idx := f.pos[i]
+		last := int32(len(s) - 1)
+		if idx != last {
+			moved := s[last]
+			s[idx] = moved
+			moved.f.pos[moved.hop] = idx
+		}
+		s[last] = chanSlot{}
+		n.chanFlows[c] = s[:last]
+		n.dirtyChan(c)
+	}
+}
+
+// consumeDirty resets the dirty set for the next interval.
+func (n *Network) consumeDirty() {
+	n.dirtyChans = n.dirtyChans[:0]
+	n.dirtyEpoch++
+}
+
+// recomputeIncremental re-solves the region of the contention graph
+// touched by the dirty channels; flows outside it keep their rates.
+func (n *Network) recomputeIncremental() {
+	n.Recomputes++
+	if len(n.dirtyChans) == 0 {
+		return
+	}
+	if len(n.flows) == 0 {
+		n.consumeDirty()
+		return
+	}
+	now := n.eng.Now()
+	// Region discovery: BFS over the flow/channel bipartite graph from
+	// the dirty channels.
+	n.epoch++
+	ep := n.epoch
+	regionChans := n.regionChans[:0]
+	regionFlows := n.regionFlows[:0]
+	for _, c := range n.dirtyChans {
+		if n.regionStamp[c] != ep {
+			n.regionStamp[c] = ep
+			regionChans = append(regionChans, c)
+		}
+	}
+	n.consumeDirty()
+	for head := 0; head < len(regionChans); head++ {
+		for _, sl := range n.chanFlows[regionChans[head]] {
+			f := sl.f
+			if f.mark == ep {
+				continue
+			}
+			f.mark = ep
+			regionFlows = append(regionFlows, f)
+			for _, c2 := range f.Path {
+				if n.regionStamp[c2] != ep {
+					n.regionStamp[c2] = ep
+					regionChans = append(regionChans, c2)
+				}
+			}
+		}
+	}
+	n.regionChans = regionChans
+	n.regionFlows = regionFlows
+	if len(regionFlows) == 0 {
+		return
+	}
+	// Integrate region flows to now under their outgoing rates before
+	// re-rating them (with counters attached advanceAll already did).
+	if n.cc == nil {
+		for _, f := range regionFlows {
+			n.advanceFlow(f, now)
+		}
+	}
+	// Progressive filling restricted to the region, bottleneck selection
+	// via the share heap.
+	h := &n.shareHeap
+	*h = (*h)[:0]
+	for _, c := range regionChans {
+		cnt := int32(len(n.chanFlows[c]))
+		n.residual[c] = n.caps[c]
+		n.unfrozenCnt[c] = cnt
+		n.chanGen[c]++
+		if cnt > 0 {
+			if n.cc != nil {
+				n.cc.NoteActive(c, int(cnt))
+			}
+			n.pushedGen[c] = n.chanGen[c]
+			*h = append(*h, shareEntry{share: n.caps[c] / float64(cnt), c: c, gen: n.chanGen[c]})
+		}
+	}
+	heap.Init(h)
+	for _, f := range regionFlows {
+		f.Rate = -1 // unfrozen
+	}
+	remaining := len(regionFlows)
+	for remaining > 0 {
+		e, ok := n.popValidShare()
+		if !ok {
+			panic("flow: unfrozen flows but no bottleneck channel")
+		}
+		// Epsilon tie-break: gather every live candidate whose share is
+		// equal to the minimum within tolerance and freeze the smallest
+		// channel ID, so last-ulp share differences cannot flip the
+		// bottleneck choice. Candidates are held aside and re-queued
+		// after the choice (re-queueing inside the scan would just pop
+		// the same minimum again).
+		best := e
+		ties := n.tieScratch[:0]
+		for len(*h) > 0 {
+			top := (*h)[0]
+			if top.gen != n.chanGen[top.c] {
+				heap.Pop(h)
+				continue
+			}
+			if !sharesEqual(top.share, e.share) {
+				break
+			}
+			heap.Pop(h)
+			if top.c < best.c {
+				ties = append(ties, best)
+				best = top
+			} else {
+				ties = append(ties, top)
+			}
+		}
+		remaining -= n.freezeChannel(best.c, best.share)
+		for _, t := range ties {
+			n.pushBack(t)
+		}
+		n.tieScratch = ties[:0]
+	}
+	// Predict completions for every re-rated flow.
+	for _, f := range regionFlows {
+		checkRate(f)
+		f.doneGen++
+		heap.Push(&n.doneHeap, doneEntry{
+			at:  now + sim.Time(f.Remaining/f.Rate),
+			id:  f.ID,
+			f:   f,
+			gen: f.doneGen,
+		})
+	}
+	n.maybeCompactDoneHeap()
+}
+
+// popValidShare pops heap entries until one reflects current state.
+func (n *Network) popValidShare() (shareEntry, bool) {
+	h := &n.shareHeap
+	for len(*h) > 0 {
+		e := heap.Pop(h).(shareEntry)
+		if e.gen == n.chanGen[e.c] {
+			return e, true
+		}
+	}
+	return shareEntry{}, false
+}
+
+// pushBack re-inserts a still-live candidate popped during tie-breaking.
+func (n *Network) pushBack(e shareEntry) {
+	if e.gen == n.chanGen[e.c] {
+		heap.Push(&n.shareHeap, e)
+	}
+}
+
+// freezeChannel freezes every unfrozen flow crossing bott at share (in
+// flow-ID order, for deterministic float arithmetic), updates residuals
+// and re-queues the touched channels. Returns the number frozen.
+func (n *Network) freezeChannel(bott topo.ChannelID, share float64) int {
+	fs := n.freeze[:0]
+	for _, sl := range n.chanFlows[bott] {
+		if sl.f.Rate < 0 {
+			fs = append(fs, sl.f)
+		}
+	}
+	// Insertion sort by ID: bottleneck freeze sets are usually small, and
+	// membership order is insertion order, already mostly sorted.
+	for i := 1; i < len(fs); i++ {
+		for j := i; j > 0 && fs[j].ID < fs[j-1].ID; j-- {
+			fs[j], fs[j-1] = fs[j-1], fs[j]
+		}
+	}
+	for _, f := range fs {
+		f.Rate = share
+		f.bott = bott
+		for _, c := range f.Path {
+			n.residual[c] -= share
+			if n.residual[c] < 0 {
+				n.residual[c] = 0
+			}
+			n.unfrozenCnt[c]--
+			n.chanGen[c]++
+		}
+	}
+	// Re-queue each touched channel once, at its updated share.
+	for _, f := range fs {
+		for _, c := range f.Path {
+			if n.unfrozenCnt[c] > 0 && n.pushedGen[c] != n.chanGen[c] {
+				n.pushedGen[c] = n.chanGen[c]
+				heap.Push(&n.shareHeap, shareEntry{
+					share: n.residual[c] / float64(n.unfrozenCnt[c]),
+					c:     c,
+					gen:   n.chanGen[c],
+				})
+			}
+		}
+	}
+	n.freeze = fs[:0]
+	return len(fs)
+}
+
+// scheduleNextDoneHeap points the completion event at the earliest live
+// prediction.
+func (n *Network) scheduleNextDoneHeap() {
+	h := &n.doneHeap
+	for len(*h) > 0 && (*h)[0].gen != (*h)[0].f.doneGen {
+		heap.Pop(h)
+	}
+	if len(*h) == 0 {
+		n.cancelDoneEv()
+		return
+	}
+	n.scheduleDoneAt((*h)[0].at)
+}
+
+// completeDueHeap finishes every flow whose live prediction has come due.
+// A popped flow whose remaining bytes have not in fact drained (float
+// drift between the prediction and the integration) is re-queued at a
+// corrected, strictly-future time, guaranteeing progress.
+func (n *Network) completeDueHeap() {
+	now := n.eng.Now()
+	if n.cc != nil {
+		n.advanceAll()
+	}
+	done := n.doneScratch[:0]
+	h := &n.doneHeap
+	for len(*h) > 0 {
+		top := (*h)[0]
+		if top.gen != top.f.doneGen {
+			heap.Pop(h)
+			continue
+		}
+		if top.at > now {
+			break
+		}
+		heap.Pop(h)
+		f := top.f
+		n.advanceFlow(f, now)
+		if drained(f) {
+			done = append(done, f)
+			continue
+		}
+		f.doneGen++
+		t := now + sim.Time(f.Remaining/f.Rate)
+		if t <= now {
+			done = append(done, f) // residue below time resolution
+			continue
+		}
+		heap.Push(h, doneEntry{at: t, id: f.ID, f: f, gen: f.doneGen})
+	}
+	n.doneScratch = done[:0]
+	if len(done) == 0 {
+		n.scheduleNextDoneHeap()
+		return
+	}
+	n.finishFlows(done)
+}
+
+// maybeCompactDoneHeap drops accumulated stale entries once they dominate
+// the heap, bounding memory under churn-heavy workloads.
+func (n *Network) maybeCompactDoneHeap() {
+	h := n.doneHeap
+	if len(h) <= 4*len(n.flows)+64 {
+		return
+	}
+	live := h[:0]
+	for _, e := range h {
+		if e.gen == e.f.doneGen {
+			live = append(live, e)
+		}
+	}
+	for i := len(live); i < len(h); i++ {
+		h[i] = doneEntry{}
+	}
+	n.doneHeap = live
+	heap.Init(&n.doneHeap)
+}

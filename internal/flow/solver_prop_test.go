@@ -1,0 +1,241 @@
+package flow
+
+import (
+	"math"
+	"testing"
+
+	"github.com/hpcsim/t2hx/internal/sim"
+	"github.com/hpcsim/t2hx/internal/telemetry"
+	"github.com/hpcsim/t2hx/internal/topo"
+)
+
+// This file property-tests SolverIncremental against SolverReference: on
+// randomized fabric/workload instances the two must agree on every flow's
+// completion time, the mid-run rate of every active flow, the per-channel
+// XmitData integrals, the total XmitWait, and the makespan — and each run
+// must independently satisfy the bytes x hops conservation identity, even
+// when flows are cancelled mid-flight.
+
+// propOp is one scheduled action of a generated workload: a flow start or
+// a cancel of a previously started flow.
+type propOp struct {
+	at     sim.Time
+	cancel bool
+	idx    int
+	size   float64
+	path   []topo.ChannelID
+}
+
+// propInstance is a reproducible topology + workload pair.
+type propInstance struct {
+	g      *topo.Graph
+	ops    []propOp
+	nflows int
+}
+
+// randomWalkPath builds a loop-free multi-hop path from terminal a through
+// the switch lattice to a random destination terminal: inject channel, 0-3
+// switch-to-switch hops, deliver channel.
+func randomWalkPath(r *sim.Rand, hx *topo.HyperX, a topo.NodeID) []topo.ChannelID {
+	g := hx.Graph
+	p := []topo.ChannelID{g.Nodes[a].Ports[0].Channel(a)}
+	cur := hx.SwitchOf(a)
+	visited := map[topo.NodeID]bool{cur: true}
+	hops := r.Intn(4)
+	for h := 0; h < hops; h++ {
+		var next []*topo.Link
+		for _, l := range g.UpLinks(cur) {
+			o := l.Other(cur)
+			if g.Nodes[o].Kind == topo.Switch && !visited[o] {
+				next = append(next, l)
+			}
+		}
+		if len(next) == 0 {
+			break
+		}
+		l := next[r.Intn(len(next))]
+		p = append(p, l.Channel(cur))
+		cur = l.Other(cur)
+		visited[cur] = true
+	}
+	dsts := g.TerminalsOf(cur)
+	b := dsts[r.Intn(len(dsts))]
+	return append(p, g.Nodes[b].Ports[0].Channel(cur))
+}
+
+// genInstance derives a random small HyperX and a workload of 5-40 flows
+// with staggered starts, mixed sizes (including zero-size header flows),
+// and ~25% mid-flight cancels from one seed.
+func genInstance(seed uint64) propInstance {
+	r := sim.NewRand(seed)
+	shapes := [][]int{{2, 2}, {3, 3}, {2, 4}, {4, 2}}
+	hx := topo.NewHyperX(topo.HyperXConfig{
+		S: shapes[r.Intn(len(shapes))], T: 1 + r.Intn(3), Bandwidth: 1e6, Latency: 0,
+	})
+	terms := hx.Graph.Terminals()
+	inst := propInstance{g: hx.Graph, nflows: 5 + r.Intn(36)}
+	for k := 0; k < inst.nflows; k++ {
+		start := sim.Time(r.Float64() * 0.5)
+		op := propOp{at: start, idx: k}
+		if r.Float64() < 0.08 {
+			// Zero-size header flow; path irrelevant.
+			inst.ops = append(inst.ops, op)
+			continue
+		}
+		op.size = math.Pow(10, 2+4*r.Float64())
+		op.path = randomWalkPath(r, hx, terms[r.Intn(len(terms))])
+		inst.ops = append(inst.ops, op)
+		if r.Float64() < 0.25 {
+			inst.ops = append(inst.ops, propOp{
+				at: start + sim.Time(r.Float64()*0.5), cancel: true, idx: k,
+			})
+		}
+	}
+	return inst
+}
+
+// propResult captures everything one run of an instance must agree on.
+type propResult struct {
+	doneAt     map[int]sim.Time
+	ratesAt    map[int]float64 // active-flow rates at the snapshot instant
+	xmit       []float64
+	waitTotal  sim.Duration
+	makespan   sim.Time
+	movedHops  float64 // independently measured bytes x hops
+	creditedBH float64 // sum of counter XmitData over all channels
+}
+
+// runPropInstance replays inst's ops on a fresh engine/network under the
+// given solver. Cancels and starts are scheduled in generation order, so
+// the engine's (time, seq) FIFO makes the interleaving identical across
+// solvers. movedHops is measured from flow state at each cancel/completion
+// boundary, independently of the counters it is later checked against.
+func runPropInstance(t *testing.T, inst propInstance, s Solver) propResult {
+	t.Helper()
+	eng := sim.NewEngine()
+	net := NewNetwork(eng, inst.g)
+	net.SetSolver(s)
+	cc := telemetry.NewChannelCounters(inst.g)
+	net.SetCounters(cc)
+
+	res := propResult{doneAt: map[int]sim.Time{}, ratesAt: map[int]float64{}}
+	ids := make([]FlowID, inst.nflows)
+	sizes := make([]float64, inst.nflows)
+	for _, op := range inst.ops {
+		op := op
+		if op.cancel {
+			eng.Schedule(op.at, func(*sim.Engine) {
+				if f, ok := net.flows[ids[op.idx]]; ok {
+					// Integrate up to now, then measure the partial bytes
+					// this cancel strands: they must stay credited.
+					net.advanceAll()
+					res.movedHops += (sizes[op.idx] - f.Remaining) * float64(len(f.Path))
+				}
+				net.Cancel(ids[op.idx])
+			})
+			continue
+		}
+		sizes[op.idx] = op.size
+		eng.Schedule(op.at, func(*sim.Engine) {
+			ids[op.idx] = net.Start(op.path, op.size, func(at sim.Time) {
+				res.doneAt[op.idx] = at
+				res.movedHops += op.size * float64(len(op.path))
+				if at > res.makespan {
+					res.makespan = at
+				}
+			})
+		})
+	}
+
+	// Mid-run rate snapshot: the max-min allocation itself, not just its
+	// integral, must match across solvers.
+	eng.RunUntil(0.3)
+	idxOf := map[FlowID]int{}
+	for k, id := range ids {
+		idxOf[id] = k
+	}
+	for id, f := range net.flows {
+		res.ratesAt[idxOf[id]] = f.Rate
+	}
+	eng.Run()
+
+	if net.Active() != 0 {
+		t.Fatalf("solver %d: %d flows still active after drain", s, net.Active())
+	}
+	res.xmit = cc.XmitData
+	res.creditedBH = cc.TotalXmitData()
+	for _, d := range cc.XmitWait {
+		res.waitTotal += d
+	}
+	res.waitTotal += cc.HCAWait
+	return res
+}
+
+func relClose(a, b, relEps, absEps float64) bool {
+	d := math.Abs(a - b)
+	m := math.Max(math.Abs(a), math.Abs(b))
+	return d <= absEps || d <= relEps*m
+}
+
+// TestSolverEquivalenceProperty is the acceptance property for the
+// incremental solver: on >= 120 randomized instances it must be
+// indistinguishable from the reference solver.
+func TestSolverEquivalenceProperty(t *testing.T) {
+	const instances = 120
+	for seed := uint64(0); seed < instances; seed++ {
+		inst := genInstance(seed)
+		inc := runPropInstance(t, inst, SolverIncremental)
+		ref := runPropInstance(t, inst, SolverReference)
+
+		// Identical completion sets and times.
+		if len(inc.doneAt) != len(ref.doneAt) {
+			t.Fatalf("seed %d: %d completions (incremental) vs %d (reference)",
+				seed, len(inc.doneAt), len(ref.doneAt))
+		}
+		for k, at := range ref.doneAt {
+			got, ok := inc.doneAt[k]
+			if !ok {
+				t.Fatalf("seed %d: flow %d completed only under reference", seed, k)
+			}
+			if !relClose(float64(got), float64(at), 1e-9, 1e-12) {
+				t.Errorf("seed %d: flow %d done at %v (incremental) vs %v (reference)",
+					seed, k, got, at)
+			}
+		}
+		if !relClose(float64(inc.makespan), float64(ref.makespan), 1e-9, 1e-12) {
+			t.Errorf("seed %d: makespan %v vs %v", seed, inc.makespan, ref.makespan)
+		}
+
+		// Identical mid-run allocations.
+		if len(inc.ratesAt) != len(ref.ratesAt) {
+			t.Fatalf("seed %d: %d active flows at snapshot vs %d",
+				seed, len(inc.ratesAt), len(ref.ratesAt))
+		}
+		for k, rr := range ref.ratesAt {
+			if !relClose(inc.ratesAt[k], rr, 1e-9, 1e-9) {
+				t.Errorf("seed %d: flow %d rate %v (incremental) vs %v (reference)",
+					seed, k, inc.ratesAt[k], rr)
+			}
+		}
+
+		// Identical counter integrals.
+		for c := range ref.xmit {
+			if !relClose(inc.xmit[c], ref.xmit[c], 1e-6, 1e-6) {
+				t.Errorf("seed %d: channel %d XmitData %v vs %v",
+					seed, c, inc.xmit[c], ref.xmit[c])
+			}
+		}
+		if !relClose(float64(inc.waitTotal), float64(ref.waitTotal), 1e-6, 1e-9) {
+			t.Errorf("seed %d: total XmitWait %v vs %v", seed, inc.waitTotal, ref.waitTotal)
+		}
+
+		// Each run independently conserves bytes x hops — completed flows
+		// credit their full size, cancelled flows exactly their partial.
+		for name, r := range map[string]propResult{"incremental": inc, "reference": ref} {
+			if !relClose(r.creditedBH, r.movedHops, 1e-9, 1e-6) {
+				t.Errorf("seed %d (%s): counters credit %v bytes x hops, flows moved %v",
+					seed, name, r.creditedBH, r.movedHops)
+			}
+		}
+	}
+}

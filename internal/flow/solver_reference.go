@@ -1,0 +1,123 @@
+package flow
+
+import (
+	"math"
+
+	"github.com/hpcsim/t2hx/internal/sim"
+	"github.com/hpcsim/t2hx/internal/topo"
+)
+
+// This file is the reference max-min solver: the original full
+// progressive-filling implementation, O(active flows × touched channels)
+// per settle. It is kept as the oracle the incremental solver is
+// property-tested against (TestSolversAgree) and as the baseline of the
+// solver microbench (BenchmarkSolverChurn); build with `-tags flowref`
+// to make it the package default.
+
+// recomputeReference performs progressive filling from scratch:
+// repeatedly find the channel with the smallest fair share among unfrozen
+// flows, freeze its flows at that rate, reduce residual capacities, and
+// continue until every flow is frozen.
+func (n *Network) recomputeReference() {
+	n.Recomputes++
+	if len(n.flows) == 0 {
+		return
+	}
+	// Build channel -> flows index (only channels actually used).
+	for c := range n.perChanFlows {
+		delete(n.perChanFlows, c)
+	}
+	for _, f := range n.flows {
+		f.Rate = -1 // unfrozen
+		for _, c := range f.Path {
+			n.perChanFlows[c] = append(n.perChanFlows[c], f)
+		}
+	}
+	residual := make(map[topo.ChannelID]float64, len(n.perChanFlows))
+	unfrozen := make(map[topo.ChannelID]int, len(n.perChanFlows))
+	for c, fs := range n.perChanFlows {
+		residual[c] = n.caps[c]
+		unfrozen[c] = len(fs)
+		if n.cc != nil {
+			n.cc.NoteActive(c, len(fs))
+		}
+	}
+	remaining := len(n.flows)
+	for remaining > 0 {
+		// Bottleneck channel: minimal residual/unfrozen, epsilon-equal
+		// shares resolved toward the smallest channel ID.
+		var bott topo.ChannelID
+		share := math.Inf(1)
+		found := false
+		for c, u := range unfrozen {
+			if u == 0 {
+				continue
+			}
+			s := residual[c] / float64(u)
+			switch {
+			case !found:
+				share, bott, found = s, c, true
+			case sharesEqual(s, share):
+				if c < bott {
+					share, bott = s, c
+				}
+			case s < share:
+				share, bott = s, c
+			}
+		}
+		if !found {
+			panic("flow: unfrozen flows but no bottleneck channel")
+		}
+		// Freeze every unfrozen flow crossing the bottleneck.
+		for _, f := range n.perChanFlows[bott] {
+			if f.Rate >= 0 {
+				continue
+			}
+			f.Rate = share
+			f.bott = bott
+			remaining--
+			for _, c := range f.Path {
+				residual[c] -= share
+				if residual[c] < 0 {
+					residual[c] = 0
+				}
+				unfrozen[c]--
+			}
+		}
+	}
+}
+
+// scheduleNextDoneScan finds the earliest completing flow(s) by a linear
+// scan and schedules the completion event.
+func (n *Network) scheduleNextDoneScan() {
+	if len(n.flows) == 0 {
+		n.cancelDoneEv()
+		return
+	}
+	soonest := sim.Infinity
+	for _, f := range n.flows {
+		checkRate(f)
+		t := n.eng.Now() + sim.Time(f.Remaining/f.Rate)
+		if t < soonest {
+			soonest = t
+		}
+	}
+	n.scheduleDoneAt(soonest)
+}
+
+// completeDueScan finishes every drained flow found by a full scan.
+func (n *Network) completeDueScan() {
+	n.advanceAll()
+	var done []*Flow
+	for _, f := range n.flows {
+		if drained(f) {
+			done = append(done, f)
+		}
+	}
+	if len(done) == 0 {
+		// Numerical guard: re-schedule.
+		n.markDirty()
+		return
+	}
+	n.finishFlows(done)
+}

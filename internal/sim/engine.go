@@ -117,6 +117,26 @@ func (e *Engine) After(d Duration, fn func(*Engine)) *Event {
 	return e.Schedule(e.now+d, fn)
 }
 
+// Reschedule moves a still-pending event to a new absolute time without
+// the Cancel+Schedule allocation and double heap rebalance. The event is
+// re-sequenced as if freshly scheduled, preserving FIFO order among
+// same-time events. Returns false if the event already fired or was
+// canceled (the caller should Schedule anew). Rescheduling into the past
+// panics, like Schedule.
+func (e *Engine) Reschedule(ev *Event, at Time) bool {
+	if ev == nil || ev.index < 0 {
+		return false
+	}
+	if at < e.now {
+		panic(fmt.Sprintf("sim: reschedule at %v before now %v", at, e.now))
+	}
+	ev.At = at
+	ev.Seq = e.seq
+	e.seq++
+	heap.Fix(&e.queue, ev.index)
+	return true
+}
+
 // Cancel removes a pending event. Canceling an already-fired or canceled
 // event is a no-op.
 func (e *Engine) Cancel(ev *Event) {

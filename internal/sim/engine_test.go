@@ -72,6 +72,57 @@ func TestEngineCancel(t *testing.T) {
 	e.Cancel(ev)
 }
 
+func TestEngineReschedule(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	ev := e.Schedule(5, func(*Engine) { got = append(got, 1) })
+	e.Schedule(3, func(*Engine) { got = append(got, 3) })
+	if !e.Reschedule(ev, 2) {
+		t.Fatal("Reschedule of a pending event returned false")
+	}
+	e.Run()
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("order = %v, want [1 3] (rescheduled event first)", got)
+	}
+	if e.Now() != 3 {
+		t.Errorf("Now() = %v, want 3", e.Now())
+	}
+	// A fired event cannot be rescheduled.
+	if e.Reschedule(ev, 10) {
+		t.Error("Reschedule of a fired event returned true")
+	}
+	if e.Reschedule(nil, 10) {
+		t.Error("Reschedule(nil) returned true")
+	}
+}
+
+func TestEngineRescheduleResequences(t *testing.T) {
+	// Rescheduling onto an occupied instant lands AFTER events already
+	// scheduled there — same FIFO rule as a fresh Schedule.
+	e := NewEngine()
+	var got []int
+	ev := e.Schedule(1, func(*Engine) { got = append(got, 1) })
+	e.Schedule(2, func(*Engine) { got = append(got, 2) })
+	e.Reschedule(ev, 2)
+	e.Run()
+	if len(got) != 2 || got[0] != 2 || got[1] != 1 {
+		t.Fatalf("order = %v, want [2 1] (reschedule re-sequences)", got)
+	}
+}
+
+func TestEngineReschedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	ev := e.Schedule(5, func(*Engine) {})
+	e.Schedule(3, func(*Engine) {})
+	e.Step()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic rescheduling into the past")
+		}
+	}()
+	e.Reschedule(ev, 1)
+}
+
 func TestEngineSchedulePastPanics(t *testing.T) {
 	e := NewEngine()
 	e.Schedule(5, func(*Engine) {})

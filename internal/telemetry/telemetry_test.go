@@ -9,6 +9,7 @@ import (
 
 	"github.com/hpcsim/t2hx/internal/exp"
 	"github.com/hpcsim/t2hx/internal/fabric"
+	"github.com/hpcsim/t2hx/internal/flow"
 	"github.com/hpcsim/t2hx/internal/sim"
 	"github.com/hpcsim/t2hx/internal/telemetry"
 	"github.com/hpcsim/t2hx/internal/workloads"
@@ -274,5 +275,76 @@ func TestDisabledCollectorIsInert(t *testing.T) {
 	col.Instant(1, 0, "cat", "name", 0, nil)
 	if col.TraceLen() != 0 {
 		t.Fatal("nil collector recorded trace events")
+	}
+}
+
+// runWithSolverCollector is runWithCollector with the flow solver pinned
+// before traffic starts.
+func runWithSolverCollector(t *testing.T, s flow.Solver, n int,
+	build func(n int) (*workloads.Instance, error)) *telemetry.Collector {
+	t.Helper()
+	combo := exp.PaperCombos()[2] // HyperX
+	m, err := exp.BuildMachine(combo, exp.MachineConfig{Small: true, Degrade: true, Seed: 1})
+	if err != nil {
+		t.Fatalf("BuildMachine(%s): %v", combo.Name, err)
+	}
+	var col *telemetry.Collector
+	_, _, err = exp.RunTrials(exp.TrialSpec{
+		Machine: m, Nodes: n, Trials: 1, Seed: 1, Build: build,
+		Attach: func(_ int, msgr fabric.Messenger) {
+			f := msgr.(*fabric.Fabric)
+			f.Net.SetSolver(s)
+			col = telemetry.New(m.G, telemetry.All())
+			f.AttachTelemetry(col)
+		},
+	})
+	if err != nil {
+		t.Fatalf("RunTrials(%s): %v", combo.Name, err)
+	}
+	return col
+}
+
+// TestConservationUnderPartialRecomputes drives the incremental solver
+// through a workload of four disjoint incast groups — exactly the shape
+// where its dirty-region recompute touches only a fraction of the fabric
+// per settle — and checks that (a) the bytes x hops identity still holds
+// and (b) every counter integral matches a reference-solver run of the
+// same workload. This is the telemetry-facing face of the solver
+// equivalence property: conservation must survive partial recomputes.
+func TestConservationUnderPartialRecomputes(t *testing.T) {
+	build := func(int) (*workloads.Instance, error) {
+		return workloads.BuildGroupedIncast(32, 4, 1<<20)
+	}
+	inc := runWithSolverCollector(t, flow.SolverIncremental, 32, build)
+	ref := runWithSolverCollector(t, flow.SolverReference, 32, build)
+
+	for name, col := range map[string]*telemetry.Collector{"incremental": inc, "reference": ref} {
+		sum := col.FCTSummary()
+		if sum.N == 0 || sum.Delivered != sum.N {
+			t.Fatalf("%s: want all messages delivered, got %d of %d", name, sum.Delivered, sum.N)
+		}
+		got, want := col.Chans.TotalXmitData(), sum.BytesHops
+		if want == 0 || math.Abs(got-want)/want > 1e-6 {
+			t.Fatalf("%s: conservation violated: XmitData sum %.6g, bytes*hops %.6g",
+				name, got, want)
+		}
+	}
+
+	for c := range ref.Chans.XmitData {
+		rd, id := ref.Chans.XmitData[c], inc.Chans.XmitData[c]
+		if math.Abs(id-rd) > 1e-6+1e-6*math.Abs(rd) {
+			t.Errorf("channel %d: XmitData %v (incremental) vs %v (reference)", c, id, rd)
+		}
+		rw, iw := float64(ref.Chans.XmitWait[c]), float64(inc.Chans.XmitWait[c])
+		if math.Abs(iw-rw) > 1e-9+1e-6*math.Abs(rw) {
+			t.Errorf("channel %d: XmitWait %v (incremental) vs %v (reference)", c, iw, rw)
+		}
+		if inc.Chans.ActiveHWM[c] != ref.Chans.ActiveHWM[c] {
+			t.Errorf("channel %d: ActiveHWM %d vs %d",
+				c, inc.Chans.ActiveHWM[c], ref.Chans.ActiveHWM[c])
+		}
+	}
+	if math.Abs(float64(inc.Chans.HCAWait-ref.Chans.HCAWait)) > 1e-9+1e-6*math.Abs(float64(ref.Chans.HCAWait)) {
+		t.Errorf("HCAWait %v (incremental) vs %v (reference)", inc.Chans.HCAWait, ref.Chans.HCAWait)
 	}
 }
