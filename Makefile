@@ -2,11 +2,17 @@
 
 DATE := $(shell date +%F)
 
-.PHONY: all build test race vet check bench bench-check bench-solver
+.PHONY: all build test race vet check bench bench-check bench-solver bench-sweep bench-sweep-check
 
 # BASELINE is the committed bench document bench-check compares against;
-# override with `make bench-check BASELINE=BENCH_....json`.
-BASELINE := $(lastword $(sort $(wildcard BENCH_*.json)))
+# override with `make bench-check BASELINE=BENCH_....json`. The sweep-
+# engine baselines live in their own BENCH_sweep_*.json documents (more
+# iterations, different cadence) and must not be picked up here.
+BASELINE := $(lastword $(sort $(filter-out BENCH_sweep_%,$(wildcard BENCH_*.json))))
+SWEEPBASELINE := $(lastword $(sort $(wildcard BENCH_sweep_*.json)))
+
+# The sweep-engine benchmarks (parallel runner + table cache).
+SWEEPBENCH := BenchmarkSweepParallel|BenchmarkTablesBuild
 
 all: check
 
@@ -44,3 +50,20 @@ bench-check:
 # too noisy to compare solvers on. Use this when touching internal/flow.
 bench-solver:
 	go test -run xxx -bench BenchmarkSolverChurn -benchtime 100x .
+
+# bench-sweep records the sweep-engine baseline: parallel-runner cells/s
+# at -j1 vs -j8 and table builds/s cold vs cached, with enough iterations
+# for stable throughput numbers. Committed as BENCH_sweep_<date>.json.
+# NOTE: the j=8/j=1 speedup scales with host cores; on a 1-CPU runner the
+# two are equal, so compare speedups only across same-shaped machines.
+bench-sweep:
+	go test -run xxx -bench '$(SWEEPBENCH)' -benchtime 5x . \
+		| go run ./cmd/benchjson -filter 'SweepParallel|TablesBuild' -out BENCH_sweep_$(DATE).json
+	@echo "sweep baseline written to BENCH_sweep_$(DATE).json"
+
+# bench-sweep-check reruns the sweep-engine benchmarks and compares their
+# "/s" throughput metrics against the newest committed sweep baseline
+# (warn-only, like bench-check).
+bench-sweep-check:
+	go test -run xxx -bench '$(SWEEPBENCH)' -benchtime 5x . \
+		| go run ./cmd/benchjson -filter 'SweepParallel|TablesBuild' -baseline $(SWEEPBASELINE) > /dev/null

@@ -425,6 +425,98 @@ func BenchmarkCDGInsertion(b *testing.B) {
 	}
 }
 
+// --- sweep-engine benches (DESIGN.md Sec. 8) ---
+
+// BenchmarkSweepParallel measures the multicore sweep engine: one op runs
+// a 10-cell mini-sweep (all five paper combos x two alltoall sizes, two
+// trials each, small planes) through exp.RunSweep at the given worker
+// count. The cells/s metric is what -j buys; the j=8/j=1 ratio is the
+// parallel speedup and needs >= 8 host cores to show fully (a 1-CPU
+// container reports ~1x). Results are bit-identical across j by
+// construction (TestSweepDeterministicAcrossWorkers).
+func BenchmarkSweepParallel(b *testing.B) {
+	mkCells := func() []exp.SweepCell {
+		var cells []exp.SweepCell
+		for _, c := range exp.PaperCombos() {
+			for _, sz := range []int64{4096, 65536} {
+				sz := sz
+				cells = append(cells, exp.SweepCell{
+					Label: fmt.Sprintf("%s/%d", c.Name, sz),
+					Combo: c,
+					Cfg:   exp.MachineConfig{Small: true, Degrade: true, Seed: 7},
+					Nodes: 16, Trials: 2, Jitter: 0.02,
+					Build: func(n int) (*workloads.Instance, error) {
+						return workloads.BuildIMB("alltoall", n, sz)
+					},
+				})
+			}
+		}
+		return cells
+	}
+	for _, j := range []int{1, 8} {
+		j := j
+		b.Run(fmt.Sprintf("j=%d", j), func(b *testing.B) {
+			cells := mkCells()
+			b.ResetTimer()
+			done := 0
+			for i := 0; i < b.N; i++ {
+				res, err := exp.RunSweep(exp.Runner{Workers: j, BaseSeed: 1}, cells)
+				if err != nil {
+					b.Fatal(err)
+				}
+				done += len(res)
+			}
+			b.ReportMetric(float64(done)/b.Elapsed().Seconds(), "cells/s")
+		})
+	}
+}
+
+// BenchmarkTablesBuild measures routing-table production on the 6x4
+// HyperX, cold (a full engine run per op) versus through the content-
+// addressed TableCache (hit + rebind per op). The builds/s gap is what the
+// cache saves every worker that requests an already-built (topology, mask,
+// engine) key.
+func BenchmarkTablesBuild(b *testing.B) {
+	engines := []struct {
+		name string
+		lmc  uint8
+		run  func(hx *topo.HyperX) (*route.Tables, error)
+	}{
+		{"sssp", 0, func(hx *topo.HyperX) (*route.Tables, error) { return route.SSSP(hx.Graph, 0) }},
+		{"dfsssp", 0, func(hx *topo.HyperX) (*route.Tables, error) { return route.DFSSSP(hx.Graph, 0, 8) }},
+		{"updown", 0, func(hx *topo.HyperX) (*route.Tables, error) { return route.UpDown(hx.Graph, 0) }},
+		{"parx", core.LMC, func(hx *topo.HyperX) (*route.Tables, error) { return core.PARX(hx, core.Config{MaxVL: 8}) }},
+	}
+	for _, eng := range engines {
+		eng := eng
+		b.Run(eng.name+"/cold", func(b *testing.B) {
+			hx := benchHX()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.run(hx); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "builds/s")
+		})
+		b.Run(eng.name+"/cached", func(b *testing.B) {
+			hx := benchHX()
+			cache := exp.NewTableCache(8)
+			build := func() (*route.Tables, error) { return eng.run(hx) }
+			if _, err := cache.Get(hx.Graph, eng.name, eng.lmc, build); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cache.Get(hx.Graph, eng.name, eng.lmc, build); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "builds/s")
+		})
+	}
+}
+
 // --- flow-solver microbench (DESIGN.md Sec. 7) ---
 
 // solverChurnPaths pre-resolves nflows paths on the 6x4 HyperX under one

@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -48,7 +49,17 @@ func main() {
 	out := flag.String("out", "", "output file (default stdout)")
 	baseline := flag.String("baseline", "", "committed BENCH_*.json to compare ns/op against (warn-only)")
 	warnPct := flag.Float64("warn", 10, "with -baseline: regression percentage that triggers a warning")
+	filter := flag.String("filter", "", "regexp over benchmark names; non-matches are dropped from the document and the baseline comparison")
 	flag.Parse()
+
+	var keep *regexp.Regexp
+	if *filter != "" {
+		re, err := regexp.Compile(*filter)
+		if err != nil {
+			fatal(fmt.Errorf("bad -filter: %w", err))
+		}
+		keep = re
+	}
 
 	doc := Doc{Benchmarks: []Entry{}}
 	sc := bufio.NewScanner(os.Stdin)
@@ -67,7 +78,7 @@ func main() {
 		case strings.HasPrefix(line, "cpu:"):
 			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
 		case strings.HasPrefix(line, "Benchmark"):
-			if e, ok := parseBench(line); ok {
+			if e, ok := parseBench(line); ok && (keep == nil || keep.MatchString(e.Name)) {
 				doc.Benchmarks = append(doc.Benchmarks, e)
 			}
 		}
@@ -92,7 +103,7 @@ func main() {
 	}
 
 	if *baseline != "" {
-		compareBaseline(doc, *baseline, *warnPct)
+		compareBaseline(doc, *baseline, *warnPct, keep)
 	}
 }
 
@@ -102,7 +113,7 @@ func main() {
 // to stderr. Regressions past warnPct get a WARNING prefix; benchmarks
 // present on only one side are listed so a renamed hot path doesn't
 // silently drop out of the comparison.
-func compareBaseline(cur Doc, path string, warnPct float64) {
+func compareBaseline(cur Doc, path string, warnPct float64, keep *regexp.Regexp) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		fatal(err)
@@ -113,7 +124,11 @@ func compareBaseline(cur Doc, path string, warnPct float64) {
 	}
 	baseMet := make(map[string]map[string]float64, len(base.Benchmarks))
 	for _, e := range base.Benchmarks {
-		baseMet[e.Name] = e.Metrics
+		// The -filter narrows the baseline too, so a partial run doesn't
+		// report every out-of-scope benchmark as "missing".
+		if keep == nil || keep.MatchString(e.Name) {
+			baseMet[e.Name] = e.Metrics
+		}
 	}
 	fmt.Fprintf(os.Stderr, "\nbenchjson: comparing against %s (warn at %.0f%%)\n", path, warnPct)
 	var regressions int

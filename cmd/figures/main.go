@@ -42,11 +42,13 @@ func main() {
 	ebbSamples := flag.Int("ebb-samples", 0, "Fig. 5c bisection samples (default 1000, or 50 with -small)")
 	csvDir := flag.String("csv", "", "also write each figure's data series as CSV into this directory")
 	noDegrade := flag.Bool("no-degrade", false, "build ideal fabrics without the paper's missing cables")
+	jobs := flag.Int("j", 0, "measurement workers for the grid/whisker figures (default GOMAXPROCS; output is identical at any -j)")
 	flag.Parse()
 
 	p := figures.Params{
 		Out: os.Stdout, MaxNodes: *nodes, Trials: *trials, Small: *small,
 		Seed: *seed, Degrade: !*noDegrade, PARXDemands: *parxDemands,
+		Workers: *jobs,
 	}
 	if *window > 0 {
 		p.CapacityWindow = sim.Duration(*window) * sim.Minute

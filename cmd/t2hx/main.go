@@ -12,7 +12,13 @@
 //	t2hx -combo 2 -bench ebb -n 56 -samples 100
 //	t2hx -combo 4 -bench mpigraph -n 28
 //	t2hx -faults -n 28 -size 262144
-//	t2hx -faults -combo 4 -failures 15 -detect 1ms -sweep 4ms
+//	t2hx -faults -combo 4 -failures 15 -detect 1ms -sweep-latency 4ms
+//
+// Multicore sweeps (all paper combos × message sizes over a worker pool;
+// results are bit-identical for any -j):
+//
+//	t2hx -sweep -bench imb:alltoall -n 28 -sizes 4096,65536,1048576 -j 8
+//	t2hx -faults -j 3
 //
 // Dual-plane machines (TSUBAME2's Fat-Tree rail + HyperX rail):
 //
@@ -64,7 +70,10 @@ func main() {
 	faultsMode := flag.Bool("faults", false, "resilience scenario: inject runtime link failures mid-run and re-sweep (uses imb:<op> benches; default alltoall)")
 	failures := flag.Int("failures", 0, "runtime link failures to inject (0 = paper count: 15 HyperX / 197 Fat-Tree)")
 	detect := flag.Duration("detect", 0, "SM failure-detection delay (0 = 1ms default)")
-	sweepLat := flag.Duration("sweep", 0, "SM re-sweep latency before tables go live (0 = 4ms default)")
+	sweepLat := flag.Duration("sweep-latency", 0, "SM re-sweep latency before tables go live (0 = 4ms default)")
+	sweepMode := flag.Bool("sweep", false, "sweep mode: run -bench across all paper combos x -sizes over the -j worker pool")
+	sizesF := flag.String("sizes", "", "comma-separated message sizes for -sweep (default: the single -size)")
+	jobs := flag.Int("j", 0, "worker pool size for -sweep and -faults batches (0 = GOMAXPROCS; results are identical for any -j)")
 	metricsOut := flag.String("metrics-out", "", "write run metrics + per-message FCT records + channel counters as JSONL to this file")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON timeline to this file (open in chrome://tracing or Perfetto)")
 	countersN := flag.Int("counters", 0, "after the run, print the N hottest channels by XmitWait (perfquery-style readout)")
@@ -140,8 +149,19 @@ func main() {
 		runFaults(selected, faultCLI{
 			op: op, n: *n, size: *size, failures: *failures, seed: *seed,
 			detect: sim.Duration(detect.Seconds()), sweep: sim.Duration(sweepLat.Seconds()),
-			small: *small, degrade: !*noDegrade,
+			small: *small, degrade: !*noDegrade, jobs: *jobs,
 		}, tel)
+		return
+	}
+	if *sweepMode {
+		sizes, err := parseSizes(*sizesF, *size)
+		if err != nil {
+			fatal(err)
+		}
+		runSweep(*bench, sizes, sweepCLI{
+			n: *n, trials: *trials, seed: *seed,
+			small: *small, degrade: !*noDegrade, jobs: *jobs,
+		})
 		return
 	}
 
@@ -434,14 +454,19 @@ type faultCLI struct {
 	sweep    sim.Duration
 	small    bool
 	degrade  bool
+	jobs     int
 }
 
-// runFaults runs the resilience scenario per combo and prints the
-// degradation report: makespans, re-sweep latency stats, damage counters,
-// and goodput before/during/after the outage window.
+// runFaults runs the resilience scenario per combo — the scenarios run in
+// parallel over the -j worker pool (each against its own machine), and the
+// degradation reports print in combo order afterwards: makespans, re-sweep
+// latency stats, damage counters, and goodput before/during/after the
+// outage window.
 func runFaults(selected []exp.Combo, cli faultCLI, tel telCLI) {
 	const gib = 1 << 30
-	for _, c := range selected {
+	specs := make([]exp.FaultSpec, 0, len(selected))
+	cols := make([]*telemetry.Collector, len(selected))
+	for i, c := range selected {
 		m, err := exp.BuildMachine(c, exp.MachineConfig{
 			Degrade: cli.degrade, Seed: cli.seed, Small: cli.small,
 		})
@@ -452,27 +477,30 @@ func runFaults(selected []exp.Combo, cli faultCLI, tel telCLI) {
 		if failures == 0 {
 			failures = exp.DefaultFailures(m)
 		}
-		fmt.Printf("\n%s  plane: %s (%d nodes)\n", c.Name, m.G.Name, m.G.NumTerminals())
-		fmt.Printf("  injecting %d runtime link failures into imb:%s (%d ranks, %d B)\n",
-			failures, cli.op, cli.n, cli.size)
-		var col *telemetry.Collector
 		if tel.enabled() {
-			col = telemetry.New(m.G, telemetry.Options{
+			cols[i] = telemetry.New(m.G, telemetry.Options{
 				Counters: true,
 				Messages: tel.metricsOut != "",
 				Trace:    tel.traceOut != "",
 			})
 		}
-		res, err := exp.RunFaultScenario(exp.FaultSpec{
+		specs = append(specs, exp.FaultSpec{
 			Machine: m, Nodes: cli.n, Failures: failures, Seed: cli.seed,
-			Detect: cli.detect, Sweep: cli.sweep, Telemetry: col,
+			Detect: cli.detect, Sweep: cli.sweep, Telemetry: cols[i],
 			Build: func(nn int) (*workloads.Instance, error) {
 				return workloads.BuildIMB(cli.op, nn, cli.size)
 			},
 		})
-		if err != nil {
-			fatal(err)
-		}
+	}
+	results, err := exp.RunFaultBatch(exp.Runner{Workers: cli.jobs, BaseSeed: cli.seed}, specs)
+	if err != nil {
+		fatal(err)
+	}
+	for i, c := range selected {
+		m, res := specs[i].Machine, results[i]
+		fmt.Printf("\n%s  plane: %s (%d nodes)\n", c.Name, m.G.Name, m.G.NumTerminals())
+		fmt.Printf("  injecting %d runtime link failures into imb:%s (%d ranks, %d B)\n",
+			specs[i].Failures, cli.op, cli.n, cli.size)
 		st := res.SweepStats()
 		fmt.Printf("  makespan: baseline %.3f ms -> faulted %.3f ms (+%.1f%%)\n",
 			1e3*float64(res.Baseline), 1e3*float64(res.Faulted), 100*res.Slowdown())
@@ -487,7 +515,97 @@ func runFaults(selected []exp.Combo, cli faultCLI, tel telCLI) {
 		if len(selected) > 1 {
 			suffix = comboSlug(c)
 		}
-		tel.report(col, suffix)
+		tel.report(cols[i], suffix)
+	}
+}
+
+type sweepCLI struct {
+	n, trials int
+	seed      uint64
+	small     bool
+	degrade   bool
+	jobs      int
+}
+
+// parseSizes decodes the -sizes list; empty falls back to the single
+// -size value.
+func parseSizes(s string, fallback int64) ([]int64, error) {
+	if strings.TrimSpace(s) == "" {
+		return []int64{fallback}, nil
+	}
+	var out []int64
+	for _, f := range strings.Split(s, ",") {
+		var v int64
+		if _, err := fmt.Sscanf(strings.TrimSpace(f), "%d", &v); err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad -sizes entry %q", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// sweepBuilder resolves a trial-based benchmark name to its instance
+// builder; ebb and mpigraph sample bandwidth directly and don't fit the
+// trial loop, so -sweep rejects them.
+func sweepBuilder(bench string, size int64) (func(int) (*workloads.Instance, error), error) {
+	switch {
+	case strings.HasPrefix(bench, "imb:"):
+		op := strings.TrimPrefix(bench, "imb:")
+		return func(nn int) (*workloads.Instance, error) { return workloads.BuildIMB(op, nn, size) }, nil
+	case bench == "incast":
+		return func(nn int) (*workloads.Instance, error) { return workloads.BuildIncast(nn, size) }, nil
+	case strings.HasPrefix(bench, "app:"):
+		app, err := workloads.FindApp(strings.TrimPrefix(bench, "app:"))
+		if err != nil {
+			return nil, err
+		}
+		return func(nn int) (*workloads.Instance, error) { return app.Instance(nn), nil }, nil
+	case bench == "baidu":
+		return func(nn int) (*workloads.Instance, error) { return workloads.BuildBaiduAllreduce(nn, size/4), nil }, nil
+	}
+	return nil, fmt.Errorf("-sweep supports imb:<op>, incast, app:<abbrev> and baidu benches, got %q", bench)
+}
+
+// runSweep executes -bench across all paper combos x sizes over the -j
+// pool and prints one whisker line per cell, in enumeration order. Cell
+// seeds derive from (-seed, cell index), so the table is bit-identical for
+// any -j.
+func runSweep(bench string, sizes []int64, cli sweepCLI) {
+	if bench == "" {
+		fatal(fmt.Errorf("-sweep needs a -bench"))
+	}
+	combos := exp.PaperCombos()
+	var cells []exp.SweepCell
+	for _, c := range combos {
+		for _, sz := range sizes {
+			build, err := sweepBuilder(bench, sz)
+			if err != nil {
+				fatal(err)
+			}
+			cells = append(cells, exp.SweepCell{
+				Label: fmt.Sprintf("%-34s %9d B", c.Name, sz),
+				Combo: c,
+				Cfg:   exp.MachineConfig{Degrade: cli.degrade, Seed: cli.seed, Small: cli.small},
+				Nodes: cli.n, Trials: cli.trials, Jitter: 0.02,
+				Build: build,
+			})
+		}
+	}
+	r := exp.Runner{Workers: cli.jobs, BaseSeed: cli.seed, Progress: func(done, total int, label string) {
+		fmt.Fprintf(os.Stderr, "[%d/%d] %s\n", done, total, strings.Join(strings.Fields(label), " "))
+	}}
+	fmt.Printf("sweep: %s over %d combos x %d sizes, %d trials each, %d workers\n",
+		bench, len(combos), len(sizes), cli.trials, r.WorkerCount())
+	results, err := exp.RunSweep(r, cells)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-34s %11s %10s %10s %10s %10s %10s\n",
+		"combo", "size", "min", "q1", "median", "q3", "max")
+	for _, res := range results {
+		st := res.Stats
+		fmt.Printf("%s %10.4g %10.4g %10.4g %10.4g %10.4g\n",
+			res.Label, st.Min, st.Q1, st.Median, st.Q3, st.Max)
 	}
 }
 

@@ -98,11 +98,6 @@ func PARX(hx *topo.HyperX, cfg Config) (*route.Tables, error) {
 		}
 	}
 
-	termIdx := make(map[topo.NodeID]int, len(terms))
-	for i, tm := range terms {
-		termIdx[tm] = i
-	}
-
 	opts := route.SSSPOptions{
 		DstOrder: order,
 		MaskFor: func(_ topo.NodeID, lidOffset uint8) route.LinkMask {
@@ -121,8 +116,8 @@ func PARX(hx *topo.HyperX, cfg Config) (*route.Tables, error) {
 	}
 	if cfg.Demands != nil {
 		opts.PathWeight = func(src, dst topo.NodeID) float64 {
-			di := termIdx[dst]
-			w := cfg.Demands[termIdx[src]][di]
+			di := hx.TerminalIndex(dst)
+			w := cfg.Demands[hx.TerminalIndex(src)][di]
 			if w > 0 {
 				return float64(w)
 			}
@@ -142,6 +137,7 @@ func PARX(hx *topo.HyperX, cfg Config) (*route.Tables, error) {
 	if err := route.AssignVLs(t, cfg.MaxVL); err != nil {
 		return nil, err
 	}
+	t.Freeze()
 	return t, nil
 }
 

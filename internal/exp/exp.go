@@ -279,7 +279,12 @@ type TrialSpec struct {
 	// Jitter is the lognormal sigma for compute phases; the paper's
 	// run-to-run variability. Zero keeps runs identical.
 	Jitter float64
-	Build  func(n int) (*workloads.Instance, error)
+	// Build constructs the workload instance. Instances are read-only at
+	// run time (mpi.Run never mutates Progs), so with Jitter == 0 RunTrials
+	// builds once and reuses the instance across all trials. With jitter
+	// enabled it rebuilds per trial, preserving the historical behaviour
+	// for Build closures that carry their own per-call randomness.
+	Build func(n int) (*workloads.Instance, error)
 	// Attach, when set, observes each trial's fresh transport before the
 	// run starts — the hook the CLI uses to attach a telemetry collector
 	// (typically to the final trial only, so counters and trace cover one
@@ -301,13 +306,15 @@ func RunTrials(spec TrialSpec) ([]float64, *workloads.Instance, error) {
 		return nil, nil, err
 	}
 	var vals []float64
-	var lastInst *workloads.Instance
+	var inst *workloads.Instance
 	for t := 0; t < spec.Trials; t++ {
-		inst, err := spec.Build(spec.Nodes)
-		if err != nil {
-			return nil, nil, err
+		if inst == nil || spec.Jitter != 0 {
+			// Jitter-free trials share one instance (see TrialSpec.Build).
+			inst, err = spec.Build(spec.Nodes)
+			if err != nil {
+				return nil, nil, err
+			}
 		}
-		lastInst = inst
 		f, err := spec.Machine.NewMessenger(spec.Seed + uint64(t)*7919)
 		if err != nil {
 			return nil, nil, err
@@ -324,5 +331,5 @@ func RunTrials(spec TrialSpec) ([]float64, *workloads.Instance, error) {
 		}
 		vals = append(vals, inst.Score(res.Elapsed))
 	}
-	return vals, lastInst, nil
+	return vals, inst, nil
 }

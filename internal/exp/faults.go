@@ -91,6 +91,25 @@ func (r FaultResult) SweepStats() Stats {
 	return Summarize(vals)
 }
 
+// RunFaultBatch runs several fault scenarios over the runner's pool and
+// returns their results in spec order. Every spec must reference its OWN
+// machine: the scenario mutates the machine's graph link state mid-run, so
+// sharing one machine across concurrent specs would race. Determinism
+// comes from each spec's explicit Seed (the pool's derived cell seeds are
+// unused here).
+func RunFaultBatch(r Runner, specs []FaultSpec) ([]*FaultResult, error) {
+	for i := range specs {
+		for j := range specs[:i] {
+			if specs[i].Machine == specs[j].Machine {
+				return nil, fmt.Errorf("exp: fault specs %d and %d share a machine; each needs its own", j, i)
+			}
+		}
+	}
+	return ForEach(r, len(specs),
+		func(i int) string { return specs[i].Machine.Combo.Name },
+		func(i int, _ uint64) (*FaultResult, error) { return RunFaultScenario(specs[i]) })
+}
+
 // RunFaultScenario executes the experiment against the machine's primary
 // plane (whole-plane failover across a multi-plane machine is exercised
 // separately, via fabric.MultiFabric with a failover policy and

@@ -132,11 +132,28 @@ func BuildPlane(spec PlaneSpec, cfg MachineConfig) (*Plane, error) {
 	return p, nil
 }
 
-// Rebuild re-runs the plane's routing engine against the graph's current
-// link state — the subnet manager's recompute step during a re-sweep.
-// Plane.Tables is left untouched; the caller decides what to swap where
-// (see fabric.SwapTables and faults.SMConfig.Rebuild).
+// Rebuild returns routing tables for the graph's current link state — the
+// subnet manager's recompute step during a re-sweep. Plane.Tables is left
+// untouched; the caller decides what to swap where (see fabric.SwapTables
+// and faults.SMConfig.Rebuild).
+//
+// Results come from DefaultTableCache: structurally identical planes with
+// the same down mask share one frozen table build, rebound to this plane's
+// graph. PARX with a demand matrix bypasses the cache — the demands change
+// table content but are not part of the cache key.
 func (p *Plane) Rebuild() (*route.Tables, error) {
+	if p.Spec.Routing == "parx" && p.cfg.Demands != nil {
+		return p.buildTables()
+	}
+	var lmc uint8
+	if p.Spec.Routing == "parx" {
+		lmc = core.LMC
+	}
+	return DefaultTableCache.Get(p.G, p.Spec.Routing, lmc, p.buildTables)
+}
+
+// buildTables runs the plane's routing engine uncached.
+func (p *Plane) buildTables() (*route.Tables, error) {
 	switch p.Spec.Routing {
 	case "ftree":
 		if p.FT == nil {

@@ -1,0 +1,228 @@
+package exp
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"github.com/hpcsim/t2hx/internal/fabric"
+	"github.com/hpcsim/t2hx/internal/workloads"
+)
+
+// CellSeed derives the deterministic seed of sweep cell index from the
+// sweep's base seed: one SplitMix64 step over a combination of both. The
+// derivation depends only on (baseSeed, index) — never on submission or
+// completion order — which is what makes -j 1 and -j N sweeps bit-identical.
+func CellSeed(baseSeed uint64, index int) uint64 {
+	z := baseSeed + (uint64(index)+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Cell is one unit of sweep work: typically a (combo, workload, size)
+// trial block. Run receives the cell's deterministic seed and must create
+// every piece of simulator state it needs (engine, fabric, telemetry)
+// itself — workers share nothing mutable, which is what makes the pool
+// race-free. Frozen routing tables obtained through the TableCache are the
+// only cross-worker sharing, and they are read-only.
+type Cell struct {
+	// Label is threaded to the progress callback.
+	Label string
+	// Seed, when non-nil, overrides the derived CellSeed(baseSeed, index)
+	// — used where an established output format fixes the per-cell seeds
+	// (cmd/figures keeps its historical P.Seed+n cells at any -j).
+	Seed *uint64
+	// Run executes the cell.
+	Run func(seed uint64) (any, error)
+}
+
+// CellResult pairs a cell's index with what its Run returned.
+type CellResult struct {
+	Index int
+	Label string
+	Value any
+}
+
+// Runner executes a queue of cells across a worker pool.
+//
+// Determinism contract: cell results depend only on (BaseSeed, cell
+// index). The pool affects wall-clock order, never values; results come
+// back ordered by index regardless of completion order. The first cell
+// error cancels the remaining queue (cells already running finish) and is
+// returned; later errors are dropped.
+type Runner struct {
+	// Workers is the pool size; <= 0 uses runtime.GOMAXPROCS(0).
+	Workers int
+	// BaseSeed feeds CellSeed for cells without a Seed override.
+	BaseSeed uint64
+	// Progress, when set, is called after each cell completes with the
+	// number of finished cells, the total, and the finished cell's label.
+	// It is called from worker goroutines under a lock (callbacks are
+	// serialized, but must not block for long).
+	Progress func(done, total int, label string)
+}
+
+// WorkerCount resolves the effective pool size.
+func (r Runner) WorkerCount() int {
+	if r.Workers > 0 {
+		return r.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes all cells and returns their results ordered by cell index.
+func (r Runner) Run(cells []Cell) ([]CellResult, error) {
+	n := len(cells)
+	out := make([]CellResult, n)
+	if n == 0 {
+		return out, nil
+	}
+	workers := r.WorkerCount()
+	if workers > n {
+		workers = n
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	queue := make(chan int)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		done     int
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range queue {
+				c := cells[i]
+				seed := CellSeed(r.BaseSeed, i)
+				if c.Seed != nil {
+					seed = *c.Seed
+				}
+				v, err := c.Run(seed)
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+						cancel() // stop feeding the queue
+					}
+				} else {
+					out[i] = CellResult{Index: i, Label: c.Label, Value: v}
+					done++
+					if r.Progress != nil {
+						r.Progress(done, n, c.Label)
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+feed:
+	for i := range cells {
+		select {
+		case queue <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(queue)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// ForEach runs fn for indices [0, n) over the runner's pool and returns
+// the results in index order — the typed convenience the figure pipelines
+// use. fn receives the index's deterministic seed (see CellSeed).
+func ForEach[T any](r Runner, n int, label func(i int) string, fn func(i int, seed uint64) (T, error)) ([]T, error) {
+	cells := make([]Cell, n)
+	for i := range cells {
+		i := i
+		var lbl string
+		if label != nil {
+			lbl = label(i)
+		}
+		cells[i] = Cell{Label: lbl, Run: func(seed uint64) (any, error) {
+			return fn(i, seed)
+		}}
+	}
+	res, err := r.Run(cells)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]T, n)
+	for i, cr := range res {
+		if cr.Value != nil {
+			out[i] = cr.Value.(T)
+		}
+	}
+	return out, nil
+}
+
+// SweepCell is one cell of an experiment sweep: a machine configuration
+// plus a workload trial block. The machine is built inside the worker so
+// simulator state stays private; routing tables are shared read-only via
+// the table cache.
+type SweepCell struct {
+	Label  string
+	Combo  Combo
+	Cfg    MachineConfig
+	Nodes  int
+	Trials int
+	Jitter float64
+	Build  func(n int) (*workloads.Instance, error)
+	// Attach is forwarded to TrialSpec.Attach (telemetry hookup).
+	Attach func(trial int, f fabric.Messenger)
+	// Seed, when non-nil, pins the cell's seed (see Cell.Seed).
+	Seed *uint64
+}
+
+// SweepResult is one cell's outcome: the per-trial metric values and their
+// whisker statistics.
+type SweepResult struct {
+	Index int
+	Label string
+	Seed  uint64
+	Vals  []float64
+	Stats Stats
+}
+
+// RunSweep executes every cell over the runner's pool. Each cell's trials
+// run under its deterministic seed, so the per-cell metric vectors are
+// bit-identical for any worker count (test-enforced by
+// TestSweepDeterministicAcrossWorkers).
+func RunSweep(r Runner, cells []SweepCell) ([]SweepResult, error) {
+	rcells := make([]Cell, len(cells))
+	for i := range cells {
+		i := i
+		c := cells[i]
+		rcells[i] = Cell{Label: c.Label, Seed: c.Seed, Run: func(seed uint64) (any, error) {
+			m, err := BuildMachine(c.Combo, c.Cfg)
+			if err != nil {
+				return nil, err
+			}
+			vals, _, err := RunTrials(TrialSpec{
+				Machine: m, Nodes: c.Nodes, Trials: c.Trials,
+				Seed: seed, Jitter: c.Jitter, Build: c.Build, Attach: c.Attach,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return SweepResult{Index: i, Label: c.Label, Seed: seed, Vals: vals, Stats: Summarize(vals)}, nil
+		}}
+	}
+	res, err := r.Run(rcells)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SweepResult, len(res))
+	for i, cr := range res {
+		out[i] = cr.Value.(SweepResult)
+	}
+	return out, nil
+}

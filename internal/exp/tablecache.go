@@ -1,0 +1,112 @@
+package exp
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/hpcsim/t2hx/internal/route"
+	"github.com/hpcsim/t2hx/internal/topo"
+)
+
+// tableKey content-addresses one routed state: the graph's structural
+// fingerprint, its link-down mask, and the engine configuration. Two
+// independently built machines with the same topology and fault state map
+// to the same key, which is what lets the N trials and fault-free cells of
+// a sweep share one table build.
+type tableKey struct {
+	fp, down uint64
+	engine   string
+	lmc      uint8
+}
+
+type cacheEntry struct {
+	once sync.Once
+	t    *route.Tables
+	err  error
+}
+
+// TableCache memoizes frozen route.Tables by content key. Concurrent Get
+// calls for the same key build once (singleflight via sync.Once) and every
+// caller receives the shared immutable tables rebound to its own graph, so
+// runtime fault injection on one machine never aliases another's tables.
+// Entries are evicted FIFO past Cap.
+type TableCache struct {
+	mu      sync.Mutex
+	entries map[tableKey]*cacheEntry
+	order   []tableKey
+	cap     int
+
+	hits, misses uint64
+}
+
+// DefaultTableCache is the process-wide cache Plane.Rebuild consults. Its
+// capacity comfortably covers a sweep (5 combos × a handful of fault
+// masks); re-sweep studies cycling through hundreds of masks recycle the
+// oldest entries.
+var DefaultTableCache = NewTableCache(64)
+
+// NewTableCache returns a cache evicting beyond capacity (FIFO).
+func NewTableCache(capacity int) *TableCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &TableCache{entries: make(map[tableKey]*cacheEntry), cap: capacity}
+}
+
+// Get returns the tables for (g's structure, g's down mask, engine, lmc),
+// building them at most once per key via build. The result is always
+// frozen and bound to g; callers must not mutate it (route.Tables panics
+// if they try). Build errors are cached for the key as well — a
+// disconnected degraded fabric fails identically on every retry.
+func (c *TableCache) Get(g *topo.Graph, engine string, lmc uint8, build func() (*route.Tables, error)) (*route.Tables, error) {
+	key := tableKey{fp: g.Fingerprint(), down: g.DownHash(), engine: engine, lmc: lmc}
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &cacheEntry{}
+		c.entries[key] = e
+		c.order = append(c.order, key)
+		c.misses++
+		for len(c.order) > c.cap {
+			delete(c.entries, c.order[0])
+			c.order = c.order[1:]
+		}
+	} else {
+		c.hits++
+	}
+	c.mu.Unlock()
+
+	e.once.Do(func() {
+		t, err := build()
+		if err != nil {
+			e.err = err
+			return
+		}
+		if !t.Frozen() {
+			e.err = fmt.Errorf("exp: engine %q returned unfrozen tables; cannot cache", engine)
+			return
+		}
+		e.t = t
+	})
+	if e.err != nil {
+		return nil, e.err
+	}
+	if e.t.G == g {
+		return e.t, nil
+	}
+	return e.t.Rebind(g), nil
+}
+
+// Stats reports lifetime hit/miss counts.
+func (c *TableCache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len reports the number of cached keys.
+func (c *TableCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

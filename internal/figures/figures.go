@@ -10,6 +10,7 @@ package figures
 import (
 	"fmt"
 	"io"
+	"sync"
 	"text/tabwriter"
 
 	"github.com/hpcsim/t2hx/internal/capacity"
@@ -50,6 +51,11 @@ type Params struct {
 	// CSVDir, when set, additionally writes each figure's data series as
 	// CSV files into that directory.
 	CSVDir string
+	// Workers sizes the measurement worker pool for the grid/whisker
+	// figures; <= 0 uses GOMAXPROCS. Output is identical at any setting:
+	// cells are measured in parallel but every cell's seed derives from
+	// (Seed, node count), and rendering happens afterwards in figure order.
+	Workers int
 }
 
 // Defaults fills unset fields.
@@ -85,6 +91,7 @@ func (p Params) withDefaults() Params {
 // Session caches built machines across figures.
 type Session struct {
 	P        Params
+	mu       sync.Mutex // guards machines (cells measure concurrently)
 	machines map[string]*exp.Machine
 }
 
@@ -93,8 +100,15 @@ func NewSession(p Params) *Session {
 	return &Session{P: p.withDefaults(), machines: make(map[string]*exp.Machine)}
 }
 
+// runner is the pool the grid/whisker figures measure their cells over.
+func (s *Session) runner() exp.Runner {
+	return exp.Runner{Workers: s.P.Workers, BaseSeed: s.P.Seed}
+}
+
 // Machine returns the (cached) plane for a combo.
 func (s *Session) Machine(c exp.Combo) (*exp.Machine, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if m, ok := s.machines[c.Name]; ok {
 		return m, nil
 	}
@@ -174,19 +188,38 @@ func (s *Session) gainGrid(title string, sizes []int64, nodes []int,
 
 	combos := exp.PaperCombos()
 	base := combos[0]
-	// Baseline bests per (size, node).
-	baseVals := make(map[[2]int64]float64)
-	for _, n := range nodes {
+	// Measure every (combo, size, node) cell over the session's pool, then
+	// render the grids from the finished slice. Cell values depend only on
+	// the session seed and the cell's own coordinates (s.cell seeds trials
+	// with Seed+nodes), so the worker count never changes the figure.
+	type coord struct {
+		c  exp.Combo
+		sz int64
+		n  int
+	}
+	cs := make([]coord, 0, len(combos)*len(sizes)*len(nodes))
+	for _, c := range combos {
 		for _, sz := range sizes {
-			v, err := measure(base, n, sz)
-			if err != nil {
-				return fmt.Errorf("%s baseline n=%d size=%d: %w", title, n, sz, err)
+			for _, n := range nodes {
+				cs = append(cs, coord{c, sz, n})
 			}
-			baseVals[[2]int64{int64(n), sz}] = v
 		}
 	}
+	vals, err := exp.ForEach(s.runner(), len(cs), nil,
+		func(i int, _ uint64) (float64, error) {
+			v, err := measure(cs[i].c, cs[i].n, cs[i].sz)
+			if err != nil {
+				return 0, fmt.Errorf("%s %s n=%d size=%d: %w", title, cs[i].c.Name, cs[i].n, cs[i].sz, err)
+			}
+			return v, nil
+		})
+	if err != nil {
+		return err
+	}
+	cellAt := func(ci, si, ni int) float64 { return vals[(ci*len(sizes)+si)*len(nodes)+ni] }
+
 	k := s.sink(csvName(title), "combo", "msgsize", "nodes", "value", "gain")
-	for _, c := range combos[1:] {
+	for ci, c := range combos[1:] {
 		s.printf("\n--- %s: %s (gain vs %s) ---\n", title, c.Name, base.Name)
 		w := tabwriter.NewWriter(s.P.Out, 4, 0, 1, ' ', tabwriter.AlignRight)
 		fmt.Fprintf(w, "msgsize\\nodes\t")
@@ -194,14 +227,11 @@ func (s *Session) gainGrid(title string, sizes []int64, nodes []int,
 			fmt.Fprintf(w, "%d\t", n)
 		}
 		fmt.Fprintln(w)
-		for _, sz := range sizes {
+		for si, sz := range sizes {
 			fmt.Fprintf(w, "%d\t", sz)
-			for _, n := range nodes {
-				v, err := measure(c, n, sz)
-				if err != nil {
-					return fmt.Errorf("%s %s n=%d size=%d: %w", title, c.Name, n, sz, err)
-				}
-				g := exp.Gain(baseVals[[2]int64{int64(n), sz}], v, better)
+			for ni, n := range nodes {
+				v := cellAt(ci+1, si, ni)
+				g := exp.Gain(cellAt(0, si, ni), v, better)
 				fmt.Fprintf(w, "%+.2f\t", g)
 				k.add(c.Name, sz, n, v, g)
 			}
@@ -219,18 +249,29 @@ func (s *Session) whiskerRows(title, unit string, nodes []int,
 	better workloads.Direction) error {
 
 	combos := exp.PaperCombos()
+	// Measure all (combo, nodes) rows over the pool before rendering (see
+	// gainGrid for the determinism argument).
+	rows, err := exp.ForEach(s.runner(), len(combos)*len(nodes), nil,
+		func(i int, _ uint64) ([]float64, error) {
+			c, n := combos[i/len(nodes)], nodes[i%len(nodes)]
+			vals, err := measure(c, n)
+			if err != nil {
+				return nil, fmt.Errorf("%s %s n=%d: %w", title, c.Name, n, err)
+			}
+			return vals, nil
+		})
+	if err != nil {
+		return err
+	}
+
 	baseBest := make(map[int]float64)
 	s.header(title)
 	k := s.sink(csvName(title), "combo", "nodes", "min", "q1", "median", "q3", "max", "gain")
 	w := tabwriter.NewWriter(s.P.Out, 4, 0, 1, ' ', tabwriter.AlignRight)
 	fmt.Fprintf(w, "combo\tnodes\tmin\tq1\tmedian\tq3\tmax\tgain\t[%s]\n", unit)
 	for ci, c := range combos {
-		for _, n := range nodes {
-			vals, err := measure(c, n)
-			if err != nil {
-				return fmt.Errorf("%s %s n=%d: %w", title, c.Name, n, err)
-			}
-			st := exp.Summarize(vals)
+		for ni, n := range nodes {
+			st := exp.Summarize(rows[ci*len(nodes)+ni])
 			best := st.Best(better)
 			if ci == 0 {
 				baseBest[n] = best

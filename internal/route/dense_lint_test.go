@@ -1,0 +1,136 @@
+package route
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"github.com/hpcsim/t2hx/internal/topo"
+)
+
+// routeHotPathFiles are the files on the table-build hot path that must
+// keep their per-switch/per-terminal state in flat slices over the graph's
+// dense kind indexes. map[topo.NodeID] churn here used to dominate
+// (DF)SSSP/PARX build time; this lint stops it from creeping back. nue.go
+// is exempt: its CDG-constrained tree growth is not on the sweep hot path
+// and keeps its clearer map-based formulation.
+var routeHotPathFiles = []string{
+	"dijkstra.go",
+	"tables.go",
+	"sssp.go",
+	"ftree.go",
+	"updown.go",
+	"lash.go",
+}
+
+func TestNoNodeIDMapsInHotPaths(t *testing.T) {
+	fset := token.NewFileSet()
+	for _, file := range routeHotPathFiles {
+		f, err := parser.ParseFile(fset, file, nil, 0)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", file, err)
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			m, ok := n.(*ast.MapType)
+			if !ok {
+				return true
+			}
+			if isTopoNodeID(m.Key) {
+				t.Errorf("%s: map keyed by topo.NodeID — use a flat slice over Graph.SwitchIndex/TerminalIndex instead",
+					fset.Position(m.Pos()))
+			}
+			return true
+		})
+	}
+}
+
+func isTopoNodeID(e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	return ok && pkg.Name == "topo" && sel.Sel.Name == "NodeID"
+}
+
+func TestFrozenTablesRejectWrites(t *testing.T) {
+	hx := smallHX(t)
+	tb, err := SSSP(hx.Graph, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tb.Frozen() {
+		t.Fatal("SSSP returned unfrozen tables")
+	}
+	sw := hx.Graph.Switches()[0]
+	term := hx.Graph.Terminals()[0]
+	mustPanic(t, "SetNextHop", func() { tb.SetNextHop(sw, 1, NoChannel) })
+	mustPanic(t, "SetSL", func() { tb.SetSL(term, 1, 0) })
+
+	// A mutable clone accepts writes again without touching the original.
+	before := tb.NextHop(sw, tb.BaseLID[0])
+	mc := tb.MutableClone()
+	mc.SetNextHop(sw, tb.BaseLID[0], NoChannel)
+	if got := tb.NextHop(sw, tb.BaseLID[0]); got != before {
+		t.Errorf("mutating a clone changed the frozen original: %d -> %d", before, got)
+	}
+}
+
+func TestAllEnginesFreeze(t *testing.T) {
+	hx := smallHX(t)
+	builds := map[string]func() (*Tables, error){
+		"sssp":   func() (*Tables, error) { return SSSP(hx.Graph, 0) },
+		"dfsssp": func() (*Tables, error) { return DFSSSP(hx.Graph, 0, 8) },
+		"updown": func() (*Tables, error) { return UpDown(hx.Graph, 0) },
+		"lash":   func() (*Tables, error) { return LASH(hx.Graph, 0, 8) },
+		"nue":    func() (*Tables, error) { return Nue(hx.Graph, 0, 2) },
+	}
+	for name, build := range builds {
+		tb, err := build()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !tb.Frozen() {
+			t.Errorf("%s returned unfrozen tables", name)
+		}
+	}
+}
+
+func TestRebind(t *testing.T) {
+	a := smallHX(t)
+	b := smallHX(t)
+	tb, err := SSSP(a.Graph, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb := tb.Rebind(b.Graph)
+	if rb.G != b.Graph {
+		t.Fatal("Rebind did not swap the graph")
+	}
+	if !rb.Frozen() {
+		t.Fatal("rebound tables lost the freeze")
+	}
+	// Forwarding state is shared: same next hops through either binding.
+	for _, sw := range a.Graph.Switches() {
+		for _, lid := range []LID{tb.BaseLID[0], tb.BaseLID[len(tb.BaseLID)-1]} {
+			if tb.NextHop(sw, lid) != rb.NextHop(sw, lid) {
+				t.Fatalf("rebound tables disagree at switch %d lid %d", sw, lid)
+			}
+		}
+	}
+
+	mustPanic(t, "Rebind unfrozen", func() { tb.MutableClone().Rebind(b.Graph) })
+	tiny := topo.NewHyperX(topo.HyperXConfig{S: []int{2, 2}, T: 2, Bandwidth: 1e9, Latency: 1e-7})
+	mustPanic(t, "Rebind different shape", func() { tb.Rebind(tiny.Graph) })
+}
+
+func mustPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", what)
+		}
+	}()
+	f()
+}

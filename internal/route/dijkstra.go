@@ -1,7 +1,7 @@
 package route
 
 import (
-	"container/heap"
+	"sync"
 
 	"github.com/hpcsim/t2hx/internal/topo"
 )
@@ -36,7 +36,7 @@ func (cw *ChannelWeights) Add(c topo.ChannelID, delta float64) { cw.w[c] += delt
 type LinkMask func(l *topo.Link) bool
 
 // spEntry is the per-switch result of a destination-rooted shortest-path
-// computation.
+// computation. hops < 0 marks an unreached switch.
 type spEntry struct {
 	hops   int32
 	weight float64
@@ -45,19 +45,18 @@ type spEntry struct {
 	next topo.ChannelID
 }
 
-type dijkstraItem struct {
+// heapItem is one pending queue entry of the modified Dijkstra. Items are
+// kept by value in a manual binary heap — no per-item allocation, no
+// interface boxing — with lazy deletion via the done[] bitmap.
+type heapItem struct {
 	sw     topo.NodeID
+	swIdx  int32
 	hops   int32
+	seq    int32
 	weight float64
-	seq    int
-	index  int
 }
 
-type dijkstraPQ []*dijkstraItem
-
-func (pq dijkstraPQ) Len() int { return len(pq) }
-func (pq dijkstraPQ) Less(i, j int) bool {
-	a, b := pq[i], pq[j]
+func itemLess(a, b heapItem) bool {
 	if a.hops != b.hops {
 		return a.hops < b.hops
 	}
@@ -66,60 +65,116 @@ func (pq dijkstraPQ) Less(i, j int) bool {
 	}
 	return a.seq < b.seq
 }
-func (pq dijkstraPQ) Swap(i, j int) {
-	pq[i], pq[j] = pq[j], pq[i]
-	pq[i].index = i
-	pq[j].index = j
+
+// SPTree is the shortest-path tree toward one destination switch, stored as
+// flat slices over the graph's dense switch index (topo.Graph.SwitchIndex).
+// Instances are pooled: callers must Release them when done and must not
+// retain references afterwards.
+type SPTree struct {
+	entries []spEntry // by switch index; hops < 0 = unreached
+	done    []bool
+	heap    []heapItem
+	path    []topo.ChannelID // reusable tracePath buffer
+	reached int
 }
-func (pq *dijkstraPQ) Push(x any) {
-	it := x.(*dijkstraItem)
-	it.index = len(*pq)
-	*pq = append(*pq, it)
+
+// Reached reports how many switches (including the destination) have a
+// path toward the destination.
+func (t *SPTree) Reached() int { return t.reached }
+
+var spPool = sync.Pool{New: func() any { return new(SPTree) }}
+
+func newSPTree(numSwitches int) *SPTree {
+	t := spPool.Get().(*SPTree)
+	if cap(t.entries) < numSwitches {
+		t.entries = make([]spEntry, numSwitches)
+		t.done = make([]bool, numSwitches)
+	}
+	t.entries = t.entries[:numSwitches]
+	t.done = t.done[:numSwitches]
+	for i := range t.entries {
+		t.entries[i] = spEntry{hops: -1}
+		t.done[i] = false
+	}
+	t.heap = t.heap[:0]
+	t.reached = 0
+	return t
 }
-func (pq *dijkstraPQ) Pop() any {
-	old := *pq
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	*pq = old[:n-1]
-	return it
+
+// Release returns the tree's scratch buffers to the pool.
+func (t *SPTree) Release() { spPool.Put(t) }
+
+func (t *SPTree) push(it heapItem) {
+	h := append(t.heap, it)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !itemLess(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	t.heap = h
+}
+
+func (t *SPTree) pop() heapItem {
+	h := t.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && itemLess(h[l], h[m]) {
+			m = l
+		}
+		if r < n && itemLess(h[r], h[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	t.heap = h
+	return top
 }
 
 // ShortestPathsTo computes, for every switch, the next-hop channel toward
 // dstSwitch, minimizing (hop count, accumulated channel weight) with
 // deterministic tie-breaking. Links failing mask (or Down) are ignored.
-// Unreachable switches are absent from the result.
+// Unreachable switches have hops < 0 in the result.
 //
 // This is the modified Dijkstra at the heart of (DF)SSSP and PARX: traffic
 // from switch u toward the destination uses channel u->parent(u), and the
-// weight consulted is that of the channel in travel direction.
-func ShortestPathsTo(g *topo.Graph, dstSwitch topo.NodeID, cw *ChannelWeights, mask LinkMask) map[topo.NodeID]spEntry {
-	res := make(map[topo.NodeID]spEntry, g.NumSwitches())
-	dist := make(map[topo.NodeID]*dijkstraItem, g.NumSwitches())
-	var pq dijkstraPQ
-	seq := 0
-	push := func(sw topo.NodeID, hops int32, weight float64) *dijkstraItem {
-		it := &dijkstraItem{sw: sw, hops: hops, weight: weight, seq: seq}
-		seq++
-		dist[sw] = it
-		heap.Push(&pq, it)
-		return it
-	}
-	push(dstSwitch, 0, 0)
-	done := make(map[topo.NodeID]bool, g.NumSwitches())
-	for pq.Len() > 0 {
-		cur := heap.Pop(&pq).(*dijkstraItem)
-		if done[cur.sw] {
-			continue
+// weight consulted is that of the channel in travel direction. The caller
+// owns the returned tree and must Release it.
+func ShortestPathsTo(g *topo.Graph, dstSwitch topo.NodeID, cw *ChannelWeights, mask LinkMask) *SPTree {
+	t := newSPTree(g.NumSwitches())
+	var seq int32
+	dstIdx := int32(g.SwitchIndex(dstSwitch))
+	t.entries[dstIdx] = spEntry{hops: 0, weight: 0, next: NoChannel}
+	t.reached++
+	t.push(heapItem{sw: dstSwitch, swIdx: dstIdx})
+	seq++
+	for len(t.heap) > 0 {
+		cur := t.pop()
+		if t.done[cur.swIdx] {
+			continue // lazy deletion: a better entry was already finalized
 		}
-		done[cur.sw] = true
+		t.done[cur.swIdx] = true
 		// Expand neighbors u of cur: u would travel u->cur.sw.
 		for _, l := range g.Nodes[cur.sw].Ports {
 			if l == nil || l.Down {
 				continue
 			}
 			u := l.Other(cur.sw)
-			if g.Nodes[u].Kind != topo.Switch || done[u] {
+			ui := g.SwitchIndex(u)
+			if ui < 0 || t.done[ui] {
 				continue
 			}
 			if mask != nil && !mask(l) {
@@ -128,29 +183,34 @@ func ShortestPathsTo(g *topo.Graph, dstSwitch topo.NodeID, cw *ChannelWeights, m
 			ch := l.Channel(u) // channel in travel direction u -> cur.sw
 			nh := cur.hops + 1
 			nw := cur.weight + cw.Get(ch)
-			old, seen := dist[u]
-			if !seen || nh < old.hops || (nh == old.hops && nw < old.weight-1e-12) {
-				// Lazy deletion: stale queue entries are skipped via done[].
-				push(u, nh, nw)
-				res[u] = spEntry{hops: nh, weight: nw, next: ch}
+			old := t.entries[ui]
+			if old.hops < 0 || nh < old.hops || (nh == old.hops && nw < old.weight-1e-12) {
+				if old.hops < 0 {
+					t.reached++
+				}
+				t.entries[ui] = spEntry{hops: nh, weight: nw, next: ch}
+				t.push(heapItem{sw: u, swIdx: int32(ui), hops: nh, weight: nw, seq: seq})
+				seq++
 			}
 		}
 	}
-	res[dstSwitch] = spEntry{hops: 0, weight: 0, next: NoChannel}
-	return res
+	return t
 }
 
 // tracePath follows next-hop entries from src switch to the destination
 // switch, returning the channel sequence. Returns nil if src has no entry.
-func tracePath(entries map[topo.NodeID]spEntry, g *topo.Graph, src topo.NodeID) []topo.ChannelID {
-	var out []topo.ChannelID
+// The returned slice aliases the tree's scratch buffer: it is valid only
+// until the next tracePath call on the same tree or its Release.
+func tracePath(t *SPTree, g *topo.Graph, src topo.NodeID) []topo.ChannelID {
+	out := t.path[:0]
 	cur := src
 	for {
-		e, ok := entries[cur]
-		if !ok {
+		e := t.entries[g.SwitchIndex(cur)]
+		if e.hops < 0 {
 			return nil
 		}
 		if e.next == NoChannel {
+			t.path = out
 			return out
 		}
 		out = append(out, e.next)

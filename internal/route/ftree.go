@@ -28,6 +28,19 @@ func FTree(ft *topo.FatTree, lmc uint8) (*Tables, error) {
 		stride[lv+1] = stride[lv] * ft.Cfg.W[lv]
 	}
 
+	// Switches grouped by level once, and flat per-destination scratch
+	// indexed by the graph's dense switch index, reset between
+	// destinations.
+	byLevel := make([][]topo.NodeID, ft.Height+1)
+	for _, s := range ft.Switches() {
+		byLevel[ft.Level(s)] = append(byLevel[ft.Level(s)], s)
+	}
+	nsw := g.NumSwitches()
+	desc := make([]bool, nsw)
+	descLink := make([]*topo.Link, nsw)
+	cost := make([]float64, nsw)
+	next := make([]topo.ChannelID, nsw)
+
 	for di, dst := range terms {
 		dstSw := g.SwitchOf(dst)
 		if dstSw < 0 {
@@ -36,14 +49,17 @@ func FTree(ft *topo.FatTree, lmc uint8) (*Tables, error) {
 			continue
 		}
 		dstIdx := ft.TermIndex(dst)
+		for i := 0; i < nsw; i++ {
+			desc[i], descLink[i] = false, nil
+			cost[i], next[i] = -1, NoChannel
+		}
 
 		// Phase 1: descent feasibility. desc[s] is true when the unique
 		// ancestor down-chain from s to dst is fully live.
-		desc := map[topo.NodeID]bool{dstSw: true}
-		descLink := map[topo.NodeID]*topo.Link{}
+		desc[g.SwitchIndex(dstSw)] = true
 		// Process ancestors level by level above the leaf.
 		for lv := 2; lv <= ft.Height; lv++ {
-			for _, s := range switchesAtLevel(ft, lv) {
+			for _, s := range byLevel[lv] {
 				if !ft.Ancestors(s, dst) {
 					continue
 				}
@@ -51,24 +67,23 @@ func FTree(ft *topo.FatTree, lmc uint8) (*Tables, error) {
 				if l == nil || l.Down {
 					continue
 				}
-				child := l.Other(s)
-				if desc[child] {
-					desc[s] = true
-					descLink[s] = l
+				if desc[g.SwitchIndex(l.Other(s))] {
+					si := g.SwitchIndex(s)
+					desc[si] = true
+					descLink[si] = l
 				}
 			}
 		}
 
 		// Phase 2: cost from every switch, top level first (up moves only
 		// increase level, so dependencies point upward).
-		cost := map[topo.NodeID]float64{}
-		next := map[topo.NodeID]topo.ChannelID{}
 		for lv := ft.Height; lv >= 1; lv-- {
-			for _, s := range switchesAtLevel(ft, lv) {
-				if desc[s] {
-					cost[s] = float64(lv - 1) // hops down to dst leaf
+			for _, s := range byLevel[lv] {
+				si := g.SwitchIndex(s)
+				if desc[si] {
+					cost[si] = float64(lv - 1) // hops down to dst leaf
 					if s != dstSw {
-						next[s] = descLink[s].Channel(s)
+						next[si] = descLink[si].Channel(s)
 					}
 					continue
 				}
@@ -84,9 +99,8 @@ func FTree(ft *topo.FatTree, lmc uint8) (*Tables, error) {
 					if l == nil || l.Down {
 						continue
 					}
-					p := l.Other(s)
-					c, ok := cost[p]
-					if !ok {
+					c := cost[g.SwitchIndex(l.Other(s))]
+					if c < 0 {
 						continue
 					}
 					if c+1 < best {
@@ -97,15 +111,17 @@ func FTree(ft *topo.FatTree, lmc uint8) (*Tables, error) {
 				if bestY < 0 {
 					continue // unreachable from here
 				}
-				cost[s] = best
-				next[s] = ft.UpLink(s, bestY).Channel(s)
+				cost[si] = best
+				next[si] = ft.UpLink(s, bestY).Channel(s)
 			}
 		}
 
 		for off := 0; off < span; off++ {
 			lid := t.BaseLID[di] + LID(off)
-			for s, c := range next {
-				t.SetNextHop(s, lid, c)
+			for si, c := range next {
+				if c != NoChannel {
+					t.SetNextHop(g.Switches()[si], lid, c)
+				}
 			}
 			// Delivery hop.
 			for _, l := range g.Nodes[dst].Ports {
@@ -115,15 +131,6 @@ func FTree(ft *topo.FatTree, lmc uint8) (*Tables, error) {
 			}
 		}
 	}
+	t.Freeze()
 	return t, nil
-}
-
-func switchesAtLevel(ft *topo.FatTree, lv int) []topo.NodeID {
-	var out []topo.NodeID
-	for _, s := range ft.Switches() {
-		if ft.Level(s) == lv {
-			out = append(out, s)
-		}
-	}
-	return out
 }

@@ -22,13 +22,15 @@ func LASH(g *topo.Graph, lmc uint8, maxVL int) (*Tables, error) {
 		if dstSw < 0 {
 			continue
 		}
-		entries := ShortestPathsTo(g, dstSw, cw, nil)
+		sp := ShortestPathsTo(g, dstSw, cw, nil)
 		for off := 0; off < span; off++ {
-			installLFT(t, t.BaseLID[di]+LID(off), dstSw, dst, entries)
+			installLFT(t, t.BaseLID[di]+LID(off), dstSw, dst, sp)
 		}
+		sp.Release()
 	}
 	if err := AssignVLs(t, maxVL); err != nil {
 		return nil, err
 	}
+	t.Freeze()
 	return t, nil
 }

@@ -68,6 +68,7 @@ func Nue(g *topo.Graph, lmc uint8, nVL int) (*Tables, error) {
 		}
 	}
 	t.NumVL = nVL
+	t.Freeze()
 	return t, nil
 }
 

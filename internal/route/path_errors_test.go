@@ -13,10 +13,13 @@ import (
 func pathFixture(t *testing.T, lmc uint8) (*Tables, topo.NodeID, LID) {
 	t.Helper()
 	hx := smallHX(t)
-	tb, err := SSSP(hx.Graph, lmc)
+	frozen, err := SSSP(hx.Graph, lmc)
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Engines freeze their result; these tests corrupt LFT entries on
+	// purpose, so they work on a mutable deep copy.
+	tb := frozen.MutableClone()
 	terms := hx.Graph.Terminals()
 	src := terms[0]
 	for _, dst := range terms[1:] {

@@ -34,6 +34,7 @@ func SSSP(g *topo.Graph, lmc uint8) (*Tables, error) {
 	if err := SSSPCore(t, SSSPOptions{}); err != nil {
 		return nil, err
 	}
+	t.Freeze()
 	return t, nil
 }
 
@@ -50,6 +51,7 @@ func DFSSSP(g *topo.Graph, lmc uint8, maxVL int) (*Tables, error) {
 	if err := AssignVLs(t, maxVL); err != nil {
 		return nil, err
 	}
+	t.Freeze()
 	return t, nil
 }
 
@@ -89,14 +91,15 @@ func SSSPCore(t *Tables, opts SSSPOptions) error {
 			if opts.MaskFor != nil {
 				mask = opts.MaskFor(dst, uint8(off))
 			}
-			entries := ShortestPathsTo(g, dstSw, cw, mask)
-			if mask != nil && len(entries) < g.NumSwitches() {
+			sp := ShortestPathsTo(g, dstSw, cw, mask)
+			if mask != nil && sp.Reached() < g.NumSwitches() {
 				// The mask disconnected part of the fabric (PARX
 				// footnote 7); fall back to the unmasked graph for this
 				// LID to stay fault-tolerant.
-				entries = ShortestPathsTo(g, dstSw, cw, nil)
+				sp.Release()
+				sp = ShortestPathsTo(g, dstSw, cw, nil)
 			}
-			installLFT(t, lid, dstSw, dst, entries)
+			installLFT(t, lid, dstSw, dst, sp)
 			// Balancing: weight update per source path.
 			for _, src := range terms {
 				if src == dst {
@@ -113,10 +116,11 @@ func SSSPCore(t *Tables, opts SSSPOptions) error {
 				if w == 0 {
 					continue
 				}
-				for _, c := range tracePath(entries, g, srcSw) {
+				for _, c := range tracePath(sp, g, srcSw) {
 					cw.Add(c, w)
 				}
 			}
+			sp.Release()
 		}
 	}
 	return nil
@@ -124,11 +128,12 @@ func SSSPCore(t *Tables, opts SSSPOptions) error {
 
 // installLFT writes the shortest-path-tree next hops into the LFT for lid,
 // including the final switch->terminal delivery hop.
-func installLFT(t *Tables, lid LID, dstSw, dst topo.NodeID, entries map[topo.NodeID]spEntry) {
+func installLFT(t *Tables, lid LID, dstSw, dst topo.NodeID, sp *SPTree) {
 	g := t.G
-	for sw, e := range entries {
-		if sw == dstSw {
-			continue
+	for i, sw := range g.Switches() {
+		e := sp.entries[i]
+		if e.hops <= 0 {
+			continue // unreached, or the destination switch itself
 		}
 		t.SetNextHop(sw, lid, e.next)
 	}

@@ -41,6 +41,13 @@ func SequentialLIDs(lmc uint8) LIDPolicy {
 // Tables is a complete routing configuration: LID assignment, per-switch
 // linear forwarding tables, and the virtual-lane (service-level) assignment
 // for deadlock avoidance.
+//
+// Tables are mutable only while an engine is building them. Every engine
+// calls Freeze before returning, after which SetNextHop/SetSL panic; a
+// frozen Tables is therefore safe to share across goroutines and to cache
+// (see exp.TableCache). Terminal and switch indexes come from the graph's
+// dense kind indexes (topo.Graph.TerminalIndex / SwitchIndex), so lookups
+// are flat slice reads with no map state.
 type Tables struct {
 	G      *topo.Graph
 	Engine string
@@ -52,8 +59,6 @@ type Tables struct {
 	// maxLID is the highest assigned LID.
 	maxLID LID
 
-	termIdx map[topo.NodeID]int
-	swIdx   map[topo.NodeID]int
 	// lidOwner[lid] is the owning terminal index, or -1.
 	lidOwner []int32
 
@@ -66,6 +71,8 @@ type Tables struct {
 	// nil when the engine does not use VLs (single-lane routing).
 	sl    []uint8
 	NumVL int
+
+	frozen bool
 }
 
 // newTables allocates tables for g with the given LID policy.
@@ -82,8 +89,6 @@ func newTables(g *topo.Graph, engine string, lmc uint8, policy LIDPolicy) *Table
 		Engine:  engine,
 		LMC:     lmc,
 		BaseLID: make([]LID, len(terms)),
-		termIdx: make(map[topo.NodeID]int, len(terms)),
-		swIdx:   make(map[topo.NodeID]int, g.NumSwitches()),
 	}
 	span := LID(1) << lmc
 	for i, tm := range terms {
@@ -92,7 +97,6 @@ func newTables(g *topo.Graph, engine string, lmc uint8, policy LIDPolicy) *Table
 			panic(fmt.Sprintf("route: LID policy returned unaligned base LID %d for lmc=%d", base, lmc))
 		}
 		t.BaseLID[i] = base
-		t.termIdx[tm] = i
 		if base+span-1 > t.maxLID {
 			t.maxLID = base + span - 1
 		}
@@ -109,9 +113,6 @@ func newTables(g *topo.Graph, engine string, lmc uint8, policy LIDPolicy) *Table
 			t.lidOwner[base+o] = int32(i)
 		}
 	}
-	for i, sw := range g.Switches() {
-		t.swIdx[sw] = i
-	}
 	t.lft = make([][]topo.ChannelID, g.NumSwitches())
 	for i := range t.lft {
 		row := make([]topo.ChannelID, int(t.maxLID)+1)
@@ -124,7 +125,7 @@ func newTables(g *topo.Graph, engine string, lmc uint8, policy LIDPolicy) *Table
 }
 
 // TermIndex returns the terminal index of a terminal node.
-func (t *Tables) TermIndex(n topo.NodeID) int { return t.termIdx[n] }
+func (t *Tables) TermIndex(n topo.NodeID) int { return t.G.TerminalIndex(n) }
 
 // TermByIndex returns the terminal NodeID at index i.
 func (t *Tables) TermByIndex(i int) topo.NodeID { return t.G.Terminals()[i] }
@@ -140,7 +141,7 @@ func (t *Tables) LIDFor(term topo.NodeID, lidOffset uint8) LID {
 	if lidOffset >= 1<<t.LMC {
 		panic("route: lid offset beyond LMC range")
 	}
-	return t.BaseLID[t.termIdx[term]] + LID(lidOffset)
+	return t.BaseLID[t.G.TerminalIndex(term)] + LID(lidOffset)
 }
 
 // OwnerOf returns the terminal owning a LID, or -1.
@@ -151,15 +152,20 @@ func (t *Tables) OwnerOf(lid LID) int {
 	return int(t.lidOwner[lid])
 }
 
-// SetNextHop installs the LFT entry of switch sw toward lid.
+// SetNextHop installs the LFT entry of switch sw toward lid. It panics on
+// frozen tables: engines finish all writes before Freeze, and shared cached
+// tables must never be modified.
 func (t *Tables) SetNextHop(sw topo.NodeID, lid LID, c topo.ChannelID) {
-	t.lft[t.swIdx[sw]][lid] = c
+	if t.frozen {
+		panic("route: SetNextHop on frozen Tables")
+	}
+	t.lft[t.G.SwitchIndex(sw)][lid] = c
 }
 
 // NextHop returns the outgoing channel of switch sw toward lid, or
 // NoChannel.
 func (t *Tables) NextHop(sw topo.NodeID, lid LID) topo.ChannelID {
-	return t.lft[t.swIdx[sw]][lid]
+	return t.lft[t.G.SwitchIndex(sw)][lid]
 }
 
 // slSlot maps (src terminal index, dst LID) to an index into sl.
@@ -170,13 +176,17 @@ func (t *Tables) slSlot(srcIdx int, lid LID) int {
 	return srcIdx*slots + (int(dstIdx)<<t.LMC | off)
 }
 
-// SetSL records the virtual lane for the (src, dst LID) path.
+// SetSL records the virtual lane for the (src, dst LID) path. It panics on
+// frozen tables, like SetNextHop.
 func (t *Tables) SetSL(src topo.NodeID, lid LID, vl uint8) {
+	if t.frozen {
+		panic("route: SetSL on frozen Tables")
+	}
 	if t.sl == nil {
 		n := t.NumTerminals()
 		t.sl = make([]uint8, n*(n<<t.LMC))
 	}
-	t.sl[t.slSlot(t.termIdx[src], lid)] = vl
+	t.sl[t.slSlot(t.G.TerminalIndex(src), lid)] = vl
 	if int(vl)+1 > t.NumVL {
 		t.NumVL = int(vl) + 1
 	}
@@ -188,7 +198,49 @@ func (t *Tables) SL(src topo.NodeID, lid LID) uint8 {
 	if t.sl == nil {
 		return 0
 	}
-	return t.sl[t.slSlot(t.termIdx[src], lid)]
+	return t.sl[t.slSlot(t.G.TerminalIndex(src), lid)]
+}
+
+// Freeze marks the tables read-only; subsequent SetNextHop/SetSL calls
+// panic. Every routing engine freezes its result before returning, which
+// is what makes sharing one Tables across sweep workers race-free.
+func (t *Tables) Freeze() { t.frozen = true }
+
+// Frozen reports whether the tables are read-only.
+func (t *Tables) Frozen() bool { return t.frozen }
+
+// Rebind returns a shallow copy of frozen tables with G swapped to another
+// structurally identical graph. The LFT/SL slices are shared (read-only),
+// but the copy's graph pointer matches the caller's fabric so runtime fault
+// injection on one machine's graph never leaks into another's tables. It
+// panics when t is not frozen or g has a different shape.
+func (t *Tables) Rebind(g *topo.Graph) *Tables {
+	if !t.frozen {
+		panic("route: Rebind of unfrozen Tables")
+	}
+	if len(g.Nodes) != len(t.G.Nodes) || len(g.Links) != len(t.G.Links) ||
+		g.NumSwitches() != t.G.NumSwitches() || g.NumTerminals() != t.G.NumTerminals() {
+		panic("route: Rebind to structurally different graph")
+	}
+	nt := *t
+	nt.G = g
+	return &nt
+}
+
+// MutableClone deep-copies the LFT and SL state into fresh unfrozen tables
+// bound to the same graph. Tests use it to corrupt routing state without
+// tripping the freeze guard or poisoning a cached original.
+func (t *Tables) MutableClone() *Tables {
+	nt := *t
+	nt.frozen = false
+	nt.lft = make([][]topo.ChannelID, len(t.lft))
+	for i, row := range t.lft {
+		nt.lft[i] = append([]topo.ChannelID(nil), row...)
+	}
+	if t.sl != nil {
+		nt.sl = append([]uint8(nil), t.sl...)
+	}
+	return &nt
 }
 
 // MaxHops bounds LFT walks; anything longer indicates a forwarding loop.

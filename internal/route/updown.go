@@ -39,8 +39,10 @@ func UpDown(g *topo.Graph, lmc uint8) (*Tables, error) {
 			return nil, fmt.Errorf("route: switch fabric disconnected at %s", g.Nodes[s].Label)
 		}
 	}
-	// rank orders switches: root first; "up" = toward smaller rank.
-	rank := make(map[topo.NodeID]int, len(switches))
+	// rank orders switches: root first; "up" = toward smaller rank. Stored
+	// flat by the graph's dense switch index.
+	nsw := len(switches)
+	rank := make([]int, nsw)
 	ordered := append([]topo.NodeID{}, switches...)
 	sort.Slice(ordered, func(i, j int) bool {
 		a, b := ordered[i], ordered[j]
@@ -50,8 +52,15 @@ func UpDown(g *topo.Graph, lmc uint8) (*Tables, error) {
 		return a < b
 	})
 	for i, s := range ordered {
-		rank[s] = i
+		rank[g.SwitchIndex(s)] = i
 	}
+
+	// Flat per-destination scratch, reset between destinations; -1 cost
+	// sentinels mark not-yet-routed switches.
+	dDown := make([]int, nsw)
+	downNext := make([]topo.ChannelID, nsw)
+	cost := make([]int, nsw)
+	next := make([]topo.ChannelID, nsw)
 
 	span := 1 << lmc
 	terms := g.Terminals()
@@ -62,42 +71,46 @@ func UpDown(g *topo.Graph, lmc uint8) (*Tables, error) {
 			// unreachable by Validate) rather than failing the sweep.
 			continue
 		}
+		for i := 0; i < nsw; i++ {
+			dDown[i], downNext[i] = -1, NoChannel
+			cost[i], next[i] = -1, NoChannel
+		}
 		// Phase 1 — pure descent (rank strictly increasing toward dst):
 		// process in decreasing rank, computing dDown where possible.
-		dDown := map[topo.NodeID]int{dstSw: 0}
-		downNext := map[topo.NodeID]topo.ChannelID{}
+		dDown[g.SwitchIndex(dstSw)] = 0
 		for i := len(ordered) - 1; i >= 0; i-- {
 			s := ordered[i]
 			if s == dstSw {
 				continue
 			}
+			si := g.SwitchIndex(s)
 			best := -1
 			var bestC topo.ChannelID
 			for _, l := range g.UpLinks(s) {
 				o := l.Other(s)
-				if g.Nodes[o].Kind != topo.Switch || rank[o] <= rank[s] {
+				oi := g.SwitchIndex(o)
+				if oi < 0 || rank[oi] <= rank[si] {
 					continue // only "down" edges (rank increases)
 				}
-				if d, ok := dDown[o]; ok && (best < 0 || d+1 < best) {
+				if d := dDown[oi]; d >= 0 && (best < 0 || d+1 < best) {
 					best = d + 1
 					bestC = l.Channel(s)
 				}
 			}
 			if best >= 0 {
-				dDown[s] = best
-				downNext[s] = bestC
+				dDown[si] = best
+				downNext[si] = bestC
 			}
 		}
 		// Phase 2 — ascent: switches without a descent route go up toward
 		// the cheapest already-routed lower-rank switch; process in
 		// increasing rank so dependencies resolve.
-		cost := map[topo.NodeID]int{}
-		next := map[topo.NodeID]topo.ChannelID{}
 		for _, s := range ordered {
-			if d, ok := dDown[s]; ok {
-				cost[s] = d
+			si := g.SwitchIndex(s)
+			if d := dDown[si]; d >= 0 {
+				cost[si] = d
 				if s != dstSw {
-					next[s] = downNext[s]
+					next[si] = downNext[si]
 				}
 				continue
 			}
@@ -105,10 +118,11 @@ func UpDown(g *topo.Graph, lmc uint8) (*Tables, error) {
 			var bestC topo.ChannelID
 			for _, l := range g.UpLinks(s) {
 				o := l.Other(s)
-				if g.Nodes[o].Kind != topo.Switch || rank[o] >= rank[s] {
+				oi := g.SwitchIndex(o)
+				if oi < 0 || rank[oi] >= rank[si] {
 					continue // only "up" edges
 				}
-				if c, ok := cost[o]; ok && (best < 0 || c+1 < best) {
+				if c := cost[oi]; c >= 0 && (best < 0 || c+1 < best) {
 					best = c + 1
 					bestC = l.Channel(s)
 				}
@@ -117,14 +131,16 @@ func UpDown(g *topo.Graph, lmc uint8) (*Tables, error) {
 				return nil, fmt.Errorf("route: updown cannot reach %s from %s",
 					g.Nodes[dst].Label, g.Nodes[s].Label)
 			}
-			cost[s] = best
-			next[s] = bestC
+			cost[si] = best
+			next[si] = bestC
 		}
 
 		for off := 0; off < span; off++ {
 			lid := t.BaseLID[di] + LID(off)
-			for s, c := range next {
-				t.SetNextHop(s, lid, c)
+			for si, c := range next {
+				if c != NoChannel {
+					t.SetNextHop(switches[si], lid, c)
+				}
 			}
 			for _, l := range g.Nodes[dst].Ports {
 				if l != nil && !l.Down && l.Other(dst) == dstSw {
@@ -133,5 +149,6 @@ func UpDown(g *topo.Graph, lmc uint8) (*Tables, error) {
 			}
 		}
 	}
+	t.Freeze()
 	return t, nil
 }

@@ -95,6 +95,10 @@ type Graph struct {
 	Links     []*Link
 	terminals []NodeID // cached, in creation order
 	switches  []NodeID
+	// kindIdx[n] is the node's dense index within its kind slice
+	// (terminals or switches), so routing state can live in flat slices
+	// instead of map[NodeID] lookups.
+	kindIdx []int32
 }
 
 // New returns an empty graph with the given name.
@@ -107,8 +111,10 @@ func (g *Graph) AddNode(kind Kind, label string, coord ...int) *Node {
 	n := &Node{ID: NodeID(len(g.Nodes)), Kind: kind, Label: label, Coord: coord}
 	g.Nodes = append(g.Nodes, n)
 	if kind == Terminal {
+		g.kindIdx = append(g.kindIdx, int32(len(g.terminals)))
 		g.terminals = append(g.terminals, n.ID)
 	} else {
+		g.kindIdx = append(g.kindIdx, int32(len(g.switches)))
 		g.switches = append(g.switches, n.ID)
 	}
 	return n
@@ -142,6 +148,25 @@ func (g *Graph) NumTerminals() int { return len(g.terminals) }
 
 // NumSwitches reports the number of switches.
 func (g *Graph) NumSwitches() int { return len(g.switches) }
+
+// SwitchIndex returns the dense index of switch n in Switches() order, or
+// -1 when n is not a switch. The index is stable for the graph's lifetime,
+// making it the canonical key for flat per-switch routing state.
+func (g *Graph) SwitchIndex(n NodeID) int {
+	if g.Nodes[n].Kind != Switch {
+		return -1
+	}
+	return int(g.kindIdx[n])
+}
+
+// TerminalIndex returns the dense index of terminal n in Terminals()
+// order, or -1 when n is not a terminal.
+func (g *Graph) TerminalIndex(n NodeID) int {
+	if g.Nodes[n].Kind != Terminal {
+		return -1
+	}
+	return int(g.kindIdx[n])
+}
 
 // Link returns the link for a channel ID.
 func (g *Graph) Link(c ChannelID) *Link { return g.Links[c/2] }
