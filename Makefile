@@ -2,17 +2,23 @@
 
 DATE := $(shell date +%F)
 
-.PHONY: all build test race vet check bench bench-check bench-solver bench-sweep bench-sweep-check
+.PHONY: all build test race vet check bench bench-check bench-solver bench-sweep bench-sweep-check bench-degraded bench-degraded-check
 
 # BASELINE is the committed bench document bench-check compares against;
 # override with `make bench-check BASELINE=BENCH_....json`. The sweep-
-# engine baselines live in their own BENCH_sweep_*.json documents (more
-# iterations, different cadence) and must not be picked up here.
-BASELINE := $(lastword $(sort $(filter-out BENCH_sweep_%,$(wildcard BENCH_*.json))))
+# engine and degraded-sweep baselines live in their own BENCH_sweep_* /
+# BENCH_degraded_* documents (more iterations, different cadence) and must
+# not be picked up here.
+BASELINE := $(lastword $(sort $(filter-out BENCH_sweep_% BENCH_degraded_%,$(wildcard BENCH_*.json))))
 SWEEPBASELINE := $(lastword $(sort $(wildcard BENCH_sweep_*.json)))
+DEGBASELINE := $(lastword $(sort $(wildcard BENCH_degraded_*.json)))
 
 # The sweep-engine benchmarks (parallel runner + table cache).
 SWEEPBENCH := BenchmarkSweepParallel|BenchmarkTablesBuild
+
+# The degraded-variant table-production benchmark (fault-tolerant engines
+# over failure-chain prefixes, cold vs cached).
+DEGBENCH := BenchmarkDegradedTables
 
 all: check
 
@@ -67,3 +73,18 @@ bench-sweep:
 bench-sweep-check:
 	go test -run xxx -bench '$(SWEEPBENCH)' -benchtime 5x . \
 		| go run ./cmd/benchjson -filter 'SweepParallel|TablesBuild' -baseline $(SWEEPBASELINE) > /dev/null
+
+# bench-degraded records the degraded-sweep baseline: table builds/s for
+# the fault-tolerant engines walking failure-chain prefixes, cold vs
+# through the TableCache. Committed as BENCH_degraded_<date>.json.
+bench-degraded:
+	go test -run xxx -bench '$(DEGBENCH)' -benchtime 5x . \
+		| go run ./cmd/benchjson -filter 'DegradedTables' -out BENCH_degraded_$(DATE).json
+	@echo "degraded baseline written to BENCH_degraded_$(DATE).json"
+
+# bench-degraded-check reruns the degraded-variant benchmark and compares
+# its builds/s metrics against the newest committed degraded baseline
+# (warn-only, like bench-check).
+bench-degraded-check:
+	go test -run xxx -bench '$(DEGBENCH)' -benchtime 5x . \
+		| go run ./cmd/benchjson -filter 'DegradedTables' -baseline $(DEGBASELINE) > /dev/null

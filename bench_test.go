@@ -517,6 +517,72 @@ func BenchmarkTablesBuild(b *testing.B) {
 	}
 }
 
+// BenchmarkDegradedTables measures routing-table production across a
+// degraded-variant chain on the 6x4 HyperX — the inner loop of the
+// survival sweeps. Each op walks every prefix of one seeded
+// connectivity-preserving failure chain, stepping the graph with
+// incremental DownMask deltas (the Zobrist DownHash is the cache key) and
+// building tables at each prefix: cold runs the engine per prefix, cached
+// hits the TableCache once the prefix has been built. The builds/s gap is
+// what hundreds of sweep variants sharing chain prefixes save.
+func BenchmarkDegradedTables(b *testing.B) {
+	const chainLen = 12
+	engines := []struct {
+		name string
+		run  func(hx *topo.HyperX) (*route.Tables, error)
+	}{
+		{"dfsssp", func(hx *topo.HyperX) (*route.Tables, error) { return route.DFSSSP(hx.Graph, 0, 8) }},
+		{"hxmin", func(hx *topo.HyperX) (*route.Tables, error) { return route.HXMin(hx, 0) }},
+		{"hxnm", func(hx *topo.HyperX) (*route.Tables, error) { return route.HXNonMin(hx, 0, 8) }},
+	}
+	for _, eng := range engines {
+		eng := eng
+		walk := func(b *testing.B, hx *topo.HyperX, chain []topo.LinkID, build func() error) {
+			clean := topo.CaptureDownMask(hx.Graph)
+			mask := clean.Clone()
+			for _, id := range chain {
+				prev := mask.Clone()
+				mask.Set(id, true)
+				mask.ApplyDelta(hx.Graph, prev)
+				if err := build(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			clean.ApplyDelta(hx.Graph, mask)
+		}
+		b.Run(eng.name+"/cold", func(b *testing.B) {
+			hx := benchHX()
+			chain, err := topo.DegradeChain(hx.Graph, chainLen, 7)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				walk(b, hx, chain, func() error { _, err := eng.run(hx); return err })
+			}
+			b.ReportMetric(float64(b.N*chainLen)/b.Elapsed().Seconds(), "builds/s")
+		})
+		b.Run(eng.name+"/cached", func(b *testing.B) {
+			hx := benchHX()
+			chain, err := topo.DegradeChain(hx.Graph, chainLen, 7)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cache := exp.NewTableCache(chainLen + 1)
+			get := func() error {
+				_, err := cache.Get(hx.Graph, eng.name, 0, func() (*route.Tables, error) { return eng.run(hx) })
+				return err
+			}
+			walk(b, hx, chain, get) // warm every prefix
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				walk(b, hx, chain, get)
+			}
+			b.ReportMetric(float64(b.N*chainLen)/b.Elapsed().Seconds(), "builds/s")
+		})
+	}
+}
+
 // --- flow-solver microbench (DESIGN.md Sec. 7) ---
 
 // solverChurnPaths pre-resolves nflows paths on the 6x4 HyperX under one

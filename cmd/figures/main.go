@@ -28,7 +28,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "figure to regenerate: 1, 4, 5a, 5b, 5c, 6, 7, counters, planes, all")
+	fig := flag.String("fig", "", "figure to regenerate: 1, 4, 5a, 5b, 5c, 6, 7, counters, planes, degraded, all")
 	table := flag.Int("table", 0, "table to regenerate: 1")
 	coll := flag.String("coll", "", "Fig. 4 collective (default: all six)")
 	app := flag.String("app", "", "Fig. 6 app abbreviation (default: all twelve)")
@@ -109,9 +109,11 @@ func main() {
 			check(s.FigCounters(*coll))
 		case "planes":
 			check(s.FigPlanes())
+		case "degraded":
+			check(s.FigDegraded())
 		case "all":
 			check(s.Table1())
-			for _, f := range []string{"1", "4", "5a", "5b", "5c", "6", "7", "counters", "planes"} {
+			for _, f := range []string{"1", "4", "5a", "5b", "5c", "6", "7", "counters", "planes", "degraded"} {
 				run(f)
 			}
 		default:

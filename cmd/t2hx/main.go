@@ -39,6 +39,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"text/tabwriter"
 
 	"github.com/hpcsim/t2hx/internal/exp"
 	"github.com/hpcsim/t2hx/internal/fabric"
@@ -69,6 +70,10 @@ func main() {
 	saveProfile := flag.String("save-profile", "", "capture the benchmark's communication profile to this JSON file (for PARX ingestion)")
 	faultsMode := flag.Bool("faults", false, "resilience scenario: inject runtime link failures mid-run and re-sweep (uses imb:<op> benches; default alltoall)")
 	failures := flag.Int("failures", 0, "runtime link failures to inject (0 = paper count: 15 HyperX / 197 Fat-Tree)")
+	degradedMode := flag.Bool("degraded", false, "degraded-topology survival sweep: seeded failure-chain variants per (engine x failure count) on the HyperX plane (uses imb:<op> benches; default alltoall)")
+	enginesF := flag.String("engines", "hxmin,hxnm", "with -degraded: comma-separated HyperX routing engines to compare")
+	countsF := flag.String("counts", "", "with -degraded: comma-separated failure counts (default 0,15,30,60,90; small planes 0,3,6,9,12)")
+	variants := flag.Int("variants", 25, "with -degraded: seeded degradation variants per cell")
 	detect := flag.Duration("detect", 0, "SM failure-detection delay (0 = 1ms default)")
 	sweepLat := flag.Duration("sweep-latency", 0, "SM re-sweep latency before tables go live (0 = 4ms default)")
 	sweepMode := flag.Bool("sweep", false, "sweep mode: run -bench across all paper combos x -sizes over the -j worker pool")
@@ -95,7 +100,7 @@ func main() {
 		fmt.Println("\n  baidu ebb mpigraph")
 		return
 	}
-	if *bench == "" && !*faultsMode {
+	if *bench == "" && !*faultsMode && !*degradedMode {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -151,6 +156,21 @@ func main() {
 			detect: sim.Duration(detect.Seconds()), sweep: sim.Duration(sweepLat.Seconds()),
 			small: *small, degrade: !*noDegrade, jobs: *jobs,
 		}, tel)
+		return
+	}
+	if *degradedMode {
+		op := "alltoall"
+		if strings.HasPrefix(*bench, "imb:") {
+			op = strings.TrimPrefix(*bench, "imb:")
+		} else if *bench != "" {
+			fatal(fmt.Errorf("-degraded only supports imb:<op> benches, got %q", *bench))
+		}
+		runDegraded(degradedCLI{
+			engines: *enginesF, counts: *countsF, variants: *variants,
+			op: op, n: *n, size: *size, seed: *seed,
+			detect: sim.Duration(detect.Seconds()), sweep: sim.Duration(sweepLat.Seconds()),
+			small: *small, jobs: *jobs,
+		})
 		return
 	}
 	if *sweepMode {
@@ -493,14 +513,18 @@ func runFaults(selected []exp.Combo, cli faultCLI, tel telCLI) {
 		})
 	}
 	results, err := exp.RunFaultBatch(exp.Runner{Workers: cli.jobs, BaseSeed: cli.seed}, specs)
-	if err != nil {
-		fatal(err)
+	if err != nil && results == nil {
+		fatal(err) // structural rejection: nothing ran
 	}
 	for i, c := range selected {
 		m, res := specs[i].Machine, results[i]
 		fmt.Printf("\n%s  plane: %s (%d nodes)\n", c.Name, m.G.Name, m.G.NumTerminals())
 		fmt.Printf("  injecting %d runtime link failures into imb:%s (%d ranks, %d B)\n",
 			specs[i].Failures, cli.op, cli.n, cli.size)
+		if res == nil || res.Faulted == 0 {
+			fmt.Printf("  scenario did not complete (see errors below)\n")
+			continue
+		}
 		st := res.SweepStats()
 		fmt.Printf("  makespan: baseline %.3f ms -> faulted %.3f ms (+%.1f%%)\n",
 			1e3*float64(res.Baseline), 1e3*float64(res.Faulted), 100*res.Slowdown())
@@ -517,6 +541,92 @@ func runFaults(selected []exp.Combo, cli faultCLI, tel telCLI) {
 		}
 		tel.report(cols[i], suffix)
 	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "t2hx: some scenarios failed:\n%v\n", err)
+		os.Exit(1)
+	}
+}
+
+type degradedCLI struct {
+	engines  string
+	counts   string
+	variants int
+	op       string
+	n        int
+	size     int64
+	seed     uint64
+	detect   sim.Duration
+	sweep    sim.Duration
+	small    bool
+	jobs     int
+}
+
+// runDegraded executes the at-scale degraded-topology survival sweep:
+// hundreds of seeded failure-chain variants per (engine x failure count)
+// cell on the HyperX plane, each run through the full SM fault scenario,
+// then aggregated into one row per cell with goodput, re-sweep latency,
+// unreachable-pair and deadlock-margin columns.
+func runDegraded(cli degradedCLI) {
+	var engines []string
+	for _, e := range strings.Split(cli.engines, ",") {
+		if e = strings.TrimSpace(e); e != "" {
+			engines = append(engines, e)
+		}
+	}
+	countsDefault := "0,15,30,60,90"
+	if cli.small {
+		countsDefault = "0,3,6,9,12"
+	}
+	if strings.TrimSpace(cli.counts) == "" {
+		cli.counts = countsDefault
+	}
+	var counts []int
+	for _, f := range strings.Split(cli.counts, ",") {
+		var v int
+		if _, err := fmt.Sscanf(strings.TrimSpace(f), "%d", &v); err != nil || v < 0 {
+			fatal(fmt.Errorf("bad -counts entry %q", f))
+		}
+		counts = append(counts, v)
+	}
+	spec := exp.DegradedSpec{
+		Engines: engines,
+		Workloads: []exp.DegradedWorkload{{
+			Name: "imb:" + cli.op,
+			Build: func(nn int) (*workloads.Instance, error) {
+				return workloads.BuildIMB(cli.op, nn, cli.size)
+			},
+		}},
+		Counts: counts, Variants: cli.variants,
+		Nodes: cli.n, Small: cli.small, Seed: cli.seed,
+		Detect: cli.detect, SweepLatency: cli.sweep,
+	}
+	total := len(engines) * len(counts) * cli.variants
+	fmt.Printf("degraded survival sweep: %d engines x %d counts x %d variants = %d cells (imb:%s, %d ranks, %d B, -j %d)\n",
+		len(engines), len(counts), cli.variants, total, cli.op, cli.n, cli.size,
+		exp.Runner{Workers: cli.jobs}.WorkerCount())
+	r := exp.Runner{
+		Workers: cli.jobs, BaseSeed: cli.seed,
+		Progress: func(done, totalCells int, label string) {
+			fmt.Fprintf(os.Stderr, "\r  [%d/%d] %-40s", done, totalCells, label)
+		},
+	}
+	results, err := exp.RunDegraded(r, spec)
+	fmt.Fprintln(os.Stderr)
+	if err != nil {
+		fatal(err)
+	}
+	w := tabwriter.NewWriter(os.Stdout, 4, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "engine\tfailures\tsurvived\tslowdown\tgoodput(GiB/s)\tsweepP50(ms)\tsweepMax(ms)\tunreach(mean/max)\tmargin(min/mean)")
+	const gib = 1 << 30
+	for _, row := range exp.SummarizeDegraded(results) {
+		fmt.Fprintf(w, "%s\t%d\t%d/%d\t%+.1f%%\t%.3f\t%.3f\t%.3f\t%.1f/%d\t%.3f/%.3f\n",
+			row.Engine, row.Failures, row.Survived, row.Variants,
+			100*row.SlowdownMed, row.GoodputDuringMed/gib,
+			1e3*float64(row.SweepP50Med), 1e3*float64(row.SweepMaxMax),
+			row.UnreachableMean, row.UnreachableMax,
+			row.MarginMin, row.MarginMean)
+	}
+	w.Flush()
 }
 
 type sweepCLI struct {

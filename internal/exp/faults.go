@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/hpcsim/t2hx/internal/fabric"
@@ -36,6 +37,53 @@ type FaultSpec struct {
 	// injected faults appear as trace instants, SM sweeps as spans, and
 	// the counters/FCT records cover the run that rode out the outage.
 	Telemetry *telemetry.Collector
+	// Schedule, when non-empty, is the exact fault timeline to inject,
+	// overriding the seeded PlanLinkFailures plan. Degraded sweeps use it
+	// to replay prefixes of one shared failure chain.
+	Schedule faults.Schedule
+	// Baseline, when nonzero, is a previously measured fault-free makespan
+	// for this (machine, workload, nodes): the baseline run is skipped and
+	// this value calibrates failure timing and the slowdown figure. Sweeps
+	// that run many variants of one cell share a single baseline this way.
+	Baseline sim.Duration
+}
+
+// Typed FaultSpec validation errors, checked with errors.Is.
+var (
+	// ErrNilMachine reports a FaultSpec without a machine.
+	ErrNilMachine = errors.New("exp: fault spec has no machine")
+	// ErrNilBuild reports a FaultSpec without a workload builder.
+	ErrNilBuild = errors.New("exp: fault spec has no workload builder")
+	// ErrBadFailures reports a negative failure count or one exceeding the
+	// machine's live switch links.
+	ErrBadFailures = errors.New("exp: fault spec failure count out of range")
+	// ErrBadNodes reports a non-positive node count or one exceeding the
+	// machine's terminals.
+	ErrBadNodes = errors.New("exp: fault spec node count out of range")
+)
+
+// Validate checks a spec's shape before any simulator state is built, so a
+// bad batch entry fails up front with a typed error instead of deep inside
+// the run. Failures == 0 is valid (it selects the paper default).
+func (spec FaultSpec) Validate() error {
+	if spec.Machine == nil {
+		return ErrNilMachine
+	}
+	if spec.Build == nil {
+		return ErrNilBuild
+	}
+	if spec.Failures < 0 {
+		return fmt.Errorf("%w: %d", ErrBadFailures, spec.Failures)
+	}
+	if live := len(spec.Machine.G.LiveSwitchLinks()); spec.Failures > live {
+		return fmt.Errorf("%w: %d requested, machine has %d live switch links",
+			ErrBadFailures, spec.Failures, live)
+	}
+	if spec.Nodes <= 0 || spec.Nodes > spec.Machine.G.NumTerminals() {
+		return fmt.Errorf("%w: %d nodes on a %d-terminal machine",
+			ErrBadNodes, spec.Nodes, spec.Machine.G.NumTerminals())
+	}
+	return nil
 }
 
 // smallMachineFailures keeps scaled-down planes connected: the 4x4 HyperX
@@ -97,17 +145,43 @@ func (r FaultResult) SweepStats() Stats {
 // sharing one machine across concurrent specs would race. Determinism
 // comes from each spec's explicit Seed (the pool's derived cell seeds are
 // unused here).
+//
+// One failing spec does not discard the others: every scenario runs to
+// completion, completed results are returned in place (a failed spec's slot
+// carries whatever partial result its scenario produced, possibly nil), and
+// the per-spec errors come back joined. Structural problems — shared
+// machines, specs failing Validate — are rejected before anything runs.
 func RunFaultBatch(r Runner, specs []FaultSpec) ([]*FaultResult, error) {
+	var verrs []error
 	for i := range specs {
 		for j := range specs[:i] {
-			if specs[i].Machine == specs[j].Machine {
+			if specs[i].Machine != nil && specs[i].Machine == specs[j].Machine {
 				return nil, fmt.Errorf("exp: fault specs %d and %d share a machine; each needs its own", j, i)
 			}
 		}
+		if err := specs[i].Validate(); err != nil {
+			verrs = append(verrs, fmt.Errorf("exp: fault spec %d: %w", i, err))
+		}
 	}
-	return ForEach(r, len(specs),
-		func(i int) string { return specs[i].Machine.Combo.Name },
-		func(i int, _ uint64) (*FaultResult, error) { return RunFaultScenario(specs[i]) })
+	if len(verrs) > 0 {
+		return nil, errors.Join(verrs...)
+	}
+	cells := make([]Cell, len(specs))
+	for i := range specs {
+		i := i
+		cells[i] = Cell{
+			Label: specs[i].Machine.Combo.Name,
+			Run:   func(uint64) (any, error) { return RunFaultScenario(specs[i]) },
+		}
+	}
+	res, err := r.RunAll(cells)
+	out := make([]*FaultResult, len(specs))
+	for i, cr := range res {
+		if fr, ok := cr.Value.(*FaultResult); ok {
+			out[i] = fr
+		}
+	}
+	return out, err
 }
 
 // RunFaultScenario executes the experiment against the machine's primary
@@ -119,10 +193,10 @@ func RunFaultBatch(r Runner, specs []FaultSpec) ([]*FaultResult, error) {
 // an infrastructure problem.
 func RunFaultScenario(spec FaultSpec) (*FaultResult, error) {
 	m := spec.Machine
-	if spec.Build == nil {
-		return nil, fmt.Errorf("exp: FaultSpec.Build is required")
+	if err := spec.Validate(); err != nil {
+		return nil, err
 	}
-	if spec.Failures == 0 {
+	if spec.Failures == 0 && spec.Schedule == nil {
 		spec.Failures = DefaultFailures(m)
 	}
 	ranks, err := m.Place(spec.Nodes, spec.Seed)
@@ -144,28 +218,40 @@ func RunFaultScenario(spec FaultSpec) (*FaultResult, error) {
 	}
 
 	// Fault-free baseline: calibrates both the result's slowdown figure and
-	// where in the run the failures land.
-	inst, err := spec.Build(spec.Nodes)
-	if err != nil {
-		return nil, err
+	// where in the run the failures land. A spec carrying a pre-measured
+	// Baseline (sweeps amortizing one baseline over many variants) skips
+	// the run.
+	base := spec.Baseline
+	if base == 0 {
+		inst, err := spec.Build(spec.Nodes)
+		if err != nil {
+			return nil, err
+		}
+		fb, err := newFabric()
+		if err != nil {
+			return nil, err
+		}
+		res, err := mpi.Run(fb, "baseline", ranks, inst.Progs, mpi.Options{})
+		if err != nil {
+			return nil, err
+		}
+		base = res.Elapsed
 	}
-	fb, err := newFabric()
-	if err != nil {
-		return nil, err
-	}
-	base, err := mpi.Run(fb, "baseline", ranks, inst.Progs, mpi.Options{})
-	if err != nil {
-		return nil, err
-	}
-	out := &FaultResult{Baseline: base.Elapsed, Failures: spec.Failures}
 
 	// Spread the failures over the middle half of the baseline makespan, so
-	// they hit a busy fabric rather than the ramp-up or drain.
-	sched, err := faults.PlanLinkFailures(m.G, spec.Failures,
-		sim.Time(base.Elapsed)/4, base.Elapsed/2, spec.Seed)
-	if err != nil {
-		return nil, err
+	// they hit a busy fabric rather than the ramp-up or drain — unless the
+	// spec fixes the exact timeline itself.
+	sched := spec.Schedule
+	if sched == nil {
+		sched, err = faults.PlanLinkFailures(m.G, spec.Failures,
+			sim.Time(base)/4, base/2, spec.Seed)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		spec.Failures = len(sched)
 	}
+	out := &FaultResult{Baseline: base, Failures: spec.Failures}
 
 	// The faulted run mutates the graph's link state; restore it so the
 	// machine (and its cached Tables) stay valid for the next experiment.
@@ -179,7 +265,7 @@ func RunFaultScenario(spec FaultSpec) (*FaultResult, error) {
 		}
 	}()
 
-	inst, err = spec.Build(spec.Nodes)
+	inst, err := spec.Build(spec.Nodes)
 	if err != nil {
 		return nil, err
 	}

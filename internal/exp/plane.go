@@ -17,7 +17,7 @@ import (
 type PlaneSpec struct {
 	Name     string
 	Topology string // "fattree" | "hyperx"
-	Routing  string // "ftree" | "sssp" | "dfsssp" | "updown" | "lash" | "nue" | "parx"
+	Routing  string // "ftree" | "sssp" | "dfsssp" | "updown" | "lash" | "nue" | "parx" | "hxmin" | "hxnm"
 }
 
 // Label returns the plane's display name.
@@ -170,6 +170,16 @@ func (p *Plane) buildTables() (*route.Tables, error) {
 		return route.LASH(p.G, 0, 8)
 	case "nue":
 		return route.Nue(p.G, 0, 2)
+	case "hxmin":
+		if p.HX == nil {
+			return nil, fmt.Errorf("exp: hxmin routing needs a HyperX")
+		}
+		return route.HXMin(p.HX, 0)
+	case "hxnm":
+		if p.HX == nil {
+			return nil, fmt.Errorf("exp: hxnm routing needs a HyperX")
+		}
+		return route.HXNonMin(p.HX, 0, 8)
 	case "parx":
 		if p.HX == nil {
 			return nil, fmt.Errorf("exp: PARX needs a HyperX")

@@ -2,6 +2,8 @@ package exp
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -134,6 +136,64 @@ feed:
 		return nil, firstErr
 	}
 	return out, nil
+}
+
+// RunAll executes all cells like Run, but never cancels the queue: every
+// cell runs to completion, per-cell errors are joined (labelled with the
+// failing cell) into the returned error, and the results of cells that
+// succeeded are kept. Batch drivers whose individual cells may legitimately
+// fail (fault scenarios, degraded sweeps) use this so one bad spec cannot
+// discard a night of completed work.
+func (r Runner) RunAll(cells []Cell) ([]CellResult, error) {
+	n := len(cells)
+	out := make([]CellResult, n)
+	if n == 0 {
+		return out, nil
+	}
+	workers := r.WorkerCount()
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	queue := make(chan int)
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		done int
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range queue {
+				c := cells[i]
+				seed := CellSeed(r.BaseSeed, i)
+				if c.Seed != nil {
+					seed = *c.Seed
+				}
+				v, err := c.Run(seed)
+				mu.Lock()
+				out[i] = CellResult{Index: i, Label: c.Label, Value: v}
+				if err != nil {
+					if c.Label != "" {
+						err = fmt.Errorf("%s: %w", c.Label, err)
+					}
+					errs[i] = err
+				}
+				done++
+				if r.Progress != nil {
+					r.Progress(done, n, c.Label)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := range cells {
+		queue <- i
+	}
+	close(queue)
+	wg.Wait()
+	return out, errors.Join(errs...)
 }
 
 // ForEach runs fn for indices [0, n) over the runner's pool and returns

@@ -6,6 +6,7 @@ import (
 
 	"github.com/hpcsim/t2hx/internal/place"
 	"github.com/hpcsim/t2hx/internal/route"
+	"github.com/hpcsim/t2hx/internal/sim"
 	"github.com/hpcsim/t2hx/internal/topo"
 )
 
@@ -169,6 +170,85 @@ func TestTableCacheEviction(t *testing.T) {
 	}
 	if _, misses := c.Stats(); misses != missesBefore+1 {
 		t.Fatal("evicted key did not rebuild")
+	}
+}
+
+// Degraded-sweep pressure: hundreds of near-identical down masks (random
+// walks over one failure chain) churning through a small cache. The cache
+// must stay within its cap, every returned table must match the mask it was
+// requested under, and the incremental DownMask hash must agree with the
+// graph's own key at every step.
+func TestTableCacheDegradedSweepPressure(t *testing.T) {
+	c := NewTableCache(16)
+	p := smallPlane(t)
+	chain, err := topo.DegradeChain(p.G, 12, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRand(9)
+	mask := topo.CaptureDownMask(p.G)
+	for i := 0; i < 300; i++ {
+		id := chain[rng.Intn(len(chain))]
+		prev := mask.Clone()
+		mask.Set(id, !mask.Get(id))
+		mask.ApplyDelta(p.G, prev)
+		if g := p.G.DownHash(); g != mask.Hash() {
+			t.Fatalf("step %d: graph key %x != incremental mask hash %x", i, g, mask.Hash())
+		}
+		tb, err := c.Get(p.G, p.Spec.Routing, 0, p.buildTables)
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		if c.Len() > 16 {
+			t.Fatalf("step %d: cache grew to %d entries past cap 16", i, c.Len())
+		}
+		// The tables must have been built against this exact mask: no next
+		// hop may cross a currently-down link.
+		for _, sw := range p.G.Switches() {
+			for lid := route.LID(1); lid <= tb.MaxLID(); lid++ {
+				if tb.OwnerOf(lid) < 0 {
+					continue
+				}
+				if ch := tb.NextHop(sw, lid); ch != route.NoChannel && p.G.Link(ch).Down {
+					t.Fatalf("step %d: cached tables for mask %x route over a down link", i, mask.Hash())
+				}
+			}
+		}
+	}
+	hits, misses := c.Stats()
+	if hits == 0 || misses == 0 {
+		t.Fatalf("pressure walk saw hits=%d misses=%d; want both (revisits hit, evictions miss)", hits, misses)
+	}
+	t.Logf("300 near-identical masks: %d hits, %d misses, %d resident", hits, misses, c.Len())
+}
+
+// Regression: two down masks differing in exactly one link must never share
+// a cache entry — a collision would silently serve tables that route over
+// the dead link. Every live switch link is tried.
+func TestTableCacheKeysDistinguishSingleLink(t *testing.T) {
+	c := NewTableCache(128)
+	p := smallPlane(t)
+	base, err := c.Get(p.G, p.Spec.Routing, 0, p.buildTables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range p.G.LiveSwitchLinks() {
+		l.Down = true
+		tb, err := c.Get(p.G, p.Spec.Routing, 0, p.buildTables)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tb == base {
+			t.Fatalf("mask differing only in link %d aliased the healthy entry", l.ID)
+		}
+		l.Down = false
+	}
+	hits, misses := c.Stats()
+	if want := uint64(len(p.G.LiveSwitchLinks())) + 1; misses != want {
+		t.Fatalf("%d misses for %d distinct masks", misses, want)
+	}
+	if hits != 0 {
+		t.Fatalf("%d unexpected hits: some single-link mask collided", hits)
 	}
 }
 

@@ -35,6 +35,11 @@ type SMConfig struct {
 	// tables are rejected and the old ones kept — the invariant an SM must
 	// never break. Costs a full table walk per sweep.
 	Revalidate bool
+	// MarginSamples, when positive, additionally scores the rebuilt tables'
+	// deadlock-freedom margin (route.DeadlockMargin with this sample cap)
+	// during revalidation; the value lands in Sweep.Margin and the sweep's
+	// trace span. Zero skips the measurement.
+	MarginSamples int
 }
 
 // Sweep records one SM reaction to fabric changes.
@@ -60,6 +65,10 @@ type Sweep struct {
 	// Unreachable counts (src, dst-LID) pairs the rebuilt tables cannot
 	// serve — nonzero when dead switches strand terminals.
 	Unreachable int
+	// Margin is the rebuilt tables' deadlock-freedom margin (CDG cycle
+	// slack, see route.DeadlockMargin); only measured when
+	// SMConfig.MarginSamples is positive and the rebuild succeeded.
+	Margin float64
 }
 
 // Latency is the outage window the sweep closed: first covered change to
@@ -290,6 +299,9 @@ func (m *Manager) startSweep() {
 			s.Validated = true
 			s.DeadlockFree = rep.DeadlockFree
 			s.Unreachable = rep.Unreachable
+			if m.Cfg.MarginSamples > 0 {
+				s.Margin = route.DeadlockMargin(tables, m.Cfg.MarginSamples)
+			}
 			if !rep.DeadlockFree {
 				err = fmt.Errorf("faults: re-sweep with engine %s produced deadlock-prone tables", tables.Engine)
 			}
@@ -345,6 +357,9 @@ func (m *Manager) finishSweep(s Sweep) {
 		if s.Validated {
 			args["deadlock_free"] = s.DeadlockFree
 			args["unreachable"] = s.Unreachable
+			if m.Cfg.MarginSamples > 0 {
+				args["margin"] = s.Margin
+			}
 		}
 		tel.Span(telemetry.TracePidSM, 1, "sm", name, s.Detected, end, args)
 		if s.Rejected == nil {

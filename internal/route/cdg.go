@@ -218,6 +218,41 @@ func (g *CDG) Acyclic() bool {
 	return true
 }
 
+// CanReach reports whether v is reachable from u along dependency edges.
+// Adding edge v->u is safe (keeps the graph acyclic) iff u does not reach
+// v; DeadlockMargin uses this to measure cycle slack. The maintained
+// topological order prunes the search: successors always carry higher
+// order, so nodes at or beyond ord[v] cannot lead back to it.
+func (g *CDG) CanReach(u, v topo.ChannelID) bool {
+	if u == v {
+		return true
+	}
+	ou, ok := g.ord[u]
+	if !ok {
+		return false
+	}
+	ov, ok := g.ord[v]
+	if !ok || ou >= ov {
+		return false
+	}
+	seen := map[topo.ChannelID]bool{u: true}
+	stack := []topo.ChannelID{u}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for m := range g.succ[n] {
+			if m == v {
+				return true
+			}
+			if g.ord[m] < ov && !seen[m] {
+				seen[m] = true
+				stack = append(stack, m)
+			}
+		}
+	}
+	return false
+}
+
 // SwitchChannelPred returns a predicate selecting switch-to-switch channels
 // of g.
 func SwitchChannelPred(g *topo.Graph) func(topo.ChannelID) bool {

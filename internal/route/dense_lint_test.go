@@ -22,6 +22,7 @@ var routeHotPathFiles = []string{
 	"ftree.go",
 	"updown.go",
 	"lash.go",
+	"hyperx_ft.go",
 }
 
 func TestNoNodeIDMapsInHotPaths(t *testing.T) {
@@ -85,6 +86,8 @@ func TestAllEnginesFreeze(t *testing.T) {
 		"updown": func() (*Tables, error) { return UpDown(hx.Graph, 0) },
 		"lash":   func() (*Tables, error) { return LASH(hx.Graph, 0, 8) },
 		"nue":    func() (*Tables, error) { return Nue(hx.Graph, 0, 2) },
+		"hxmin":  func() (*Tables, error) { return HXMin(hx, 0) },
+		"hxnm":   func() (*Tables, error) { return HXNonMin(hx, 0, 8) },
 	}
 	for name, build := range builds {
 		tb, err := build()

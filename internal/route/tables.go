@@ -7,10 +7,19 @@
 package route
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/hpcsim/t2hx/internal/topo"
 )
+
+// ErrNoRoute marks Path failures meaning "the tables do not serve this
+// pair" — a missing LFT entry or a detached source terminal. Fault-tolerant
+// engines (HXMin) leave such pairs unprogrammed by design, so callers walk
+// all pairs with errors.Is(err, ErrNoRoute) to separate graceful
+// degradation from structural anomalies (loops, misdelivery), which never
+// wrap it.
+var ErrNoRoute = errors.New("no route")
 
 // LID is an InfiniBand local identifier: the destination address forwarding
 // tables are keyed by. With LMC = l, a terminal port owns 2^l consecutive
@@ -263,7 +272,7 @@ func (t *Tables) Path(src topo.NodeID, lid LID) ([]topo.ChannelID, error) {
 	// Injection.
 	sw := g.SwitchOf(src)
 	if sw < 0 {
-		return nil, fmt.Errorf("route: source terminal %d detached", src)
+		return nil, fmt.Errorf("route: source terminal %d detached: %w", src, ErrNoRoute)
 	}
 	for _, l := range g.Nodes[src].Ports {
 		if l != nil && !l.Down {
@@ -277,7 +286,7 @@ func (t *Tables) Path(src topo.NodeID, lid LID) ([]topo.ChannelID, error) {
 		}
 		c := t.NextHop(sw, lid)
 		if c == NoChannel {
-			return nil, fmt.Errorf("route: switch %s has no entry for LID %d (engine %s)", g.Nodes[sw].Label, lid, t.Engine)
+			return nil, fmt.Errorf("route: switch %s has no entry for LID %d (engine %s): %w", g.Nodes[sw].Label, lid, t.Engine, ErrNoRoute)
 		}
 		l := g.Link(c)
 		if l.Down {

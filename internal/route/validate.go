@@ -1,6 +1,10 @@
 package route
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/hpcsim/t2hx/internal/topo"
+)
 
 // Report summarizes a routing validation pass.
 type Report struct {
@@ -104,6 +108,110 @@ func ChannelLoads(t *Tables) []int {
 		}
 	}
 	return load
+}
+
+// DefaultMarginSamples bounds the candidate dependencies DeadlockMargin
+// inspects per lane; degraded sweeps inspect thousands of variants, so the
+// measure is sampled rather than exhaustive.
+const DefaultMarginSamples = 2048
+
+// DeadlockMargin measures a routing's CDG cycle slack: across every
+// candidate channel dependency the topology could still add (an incoming
+// and an outgoing live switch channel meeting at a switch, not a U-turn
+// over the same link), the fraction whose addition would keep that lane's
+// CDG acyclic. 1.0 means every lane could absorb any new dependency — the
+// routing is far from deadlock; 0.0 means some lane can absorb none — one
+// more dependency pattern would close a cycle. The minimum over lanes is
+// returned, since the weakest lane bounds how much rerouting a re-sweep can
+// tolerate before needing more VLs. Candidates already present as edges are
+// excluded (they are spent slack). When candidates exceed maxSamples
+// (<= 0 selects DefaultMarginSamples), a deterministic stride sample is
+// scored instead.
+func DeadlockMargin(t *Tables, maxSamples int) float64 {
+	if maxSamples <= 0 {
+		maxSamples = DefaultMarginSamples
+	}
+	g := t.G
+	terms := g.Terminals()
+	span := 1 << t.LMC
+	isSwitch := SwitchChannelPred(g)
+	layers := make([]*CDG, max(t.NumVL, 1))
+	for i := range layers {
+		layers[i] = NewCDG()
+	}
+	for _, src := range terms {
+		for di := range terms {
+			for off := 0; off < span; off++ {
+				lid := t.BaseLID[di] + LID(off)
+				if t.OwnerOf(lid) < 0 || terms[di] == src {
+					continue
+				}
+				p, err := t.Path(src, lid)
+				if err != nil {
+					continue // unreachable pairs contribute no dependencies
+				}
+				vl := int(t.SL(src, lid))
+				if vl >= len(layers) {
+					continue // Validate flags this; the margin just skips it
+				}
+				layers[vl].AddPath(p, isSwitch)
+			}
+		}
+	}
+	var cands [][2]topo.ChannelID
+	for _, b := range g.Switches() {
+		var ins, outs []topo.ChannelID
+		for _, l := range g.Nodes[b].Ports {
+			if l == nil || l.Down {
+				continue
+			}
+			o := l.Other(b)
+			if g.Nodes[o].Kind != topo.Switch {
+				continue
+			}
+			ins = append(ins, l.Channel(o))
+			outs = append(outs, l.Channel(b))
+		}
+		for _, c1 := range ins {
+			for _, c2 := range outs {
+				if c1/2 == c2/2 {
+					continue // U-turn back over the same link
+				}
+				cands = append(cands, [2]topo.ChannelID{c1, c2})
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return 1
+	}
+	sample := cands
+	if len(cands) > maxSamples {
+		sample = make([][2]topo.ChannelID, maxSamples)
+		for k := range sample {
+			sample[k] = cands[k*len(cands)/maxSamples]
+		}
+	}
+	margin := 1.0
+	for _, lane := range layers {
+		absent, addable := 0, 0
+		for _, p := range sample {
+			if lane.HasEdge(p[0], p[1]) {
+				continue
+			}
+			absent++
+			if !lane.CanReach(p[1], p[0]) {
+				addable++
+			}
+		}
+		var m float64
+		if absent > 0 {
+			m = float64(addable) / float64(absent)
+		}
+		if m < margin {
+			margin = m
+		}
+	}
+	return margin
 }
 
 func max(a, b int) int {

@@ -1,0 +1,170 @@
+package topo
+
+import (
+	"fmt"
+	"math/bits"
+
+	"github.com/hpcsim/t2hx/internal/sim"
+)
+
+// Degraded-topology sweeps generate hundreds of link-failure variants that
+// differ from their neighbours by a handful of links. DownMask is the
+// incremental representation behind them: a bitset over LinkIDs whose hash
+// is maintained as a Zobrist XOR of per-link salts, so flipping one link is
+// O(1) including the hash update, and two masks differing in exactly one
+// link are guaranteed to hash differently (their hashes differ by that
+// link's nonzero salt). Graph.DownHash computes the same function from the
+// Down flags, so a mask and the graph it was applied to always agree on the
+// cache key.
+
+// LinkDownSalt returns the Zobrist value XORed into DownHash when the link
+// is down. Salts are SplitMix64 outputs of the link ID and never zero, the
+// property that makes single-link deltas collision-free.
+func LinkDownSalt(id LinkID) uint64 {
+	s := splitmix64(uint64(uint32(id)) + 1)
+	if s == 0 {
+		return 0x9e3779b97f4a7c15
+	}
+	return s
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// DownMask is a link-Down bitset with an incrementally maintained Zobrist
+// hash. The zero-failure mask hashes to 0, matching Graph.DownHash on a
+// healthy graph.
+type DownMask struct {
+	bits  []uint64
+	hash  uint64
+	count int
+}
+
+// NewDownMask returns an all-up mask sized for numLinks links.
+func NewDownMask(numLinks int) *DownMask {
+	return &DownMask{bits: make([]uint64, (numLinks+63)/64)}
+}
+
+// CaptureDownMask snapshots the graph's current Down flags into a mask.
+func CaptureDownMask(g *Graph) *DownMask {
+	m := NewDownMask(len(g.Links))
+	for _, l := range g.Links {
+		if l.Down {
+			m.Set(l.ID, true)
+		}
+	}
+	return m
+}
+
+// Get reports whether the mask has the link down.
+func (m *DownMask) Get(id LinkID) bool {
+	return m.bits[id/64]&(1<<(uint(id)%64)) != 0
+}
+
+// Set flips the link's Down bit to the given state, updating hash and count
+// in O(1). Setting a bit to its current value is a no-op.
+func (m *DownMask) Set(id LinkID, down bool) {
+	bit := uint64(1) << (uint(id) % 64)
+	cur := m.bits[id/64]&bit != 0
+	if cur == down {
+		return
+	}
+	m.bits[id/64] ^= bit
+	m.hash ^= LinkDownSalt(id)
+	if down {
+		m.count++
+	} else {
+		m.count--
+	}
+}
+
+// Hash returns the Zobrist hash of the down set. Together with
+// Graph.Fingerprint it keys exp.TableCache.
+func (m *DownMask) Hash() uint64 { return m.hash }
+
+// Count returns the number of down links.
+func (m *DownMask) Count() int { return m.count }
+
+// Clone returns an independent copy.
+func (m *DownMask) Clone() *DownMask {
+	return &DownMask{bits: append([]uint64(nil), m.bits...), hash: m.hash, count: m.count}
+}
+
+// Apply programs the graph's Down flags to match the mask, touching only
+// links whose state differs, and returns the number of flips. The graph
+// must have at least as many links as the mask covers bits for.
+func (m *DownMask) Apply(g *Graph) int {
+	flips := 0
+	for _, l := range g.Links {
+		want := m.Get(l.ID)
+		if l.Down != want {
+			l.Down = want
+			flips++
+		}
+	}
+	return flips
+}
+
+// ApplyDelta programs the graph from a known previous state: only links on
+// which m and prev disagree are touched, making consecutive sweep variants
+// O(delta) instead of O(links). The caller guarantees the graph's Down
+// flags currently equal prev; the return value is the number of flips.
+func (m *DownMask) ApplyDelta(g *Graph, prev *DownMask) int {
+	flips := 0
+	for w := range m.bits {
+		diff := m.bits[w] ^ prev.bits[w]
+		for diff != 0 {
+			id := LinkID(w*64 + bits.TrailingZeros64(diff))
+			diff &= diff - 1
+			g.Links[id].Down = m.Get(id)
+			flips++
+		}
+	}
+	return flips
+}
+
+// DegradeChain plans an ordered chain of n switch-link failures that keeps
+// the switch fabric connected at EVERY prefix: the first f links of the
+// chain are a valid f-failure variant for any f <= n, because removing a
+// subset of a connectivity-preserving down set leaves a supergraph of a
+// connected graph. Degraded sweeps exploit this nesting — consecutive
+// failure counts of one seeded variant differ by exactly the next chain
+// link, so DownMask deltas and TableCache keys stay incremental.
+//
+// Unlike DegradeSwitchLinks the graph is left untouched (probe links are
+// restored before returning); the caller applies prefixes via DownMask.
+// A shortfall (connectivity vetoed too many candidates) returns the partial
+// chain and an error wrapping ErrDegradeShortfall.
+func DegradeChain(g *Graph, n int, seed uint64) ([]LinkID, error) {
+	rng := sim.NewRand(seed)
+	candidates := g.LiveSwitchLinks()
+	rng.Shuffle(len(candidates), func(i, j int) {
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	})
+	var chain []LinkID
+	var probed []*Link
+	for _, l := range candidates {
+		if len(chain) == n {
+			break
+		}
+		l.Down = true
+		if switchFabricConnected(g) {
+			chain = append(chain, l.ID)
+			probed = append(probed, l)
+		} else {
+			l.Down = false
+		}
+	}
+	for _, l := range probed {
+		l.Down = false
+	}
+	if len(chain) < n {
+		return chain, fmt.Errorf("topo: %w: chained %d of %d requested switch links",
+			ErrDegradeShortfall, len(chain), n)
+	}
+	return chain, nil
+}

@@ -1,0 +1,183 @@
+package topo
+
+import (
+	"testing"
+
+	"github.com/hpcsim/t2hx/internal/sim"
+)
+
+// The mask and the graph must compute the same hash function, or cache keys
+// derived from one would miss entries built from the other.
+func TestDownMaskHashMatchesGraph(t *testing.T) {
+	hx := small2DHyperX()
+	chain, err := DegradeChain(hx.Graph, 10, 7)
+	if err != nil {
+		t.Fatalf("DegradeChain: %v", err)
+	}
+	if hx.Graph.DownHash() != 0 {
+		t.Fatalf("DegradeChain left links down (hash %#x)", hx.Graph.DownHash())
+	}
+	m := NewDownMask(len(hx.Links))
+	for i, id := range chain {
+		m.Set(id, true)
+		m.Apply(hx.Graph)
+		if got, want := hx.Graph.DownHash(), m.Hash(); got != want {
+			t.Fatalf("prefix %d: graph hash %#x != mask hash %#x", i+1, got, want)
+		}
+		if m.Count() != i+1 {
+			t.Fatalf("prefix %d: mask count %d", i+1, m.Count())
+		}
+	}
+}
+
+// Regression (issue 6 satellite): two down masks differing by exactly one
+// link must never collide on DownHash. Zobrist hashing makes this exact —
+// the hashes differ by the flipped link's salt, which is never zero.
+func TestDownHashSingleLinkNeverCollides(t *testing.T) {
+	hx := small2DHyperX()
+	for _, l := range hx.Links {
+		if LinkDownSalt(l.ID) == 0 {
+			t.Fatalf("link %d has zero salt", l.ID)
+		}
+	}
+	rng := sim.NewRand(99)
+	for trial := 0; trial < 50; trial++ {
+		m := NewDownMask(len(hx.Links))
+		for _, l := range hx.Links {
+			if rng.Float64() < 0.3 {
+				m.Set(l.ID, true)
+			}
+		}
+		base := m.Hash()
+		for _, l := range hx.Links {
+			flipped := m.Clone()
+			flipped.Set(l.ID, !flipped.Get(l.ID))
+			if flipped.Hash() == base {
+				t.Fatalf("trial %d: flipping link %d did not change hash %#x", trial, l.ID, base)
+			}
+		}
+	}
+}
+
+func TestDownMaskApplyDelta(t *testing.T) {
+	hx := small2DHyperX()
+	rng := sim.NewRand(3)
+	prev := NewDownMask(len(hx.Links))
+	for step := 0; step < 20; step++ {
+		next := prev.Clone()
+		for i := 0; i < 4; i++ {
+			id := LinkID(rng.Intn(len(hx.Links)))
+			next.Set(id, !next.Get(id))
+		}
+		flips := next.ApplyDelta(hx.Graph, prev)
+		if got := hx.Graph.DownHash(); got != next.Hash() {
+			t.Fatalf("step %d: delta-applied graph hash %#x != mask %#x (%d flips)",
+				step, got, next.Hash(), flips)
+		}
+		down := 0
+		for _, l := range hx.Links {
+			if l.Down {
+				down++
+			}
+		}
+		if down != next.Count() {
+			t.Fatalf("step %d: graph has %d down links, mask says %d", step, down, next.Count())
+		}
+		prev = next
+	}
+}
+
+// Every prefix of a DegradeChain must keep the switch fabric connected:
+// that is the property letting one seeded chain serve every failure count
+// of a sweep variant.
+func TestDegradeChainPrefixConnectivity(t *testing.T) {
+	hx := small2DHyperX()
+	const n = 14
+	chain, err := DegradeChain(hx.Graph, n, 42)
+	if err != nil {
+		t.Fatalf("DegradeChain: %v", err)
+	}
+	if len(chain) != n {
+		t.Fatalf("chain has %d links, want %d", len(chain), n)
+	}
+	seen := map[LinkID]bool{}
+	m := NewDownMask(len(hx.Links))
+	for i, id := range chain {
+		l := hx.Links[id]
+		if hx.Nodes[l.A].Kind != Switch || hx.Nodes[l.B].Kind != Switch {
+			t.Fatalf("chain link %d is not a switch link", id)
+		}
+		if seen[id] {
+			t.Fatalf("chain repeats link %d", id)
+		}
+		seen[id] = true
+		m.Set(id, true)
+		m.Apply(hx.Graph)
+		if !SwitchFabricConnected(hx.Graph) {
+			t.Fatalf("prefix %d disconnects the switch fabric", i+1)
+		}
+	}
+	NewDownMask(len(hx.Links)).Apply(hx.Graph)
+
+	// Same (graph shape, seed) must give the same chain: sweep variants
+	// share chains across engines by relying on this.
+	hx2 := small2DHyperX()
+	chain2, err := DegradeChain(hx2.Graph, n, 42)
+	if err != nil {
+		t.Fatalf("DegradeChain (second build): %v", err)
+	}
+	for i := range chain {
+		if chain[i] != chain2[i] {
+			t.Fatalf("chain diverges at %d: %d vs %d", i, chain[i], chain2[i])
+		}
+	}
+}
+
+func TestHyperXDimSurvivalHealthy(t *testing.T) {
+	hx := small2DHyperX() // 4x4: each dim has 4 lines of C(4,2)=6 pairs
+	for _, s := range HyperXDimSurvival(hx) {
+		if s.Pairs != 24 {
+			t.Errorf("dim %d: %d pairs, want 24", s.Dim, s.Pairs)
+		}
+		if s.Direct != s.Pairs || s.Escape != 0 || s.Stranded != 0 {
+			t.Errorf("dim %d: healthy census %+v", s.Dim, s)
+		}
+	}
+}
+
+func TestHyperXDimSurvivalDegraded(t *testing.T) {
+	hx := small2DHyperX()
+	// Kill the direct link between (0,1) and (0,2): dimension 1, one line.
+	a, b := hx.SwitchAt(0, 1), hx.SwitchAt(0, 2)
+	for _, l := range hx.Nodes[a].Ports {
+		if l != nil && l.Other(a) == b {
+			l.Down = true
+		}
+	}
+	surv := HyperXDimSurvival(hx)
+	if s := surv[0]; s.Direct != s.Pairs {
+		t.Errorf("dim 0 should be untouched: %+v", s)
+	}
+	s := surv[1]
+	if s.Direct != 23 || s.Escape != 1 || s.Stranded != 0 {
+		t.Errorf("dim 1 census %+v, want 23 direct / 1 escape", s)
+	}
+	// The detour (0,1)-(0,0)-(0,2) uses intermediate coordinate 0 < min(1,2),
+	// so it satisfies the restricted-escape rule.
+	if s.Restricted != 1 {
+		t.Errorf("dim 1 restricted %d, want 1", s.Restricted)
+	}
+
+	// Also kill (0,0)-(0,1): now 0-1 pair must detour through 2 or 3 (not
+	// restricted), and 1-2 loses its restricted detour through 0 but keeps
+	// an unrestricted one through 3.
+	for _, l := range hx.Nodes[a].Ports {
+		if l != nil && l.Other(a) == hx.SwitchAt(0, 0) {
+			l.Down = true
+		}
+	}
+	s = HyperXDimSurvival(hx)[1]
+	if s.Direct != 22 || s.Escape != 2 || s.Restricted != 0 || s.Stranded != 0 {
+		t.Errorf("dim 1 census after second failure %+v, want 22/2/0/0", s)
+	}
+}

@@ -46,21 +46,19 @@ func (g *Graph) Fingerprint() uint64 {
 	return uint64(h)
 }
 
-// DownHash hashes the graph's current link-Down mask. Two calls on the
-// same graph agree iff the same set of links is down; together with
-// Fingerprint it keys caches of routed state.
+// DownHash hashes the graph's current link-Down mask as a Zobrist XOR of
+// per-link salts (see LinkDownSalt): a healthy graph hashes to 0, flipping
+// one link flips exactly that link's salt, and two masks differing in a
+// single link therefore never collide. Two calls on the same graph agree
+// iff the same set of links is down; together with Fingerprint it keys
+// caches of routed state, and it agrees with DownMask.Hash for the mask
+// describing the same down set.
 func (g *Graph) DownHash() uint64 {
-	h := fnv64(fnvOffset64)
-	var word uint64
-	for i, l := range g.Links {
+	var h uint64
+	for _, l := range g.Links {
 		if l.Down {
-			word |= 1 << (uint(i) % 64)
-		}
-		if i%64 == 63 {
-			h.word(word)
-			word = 0
+			h ^= LinkDownSalt(l.ID)
 		}
 	}
-	h.word(word)
-	return uint64(h)
+	return h
 }

@@ -1,0 +1,107 @@
+package topo
+
+// DimSurvival summarizes how one HyperX dimension's line connectivity
+// survived degradation. A "pair" is an unordered pair of co-aligned
+// switches (same line of the dimension); the minimal-with-restricted-escape
+// engine (route.HXMin) can serve a pair iff it has a live direct link or a
+// restricted in-line detour, while the non-minimal engine only needs the
+// fabric connected at all.
+type DimSurvival struct {
+	Dim   int
+	Pairs int
+	// Direct counts pairs with at least one live direct link.
+	Direct int
+	// Escape counts pairs with no live direct link but at least one
+	// two-hop in-line detour over a live intermediate.
+	Escape int
+	// Restricted counts the Escape pairs whose detour satisfies the
+	// low-coordinate escape restriction (intermediate coordinate strictly
+	// below both endpoints) that keeps minimal routing deadlock-free.
+	Restricted int
+	// Stranded counts pairs with neither a direct link nor any in-line
+	// detour; minimal in-line routing cannot serve them at all.
+	Stranded int
+}
+
+// HyperXDimSurvival computes the per-dimension surviving-path census of a
+// (possibly degraded) HyperX: for every line of every dimension, how each
+// co-aligned switch pair can still be reached within the line.
+func HyperXDimSurvival(hx *HyperX) []DimSurvival {
+	dims := hx.Dims()
+	out := make([]DimSurvival, dims)
+	coord := make([]int, dims)
+	total := 1
+	for _, s := range hx.Cfg.S {
+		total *= s
+	}
+	// liveDirect[a][b] for the current line, rebuilt per line below.
+	for d := 0; d < dims; d++ {
+		out[d].Dim = d
+		sd := hx.Cfg.S[d]
+		live := make([][]bool, sd)
+		for i := range live {
+			live[i] = make([]bool, sd)
+		}
+		for idx := 0; idx < total; idx++ {
+			unindex(idx, hx.Cfg.S, coord)
+			if coord[d] != 0 {
+				continue // visit each line once, via its coordinate-0 switch
+			}
+			// Collect live direct connectivity within the line.
+			line := make([]NodeID, sd)
+			for v := 0; v < sd; v++ {
+				c := append([]int(nil), coord...)
+				c[d] = v
+				line[v] = hx.SwitchAt(c...)
+			}
+			for a := 0; a < sd; a++ {
+				for b := range live[a] {
+					live[a][b] = false
+				}
+			}
+			for a := 0; a < sd; a++ {
+				for _, l := range hx.Nodes[line[a]].Ports {
+					if l == nil || l.Down {
+						continue
+					}
+					o := l.Other(line[a])
+					for b := a + 1; b < sd; b++ {
+						if o == line[b] {
+							live[a][b], live[b][a] = true, true
+						}
+					}
+				}
+			}
+			for a := 0; a < sd; a++ {
+				for b := a + 1; b < sd; b++ {
+					out[d].Pairs++
+					if live[a][b] {
+						out[d].Direct++
+						continue
+					}
+					detour, restricted := false, false
+					for m := 0; m < sd; m++ {
+						if m == a || m == b || !live[a][m] || !live[m][b] {
+							continue
+						}
+						detour = true
+						if m < a && m < b {
+							restricted = true
+							break
+						}
+					}
+					switch {
+					case restricted:
+						out[d].Escape++
+						out[d].Restricted++
+					case detour:
+						out[d].Escape++
+					default:
+						out[d].Stranded++
+					}
+				}
+			}
+		}
+	}
+	return out
+}
