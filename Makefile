@@ -2,16 +2,17 @@
 
 DATE := $(shell date +%F)
 
-.PHONY: all build test race vet check bench bench-check bench-solver bench-sweep bench-sweep-check bench-degraded bench-degraded-check
+.PHONY: all build test race vet check bench bench-check bench-solver bench-sweep bench-sweep-check bench-degraded bench-degraded-check bench-telemetry bench-telemetry-check
 
 # BASELINE is the committed bench document bench-check compares against;
 # override with `make bench-check BASELINE=BENCH_....json`. The sweep-
 # engine and degraded-sweep baselines live in their own BENCH_sweep_* /
 # BENCH_degraded_* documents (more iterations, different cadence) and must
 # not be picked up here.
-BASELINE := $(lastword $(sort $(filter-out BENCH_sweep_% BENCH_degraded_%,$(wildcard BENCH_*.json))))
+BASELINE := $(lastword $(sort $(filter-out BENCH_sweep_% BENCH_degraded_% BENCH_telemetry_%,$(wildcard BENCH_*.json))))
 SWEEPBASELINE := $(lastword $(sort $(wildcard BENCH_sweep_*.json)))
 DEGBASELINE := $(lastword $(sort $(wildcard BENCH_degraded_*.json)))
+TELBASELINE := $(lastword $(sort $(wildcard BENCH_telemetry_*.json)))
 
 # The sweep-engine benchmarks (parallel runner + table cache).
 SWEEPBENCH := BenchmarkSweepParallel|BenchmarkTablesBuild
@@ -19,6 +20,9 @@ SWEEPBENCH := BenchmarkSweepParallel|BenchmarkTablesBuild
 # The degraded-variant table-production benchmark (fault-tolerant engines
 # over failure-chain prefixes, cold vs cached).
 DEGBENCH := BenchmarkDegradedTables
+
+# The telemetry export benchmark (streaming sinks vs retained records).
+TELBENCH := BenchmarkExportStreaming
 
 all: check
 
@@ -88,3 +92,21 @@ bench-degraded:
 bench-degraded-check:
 	go test -run xxx -bench '$(DEGBENCH)' -benchtime 5x . \
 		| go run ./cmd/benchjson -filter 'DegradedTables' -baseline $(DEGBASELINE) > /dev/null
+
+# bench-telemetry records the telemetry-export baseline: per-message cost
+# of the streaming sink pipeline vs the legacy retained mode, with alloc
+# counts (-benchmem) so the per-message B/op is part of the baseline. The
+# retained-recs metric must stay 0 for the streaming modes at every run
+# length — that is the O(1)-memory contract. Committed as
+# BENCH_telemetry_<date>.json.
+bench-telemetry:
+	go test -run xxx -bench '$(TELBENCH)' -benchtime 20x -benchmem . \
+		| go run ./cmd/benchjson -filter 'ExportStreaming' -out BENCH_telemetry_$(DATE).json
+	@echo "telemetry baseline written to BENCH_telemetry_$(DATE).json"
+
+# bench-telemetry-check reruns the export benchmark and compares ns/op,
+# B/op and msgs/s against the newest committed telemetry baseline
+# (warn-only, like bench-check).
+bench-telemetry-check:
+	go test -run xxx -bench '$(TELBENCH)' -benchtime 20x -benchmem . \
+		| go run ./cmd/benchjson -filter 'ExportStreaming' -baseline $(TELBASELINE) > /dev/null

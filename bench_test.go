@@ -16,6 +16,7 @@ import (
 	"github.com/hpcsim/t2hx/internal/figures"
 	"github.com/hpcsim/t2hx/internal/flow"
 	"github.com/hpcsim/t2hx/internal/mpi"
+	"github.com/hpcsim/t2hx/internal/prof"
 	"github.com/hpcsim/t2hx/internal/route"
 	"github.com/hpcsim/t2hx/internal/sim"
 	"github.com/hpcsim/t2hx/internal/telemetry"
@@ -706,3 +707,67 @@ func BenchmarkSolverChurn(b *testing.B) {
 		})
 	}
 }
+
+// --- telemetry export benches (DESIGN.md Sec. 10) ---
+
+// BenchmarkExportStreaming measures the telemetry pipeline's per-message
+// cost at two run lengths, in three modes: streaming to a JSONL sink
+// (the -metrics-out path), streaming to a null sink (pure collector
+// overhead), and the legacy retained mode. Each op drives one complete
+// message lifecycle. The headline metric is retained-recs: streaming must
+// hold it at zero at any run length — that flatness (and a B/op that does
+// not scale with msgs) is what lets a 10k-terminal sweep stream telemetry
+// in constant memory. Runtime heap/GC metrics ride along in the bench
+// JSON via prof.ReportRuntimeMetrics.
+func BenchmarkExportStreaming(b *testing.B) {
+	drive := func(b *testing.B, col *telemetry.Collector, msgs int) {
+		for i := 0; i < b.N; i++ {
+			for m := 0; m < msgs; m++ {
+				rec := col.StartMsg(1, 2, 4096, 0)
+				col.MsgDelivered(rec, sim.Time(1e-6*float64(1+m%97)), 3, false)
+			}
+		}
+	}
+	for _, msgs := range []int{1000, 10000} {
+		msgs := msgs
+		b.Run(fmt.Sprintf("streaming-jsonl/msgs=%d", msgs), func(b *testing.B) {
+			col := telemetry.New(nil, telemetry.Options{Messages: true})
+			col.SetSink(telemetry.NewJSONLSink(nopWriteCloser{io.Discard}))
+			b.ReportAllocs()
+			b.ResetTimer()
+			drive(b, col, msgs)
+			b.StopTimer()
+			if err := col.FinishStream(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(b.N*msgs)/b.Elapsed().Seconds(), "msgs/s")
+			b.ReportMetric(float64(len(col.Msgs)), "retained-recs")
+			prof.ReportRuntimeMetrics(b)
+		})
+		b.Run(fmt.Sprintf("streaming-null/msgs=%d", msgs), func(b *testing.B) {
+			col := telemetry.New(nil, telemetry.Options{Messages: true})
+			col.SetSink(telemetry.NewCountSink())
+			b.ReportAllocs()
+			b.ResetTimer()
+			drive(b, col, msgs)
+			b.StopTimer()
+			b.ReportMetric(float64(b.N*msgs)/b.Elapsed().Seconds(), "msgs/s")
+			b.ReportMetric(float64(len(col.Msgs)), "retained-recs")
+		})
+		b.Run(fmt.Sprintf("buffered/msgs=%d", msgs), func(b *testing.B) {
+			col := telemetry.New(nil, telemetry.Options{Messages: true})
+			b.ReportAllocs()
+			b.ResetTimer()
+			drive(b, col, msgs)
+			b.StopTimer()
+			b.ReportMetric(float64(b.N*msgs)/b.Elapsed().Seconds(), "msgs/s")
+			b.ReportMetric(float64(len(col.Msgs)), "retained-recs")
+		})
+	}
+}
+
+// nopWriteCloser adapts io.Discard for sink constructors that close their
+// underlying writer.
+type nopWriteCloser struct{ io.Writer }
+
+func (nopWriteCloser) Close() error { return nil }

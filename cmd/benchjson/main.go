@@ -174,12 +174,16 @@ func compareBaseline(cur Doc, path string, warnPct float64, keep *regexp.Regexp)
 	}
 }
 
-// compareUnits lists the comparable metrics of one entry: ns/op plus any
-// throughput ("/s") metrics, in a deterministic order.
+// compareUnits lists the comparable metrics of one entry: ns/op and B/op
+// (both lower-is-better) plus any throughput ("/s") metrics, in a
+// deterministic order.
 func compareUnits(m map[string]float64) []string {
-	units := make([]string, 0, 2)
+	units := make([]string, 0, 3)
 	if _, ok := m["ns/op"]; ok {
 		units = append(units, "ns/op")
+	}
+	if _, ok := m["B/op"]; ok {
+		units = append(units, "B/op")
 	}
 	var th []string
 	for u := range m {

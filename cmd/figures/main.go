@@ -23,9 +23,14 @@ import (
 	"strings"
 
 	"github.com/hpcsim/t2hx/internal/figures"
+	"github.com/hpcsim/t2hx/internal/prof"
 	"github.com/hpcsim/t2hx/internal/sim"
 	"github.com/hpcsim/t2hx/internal/workloads"
 )
+
+// profSession is finalized by fatal() so error exits still flush the CPU
+// profile instead of truncating it.
+var profSession *prof.Session
 
 func main() {
 	fig := flag.String("fig", "", "figure to regenerate: 1, 4, 5a, 5b, 5c, 6, 7, counters, planes, degraded, all")
@@ -43,7 +48,26 @@ func main() {
 	csvDir := flag.String("csv", "", "also write each figure's data series as CSV into this directory")
 	noDegrade := flag.Bool("no-degrade", false, "build ideal fabrics without the paper's missing cables")
 	jobs := flag.Int("j", 0, "measurement workers for the grid/whisker figures (default GOMAXPROCS; output is identical at any -j)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+	pprofHTTP := flag.String("pprof-http", "", "serve net/http/pprof on this address (e.g. localhost:6060) for live inspection")
 	flag.Parse()
+
+	var err error
+	profSession, err = prof.Start(prof.Options{
+		CPUProfile: *cpuprofile, MemProfile: *memprofile, HTTPAddr: *pprofHTTP,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := profSession.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+		}
+	}()
+	if *pprofHTTP != "" {
+		fmt.Fprintf(os.Stderr, "pprof serving on http://%s/debug/pprof/\n", profSession.Addr())
+	}
 
 	p := figures.Params{
 		Out: os.Stdout, MaxNodes: *nodes, Trials: *trials, Small: *small,
@@ -137,5 +161,8 @@ func check(err error) {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "figures:", err)
+	if perr := profSession.Stop(); perr != nil {
+		fmt.Fprintln(os.Stderr, "figures:", perr)
+	}
 	os.Exit(1)
 }

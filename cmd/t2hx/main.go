@@ -39,17 +39,61 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"text/tabwriter"
+	"time"
 
 	"github.com/hpcsim/t2hx/internal/exp"
 	"github.com/hpcsim/t2hx/internal/fabric"
 	"github.com/hpcsim/t2hx/internal/place"
+	"github.com/hpcsim/t2hx/internal/prof"
 	"github.com/hpcsim/t2hx/internal/sim"
 	"github.com/hpcsim/t2hx/internal/telemetry"
 	"github.com/hpcsim/t2hx/internal/topo"
 	"github.com/hpcsim/t2hx/internal/trace"
 	"github.com/hpcsim/t2hx/internal/workloads"
 )
+
+// progressFlag is -progress: a bare -progress enables live sweep stats at
+// the default cadence, -progress=500ms picks the cadence.
+type progressFlag struct {
+	interval time.Duration
+}
+
+const defaultProgressInterval = 2 * time.Second
+
+func (p *progressFlag) String() string {
+	if p.interval <= 0 {
+		return "false"
+	}
+	return p.interval.String()
+}
+
+func (p *progressFlag) IsBoolFlag() bool { return true }
+
+func (p *progressFlag) Set(s string) error {
+	switch s {
+	case "", "true":
+		p.interval = defaultProgressInterval
+		return nil
+	case "false":
+		p.interval = 0
+		return nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return fmt.Errorf("want a duration (e.g. 500ms) or nothing: %w", err)
+	}
+	if d <= 0 {
+		return fmt.Errorf("interval must be positive")
+	}
+	p.interval = d
+	return nil
+}
+
+// profSession is finalized by fatal() so error exits still flush the CPU
+// profile instead of truncating it.
+var profSession *prof.Session
 
 func main() {
 	list := flag.Bool("list", false, "list combos and benchmarks")
@@ -79,12 +123,38 @@ func main() {
 	sweepMode := flag.Bool("sweep", false, "sweep mode: run -bench across all paper combos x -sizes over the -j worker pool")
 	sizesF := flag.String("sizes", "", "comma-separated message sizes for -sweep (default: the single -size)")
 	jobs := flag.Int("j", 0, "worker pool size for -sweep and -faults batches (0 = GOMAXPROCS; results are identical for any -j)")
-	metricsOut := flag.String("metrics-out", "", "write run metrics + per-message FCT records + channel counters as JSONL to this file")
-	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON timeline to this file (open in chrome://tracing or Perfetto)")
+	metricsOut := flag.String("metrics-out", "", "stream run metrics + per-message FCT records + histograms + channel counters as JSONL to this file (O(1) memory at any run length)")
+	traceOut := flag.String("trace-out", "", "stream a Chrome trace_event JSON timeline to this file (open in chrome://tracing or Perfetto)")
 	countersN := flag.Int("counters", 0, "after the run, print the N hottest channels by XmitWait (perfquery-style readout)")
+	retain := flag.Bool("retain", false, "with -metrics-out/-trace-out: also keep records in memory (buffered pre-streaming behaviour)")
+	var progressF progressFlag
+	flag.Var(&progressF, "progress", "print live sweep stats (cells/s, ETA, worker utilization, table-cache hit rate) to stderr; optionally =interval (default 2s)")
+	progressOut := flag.String("progress-out", "", "append live sweep stats snapshots as JSONL \"progress\" lines to this file")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+	pprofHTTP := flag.String("pprof-http", "", "serve net/http/pprof on this address (e.g. localhost:6060) for live inspection")
 	flag.Parse()
 
-	tel := telCLI{metricsOut: *metricsOut, traceOut: *traceOut, topN: *countersN}
+	var err error
+	profSession, err = prof.Start(prof.Options{
+		CPUProfile: *cpuprofile, MemProfile: *memprofile, HTTPAddr: *pprofHTTP,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := profSession.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "t2hx:", err)
+		}
+	}()
+	if *pprofHTTP != "" {
+		fmt.Fprintf(os.Stderr, "pprof serving on http://%s/debug/pprof/\n", profSession.Addr())
+	}
+
+	tel := telCLI{
+		metricsOut: *metricsOut, traceOut: *traceOut, topN: *countersN,
+		retain: *retain, progress: progressF.interval, progressOut: *progressOut,
+	}
 
 	if *list {
 		fmt.Println("Combos (Sec. 4.4.3 plus the dual-plane machine):")
@@ -170,7 +240,7 @@ func main() {
 			op: op, n: *n, size: *size, seed: *seed,
 			detect: sim.Duration(detect.Seconds()), sweep: sim.Duration(sweepLat.Seconds()),
 			small: *small, jobs: *jobs,
-		})
+		}, tel)
 		return
 	}
 	if *sweepMode {
@@ -181,7 +251,7 @@ func main() {
 		runSweep(*bench, sizes, sweepCLI{
 			n: *n, trials: *trials, seed: *seed,
 			small: *small, degrade: !*noDegrade, jobs: *jobs,
-		})
+		}, tel)
 		return
 	}
 
@@ -278,35 +348,71 @@ func main() {
 }
 
 // telCLI carries the observability flags: which artifacts to produce and
-// where. The collector always records counters; message records and the
-// trace buffer are only enabled when an output file wants them.
+// where. The collector always records counters; message records and trace
+// events are only enabled when an output file wants them, and both stream
+// to their files as they close (attach opens the sinks, report finishes
+// them) so a 10k-terminal run never holds its records in memory.
 type telCLI struct {
-	metricsOut string
-	traceOut   string
-	topN       int
+	metricsOut  string
+	traceOut    string
+	topN        int
+	retain      bool
+	progress    time.Duration
+	progressOut string
 }
 
 func (t telCLI) enabled() bool {
 	return t.metricsOut != "" || t.traceOut != "" || t.topN > 0
 }
 
-// attach builds a collector for the machine's graph and hooks it into the
-// fabric; nil when no observability flag was given.
+// options maps the flags to collector options.
+func (t telCLI) options() telemetry.Options {
+	return telemetry.Options{
+		Counters: true,
+		Messages: t.metricsOut != "",
+		Trace:    t.traceOut != "",
+		Retain:   t.retain,
+	}
+}
+
+// openSinks creates the output files for suffix and attaches streaming
+// sinks to any collector interface exposing the Set methods.
+func (t telCLI) openSinks(c interface {
+	SetSink(telemetry.Sink)
+	SetTraceSink(telemetry.Sink)
+}, suffix string) {
+	if t.metricsOut != "" {
+		w, err := os.Create(outName(t.metricsOut, suffix))
+		if err != nil {
+			fatal(err)
+		}
+		c.SetSink(telemetry.NewJSONLSink(w))
+	}
+	if t.traceOut != "" {
+		w, err := os.Create(outName(t.traceOut, suffix))
+		if err != nil {
+			fatal(err)
+		}
+		c.SetTraceSink(telemetry.NewTraceSink(w))
+	}
+}
+
+// attach builds a collector for the machine's graph, opens its streaming
+// sinks, and hooks it into the fabric; nil when no observability flag was
+// given.
 func (t telCLI) attach(m *exp.Machine, f *fabric.Fabric) *telemetry.Collector {
 	if !t.enabled() {
 		return nil
 	}
-	col := telemetry.New(m.G, telemetry.Options{
-		Counters: true,
-		Messages: t.metricsOut != "",
-		Trace:    t.traceOut != "",
-	})
+	col := telemetry.New(m.G, t.options())
+	t.openSinks(col, "")
 	f.AttachTelemetry(col)
 	return col
 }
 
-// attachMulti builds one collector per plane and hooks the set into the
-// multi-fabric; nil when no observability flag was given.
+// attachMulti builds one collector per plane sharing streamed output
+// files and hooks the set into the multi-fabric; nil when no
+// observability flag was given.
 func (t telCLI) attachMulti(m *exp.Machine, mf *fabric.MultiFabric) *telemetry.Multi {
 	if !t.enabled() {
 		return nil
@@ -317,11 +423,8 @@ func (t telCLI) attachMulti(m *exp.Machine, mf *fabric.MultiFabric) *telemetry.M
 		gs[i] = p.G
 		names[i] = p.Spec.Label()
 	}
-	tm := telemetry.NewMulti(gs, names, telemetry.Options{
-		Counters: true,
-		Messages: t.metricsOut != "",
-		Trace:    t.traceOut != "",
-	})
+	tm := telemetry.NewMulti(gs, names, t.options())
+	t.openSinks(tm, "")
 	if err := mf.AttachTelemetry(tm); err != nil {
 		fatal(err)
 	}
@@ -341,50 +444,39 @@ func (t telCLI) attachAny(m *exp.Machine, msgr fabric.Messenger) (*telemetry.Col
 }
 
 // report emits the post-run artifacts: the perfquery-style hot-channel
-// table on stdout plus the JSONL metrics and Chrome trace files. suffix
-// distinguishes combos when one invocation covers several (fault mode).
+// table on stdout, then finishes the metrics and trace streams opened at
+// attach. A failed stream (full disk, closed pipe) is fatal — the process
+// exits non-zero rather than leaving a silently truncated metrics file.
+// suffix distinguishes combos when one invocation covers several (fault
+// mode); it must match the suffix the sinks were opened under.
 func (t telCLI) report(col *telemetry.Collector, suffix string) {
 	if col == nil {
 		return
 	}
 	if t.topN > 0 && col.Chans != nil {
 		fmt.Println()
-		telemetry.FprintHotLinks(os.Stdout, col.Chans, t.topN, col.Now())
+		if err := telemetry.FprintHotLinks(os.Stdout, col.Chans, t.topN, col.Now()); err != nil {
+			fatal(err)
+		}
 	}
 	if t.metricsOut != "" {
-		path := outName(t.metricsOut, suffix)
-		w, err := os.Create(path)
-		if err != nil {
-			fatal(err)
+		if err := col.FinishStream(); err != nil {
+			fatal(fmt.Errorf("metrics export: %w", err))
 		}
-		if err := col.WriteMetricsJSONL(w); err != nil {
-			fatal(err)
-		}
-		if err := w.Close(); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("metrics written to %s\n", path)
+		fmt.Printf("metrics written to %s\n", outName(t.metricsOut, suffix))
 	}
 	if t.traceOut != "" {
-		path := outName(t.traceOut, suffix)
-		w, err := os.Create(path)
-		if err != nil {
-			fatal(err)
+		if err := col.FinishTraceStream(); err != nil {
+			fatal(fmt.Errorf("trace export: %w", err))
 		}
-		if err := col.WriteTrace(w); err != nil {
-			fatal(err)
-		}
-		if err := w.Close(); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("trace written to %s (open in chrome://tracing)\n", path)
+		fmt.Printf("trace written to %s (open in chrome://tracing)\n", outName(t.traceOut, suffix))
 	}
 }
 
-// reportMulti emits the per-plane artifacts for a multi-plane run: one
-// hot-channel table per plane, the interleaved JSONL metrics (a machine
-// summary line first, then every plane's lines stamped with its id), and
-// the merged Chrome trace where each plane gets its own pid group.
+// reportMulti finishes the per-plane artifacts for a multi-plane run: one
+// hot-channel table per plane, then the shared metrics stream (per-plane
+// footers plus the machine summary line) and the merged Chrome trace
+// where each plane gets its own pid group.
 func (t telCLI) reportMulti(tm *telemetry.Multi, suffix string) {
 	if tm == nil {
 		return
@@ -395,36 +487,76 @@ func (t telCLI) reportMulti(tm *telemetry.Multi, suffix string) {
 				continue
 			}
 			fmt.Printf("\n[%s]\n", c.PlaneName)
-			telemetry.FprintHotLinks(os.Stdout, c.Chans, t.topN, c.Now())
+			if err := telemetry.FprintHotLinks(os.Stdout, c.Chans, t.topN, c.Now()); err != nil {
+				fatal(err)
+			}
 		}
 	}
 	if t.metricsOut != "" {
-		path := outName(t.metricsOut, suffix)
-		w, err := os.Create(path)
-		if err != nil {
-			fatal(err)
+		if err := tm.FinishStream(); err != nil {
+			fatal(fmt.Errorf("metrics export: %w", err))
 		}
-		if err := tm.WriteMetricsJSONL(w); err != nil {
-			fatal(err)
-		}
-		if err := w.Close(); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("metrics written to %s\n", path)
+		fmt.Printf("metrics written to %s\n", outName(t.metricsOut, suffix))
 	}
 	if t.traceOut != "" {
-		path := outName(t.traceOut, suffix)
-		w, err := os.Create(path)
+		if err := tm.FinishTraceStream(); err != nil {
+			fatal(fmt.Errorf("trace export: %w", err))
+		}
+		fmt.Printf("trace written to %s (open in chrome://tracing)\n", outName(t.traceOut, suffix))
+	}
+}
+
+// statsHook wires -progress/-progress-out into a runner: a ticker
+// publishes RunnerStats snapshots rendered as a live stderr status line
+// and/or streamed as JSONL "progress" lines. The returned finish must run
+// after the sweep (it closes the progress file and reports its errors).
+func (t telCLI) statsHook(r *exp.Runner) (finish func()) {
+	if t.progress <= 0 && t.progressOut == "" {
+		return func() {}
+	}
+	r.StatsInterval = t.progress
+	if r.StatsInterval <= 0 {
+		r.StatsInterval = defaultProgressInterval
+	}
+	r.Cache = exp.DefaultTableCache
+	var sink *telemetry.JSONLSink
+	if t.progressOut != "" {
+		w, err := os.Create(t.progressOut)
 		if err != nil {
 			fatal(err)
 		}
-		if err := tm.WriteTrace(w); err != nil {
-			fatal(err)
+		// Flush per snapshot: the file exists to be tailed while the
+		// sweep runs.
+		sink = telemetry.NewJSONLSink(w).FlushEvery(1)
+	}
+	human := t.progress > 0
+	var mu sync.Mutex
+	r.OnStats = func(s exp.RunnerStats) {
+		mu.Lock()
+		defer mu.Unlock()
+		if human {
+			line := fmt.Sprintf("\r  [%d/%d] %.2f cells/s  util %3.0f%%", s.Done, s.Total, s.CellsPerSec, 100*s.Utilization)
+			if s.ETA > 0 {
+				line += fmt.Sprintf("  eta %s", s.ETA.Round(time.Second))
+			}
+			if s.Cache != nil && s.Cache.Lookups() > 0 {
+				line += fmt.Sprintf("  cache %.0f%% hit", 100*s.Cache.HitRate())
+			}
+			fmt.Fprintf(os.Stderr, "%-78s", line)
+			if s.Final {
+				fmt.Fprintln(os.Stderr)
+			}
 		}
-		if err := w.Close(); err != nil {
-			fatal(err)
+		if sink != nil {
+			sink.Write(s) //nolint:errcheck // sticky; surfaced by Close in finish
 		}
-		fmt.Printf("trace written to %s (open in chrome://tracing)\n", path)
+	}
+	return func() {
+		if sink != nil {
+			if err := sink.Close(); err != nil {
+				fatal(fmt.Errorf("progress-out: %w", err))
+			}
+		}
 	}
 }
 
@@ -498,11 +630,12 @@ func runFaults(selected []exp.Combo, cli faultCLI, tel telCLI) {
 			failures = exp.DefaultFailures(m)
 		}
 		if tel.enabled() {
-			cols[i] = telemetry.New(m.G, telemetry.Options{
-				Counters: true,
-				Messages: tel.metricsOut != "",
-				Trace:    tel.traceOut != "",
-			})
+			cols[i] = telemetry.New(m.G, tel.options())
+			suffix := ""
+			if len(selected) > 1 {
+				suffix = comboSlug(c)
+			}
+			tel.openSinks(cols[i], suffix)
 		}
 		specs = append(specs, exp.FaultSpec{
 			Machine: m, Nodes: cli.n, Failures: failures, Seed: cli.seed,
@@ -512,7 +645,10 @@ func runFaults(selected []exp.Combo, cli faultCLI, tel telCLI) {
 			},
 		})
 	}
-	results, err := exp.RunFaultBatch(exp.Runner{Workers: cli.jobs, BaseSeed: cli.seed}, specs)
+	r := exp.Runner{Workers: cli.jobs, BaseSeed: cli.seed}
+	finishStats := tel.statsHook(&r)
+	results, err := exp.RunFaultBatch(r, specs)
+	finishStats()
 	if err != nil && results == nil {
 		fatal(err) // structural rejection: nothing ran
 	}
@@ -566,7 +702,7 @@ type degradedCLI struct {
 // cell on the HyperX plane, each run through the full SM fault scenario,
 // then aggregated into one row per cell with goodput, re-sweep latency,
 // unreachable-pair and deadlock-margin columns.
-func runDegraded(cli degradedCLI) {
+func runDegraded(cli degradedCLI, tel telCLI) {
 	var engines []string
 	for _, e := range strings.Split(cli.engines, ",") {
 		if e = strings.TrimSpace(e); e != "" {
@@ -610,7 +746,14 @@ func runDegraded(cli degradedCLI) {
 			fmt.Fprintf(os.Stderr, "\r  [%d/%d] %-40s", done, totalCells, label)
 		},
 	}
+	if tel.progress > 0 {
+		// The richer ticker line replaces the per-cell label line; both
+		// rewrite the same stderr row.
+		r.Progress = nil
+	}
+	finishStats := tel.statsHook(&r)
 	results, err := exp.RunDegraded(r, spec)
+	finishStats()
 	fmt.Fprintln(os.Stderr)
 	if err != nil {
 		fatal(err)
@@ -627,6 +770,18 @@ func runDegraded(cli degradedCLI) {
 			row.MarginMin, row.MarginMean)
 	}
 	w.Flush()
+	printCacheStats()
+}
+
+// printCacheStats summarizes the process-wide table cache after a sweep:
+// the hit rate says how much routing work the cells shared.
+func printCacheStats() {
+	s := exp.DefaultTableCache.Stats()
+	if s.Lookups() == 0 {
+		return
+	}
+	fmt.Printf("table cache: %d hits / %d lookups (%.1f%% hit rate), %d evictions\n",
+		s.Hits, s.Lookups(), 100*s.HitRate(), s.Evictions)
 }
 
 type sweepCLI struct {
@@ -680,7 +835,7 @@ func sweepBuilder(bench string, size int64) (func(int) (*workloads.Instance, err
 // pool and prints one whisker line per cell, in enumeration order. Cell
 // seeds derive from (-seed, cell index), so the table is bit-identical for
 // any -j.
-func runSweep(bench string, sizes []int64, cli sweepCLI) {
+func runSweep(bench string, sizes []int64, cli sweepCLI, tel telCLI) {
 	if bench == "" {
 		fatal(fmt.Errorf("-sweep needs a -bench"))
 	}
@@ -704,9 +859,14 @@ func runSweep(bench string, sizes []int64, cli sweepCLI) {
 	r := exp.Runner{Workers: cli.jobs, BaseSeed: cli.seed, Progress: func(done, total int, label string) {
 		fmt.Fprintf(os.Stderr, "[%d/%d] %s\n", done, total, strings.Join(strings.Fields(label), " "))
 	}}
+	if tel.progress > 0 {
+		r.Progress = nil // the ticker status line replaces per-cell lines
+	}
+	finishStats := tel.statsHook(&r)
 	fmt.Printf("sweep: %s over %d combos x %d sizes, %d trials each, %d workers\n",
 		bench, len(combos), len(sizes), cli.trials, r.WorkerCount())
 	results, err := exp.RunSweep(r, cells)
+	finishStats()
 	if err != nil {
 		fatal(err)
 	}
@@ -717,6 +877,7 @@ func runSweep(bench string, sizes []int64, cli sweepCLI) {
 		fmt.Printf("%s %10.4g %10.4g %10.4g %10.4g %10.4g\n",
 			res.Label, st.Min, st.Q1, st.Median, st.Q3, st.Max)
 	}
+	printCacheStats()
 }
 
 func runTrials(m *exp.Machine, n, trials int, seed uint64, unit string, tel telCLI,
@@ -761,5 +922,8 @@ func runTrials(m *exp.Machine, n, trials int, seed uint64, unit string, tel telC
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "t2hx:", err)
+	if perr := profSession.Stop(); perr != nil {
+		fmt.Fprintln(os.Stderr, "t2hx:", perr)
+	}
 	os.Exit(1)
 }

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/hpcsim/t2hx/internal/fabric"
 	"github.com/hpcsim/t2hx/internal/workloads"
@@ -46,6 +48,40 @@ type CellResult struct {
 	Value any
 }
 
+// RunnerStats is a point-in-time snapshot of a running (or finished)
+// sweep, published on the runner's StatsInterval ticker. Values observe
+// the live run, so the live metrics are approximate (a cell may finish
+// between field reads); the Final snapshot is exact.
+type RunnerStats struct {
+	// Done and Total count completed and queued cells (Done includes
+	// failed cells — the pool has finished with them either way).
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// Workers is the pool size.
+	Workers int `json:"workers"`
+	// Elapsed is the wall time since the pool started.
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// CellsPerSec is the completion throughput over Elapsed.
+	CellsPerSec float64 `json:"cells_per_sec"`
+	// ETA extrapolates the remaining wall time from the current
+	// throughput; 0 until the first cell completes.
+	ETA time.Duration `json:"eta_ns"`
+	// Utilization is the fraction of worker wall time spent inside cell
+	// Run functions (1.0 = all workers busy since start).
+	Utilization float64 `json:"utilization"`
+	// LastLabel is the label of the most recently completed cell.
+	LastLabel string `json:"last_label,omitempty"`
+	// Cache, when the runner was given a TableCache, snapshots its
+	// counters — the live hit rate of a running sweep.
+	Cache *CacheStats `json:"cache,omitempty"`
+	// Final marks the closing snapshot emitted after the pool drains.
+	Final bool `json:"final,omitempty"`
+}
+
+// LineKind implements telemetry's Line so snapshots can stream into any
+// telemetry sink as "progress" JSONL lines.
+func (RunnerStats) LineKind() string { return "progress" }
+
 // Runner executes a queue of cells across a worker pool.
 //
 // Determinism contract: cell results depend only on (BaseSeed, cell
@@ -63,6 +99,17 @@ type Runner struct {
 	// It is called from worker goroutines under a lock (callbacks are
 	// serialized, but must not block for long).
 	Progress func(done, total int, label string)
+	// OnStats, when set together with StatsInterval, receives periodic
+	// RunnerStats snapshots from a dedicated ticker goroutine while the
+	// pool runs, plus one Final snapshot after it drains. It must be safe
+	// to call concurrently with Progress.
+	OnStats func(RunnerStats)
+	// StatsInterval is the snapshot cadence; <= 0 disables the ticker
+	// (a Final snapshot is still delivered when OnStats is set).
+	StatsInterval time.Duration
+	// Cache, when set, is snapshotted into each RunnerStats (live table
+	// cache hit rate). Sweep drivers pass DefaultTableCache.
+	Cache *TableCache
 }
 
 // WorkerCount resolves the effective pool size.
@@ -73,11 +120,90 @@ func (r Runner) WorkerCount() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// Run executes all cells and returns their results ordered by cell index.
-func (r Runner) Run(cells []Cell) ([]CellResult, error) {
+// runnerState is the pool's shared instrumentation: everything the stats
+// ticker reads is atomic, so snapshots never contend with workers.
+type runnerState struct {
+	start     time.Time
+	total     int
+	workers   int
+	done      atomic.Int64
+	busyNanos atomic.Int64 // summed over completed Run calls
+
+	mu        sync.Mutex
+	lastLabel string
+}
+
+// snapshot assembles a RunnerStats from the live counters.
+func (st *runnerState) snapshot(cache *TableCache, final bool) RunnerStats {
+	elapsed := time.Since(st.start)
+	done := int(st.done.Load())
+	s := RunnerStats{
+		Done: done, Total: st.total, Workers: st.workers,
+		Elapsed: elapsed, Final: final,
+	}
+	if elapsed > 0 {
+		s.CellsPerSec = float64(done) / elapsed.Seconds()
+		s.Utilization = float64(st.busyNanos.Load()) / (float64(elapsed.Nanoseconds()) * float64(st.workers))
+		if s.Utilization > 1 {
+			s.Utilization = 1
+		}
+	}
+	if done > 0 && done < st.total && s.CellsPerSec > 0 {
+		s.ETA = time.Duration(float64(st.total-done) / s.CellsPerSec * float64(time.Second))
+	}
+	st.mu.Lock()
+	s.LastLabel = st.lastLabel
+	st.mu.Unlock()
+	if cache != nil {
+		cs := cache.Stats()
+		s.Cache = &cs
+	}
+	return s
+}
+
+// startStats launches the snapshot ticker; the returned stop must be
+// called after the pool drains (it emits the Final snapshot).
+func (r Runner) startStats(st *runnerState) (stop func()) {
+	if r.OnStats == nil {
+		return func() {}
+	}
+	quit := make(chan struct{})
+	var wg sync.WaitGroup
+	if r.StatsInterval > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t := time.NewTicker(r.StatsInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					r.OnStats(st.snapshot(r.Cache, false))
+				case <-quit:
+					return
+				}
+			}
+		}()
+	}
+	return func() {
+		close(quit)
+		wg.Wait()
+		r.OnStats(st.snapshot(r.Cache, true))
+	}
+}
+
+// exec is the shared pool core of Run and RunAll. With stopOnFirstError
+// the first failure cancels the remaining queue and is returned alone
+// (successful results still land in out); without it every cell runs and
+// the labelled errors are joined.
+func (r Runner) exec(cells []Cell, stopOnFirstError bool) ([]CellResult, error) {
 	n := len(cells)
 	out := make([]CellResult, n)
 	if n == 0 {
+		if r.OnStats != nil {
+			st := &runnerState{start: time.Now(), total: 0, workers: r.WorkerCount()}
+			r.OnStats(st.snapshot(r.Cache, true))
+		}
 		return out, nil
 	}
 	workers := r.WorkerCount()
@@ -85,8 +211,13 @@ func (r Runner) Run(cells []Cell) ([]CellResult, error) {
 		workers = n
 	}
 
+	st := &runnerState{start: time.Now(), total: n, workers: workers}
+	stopStats := r.startStats(st)
+	defer stopStats()
+
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+	errs := make([]error, n)
 	queue := make(chan int)
 	var (
 		wg       sync.WaitGroup
@@ -104,15 +235,27 @@ func (r Runner) Run(cells []Cell) ([]CellResult, error) {
 				if c.Seed != nil {
 					seed = *c.Seed
 				}
+				cellStart := time.Now()
 				v, err := c.Run(seed)
+				st.busyNanos.Add(time.Since(cellStart).Nanoseconds())
+				st.done.Add(1)
+				st.mu.Lock()
+				st.lastLabel = c.Label
+				st.mu.Unlock()
 				mu.Lock()
-				if err != nil {
+				if err != nil && stopOnFirstError {
 					if firstErr == nil {
 						firstErr = err
 						cancel() // stop feeding the queue
 					}
 				} else {
 					out[i] = CellResult{Index: i, Label: c.Label, Value: v}
+					if err != nil {
+						if c.Label != "" {
+							err = fmt.Errorf("%s: %w", c.Label, err)
+						}
+						errs[i] = err
+					}
 					done++
 					if r.Progress != nil {
 						r.Progress(done, n, c.Label)
@@ -135,7 +278,12 @@ feed:
 	if firstErr != nil {
 		return nil, firstErr
 	}
-	return out, nil
+	return out, errors.Join(errs...)
+}
+
+// Run executes all cells and returns their results ordered by cell index.
+func (r Runner) Run(cells []Cell) ([]CellResult, error) {
+	return r.exec(cells, true)
 }
 
 // RunAll executes all cells like Run, but never cancels the queue: every
@@ -145,55 +293,7 @@ feed:
 // fail (fault scenarios, degraded sweeps) use this so one bad spec cannot
 // discard a night of completed work.
 func (r Runner) RunAll(cells []Cell) ([]CellResult, error) {
-	n := len(cells)
-	out := make([]CellResult, n)
-	if n == 0 {
-		return out, nil
-	}
-	workers := r.WorkerCount()
-	if workers > n {
-		workers = n
-	}
-	errs := make([]error, n)
-	queue := make(chan int)
-	var (
-		wg   sync.WaitGroup
-		mu   sync.Mutex
-		done int
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range queue {
-				c := cells[i]
-				seed := CellSeed(r.BaseSeed, i)
-				if c.Seed != nil {
-					seed = *c.Seed
-				}
-				v, err := c.Run(seed)
-				mu.Lock()
-				out[i] = CellResult{Index: i, Label: c.Label, Value: v}
-				if err != nil {
-					if c.Label != "" {
-						err = fmt.Errorf("%s: %w", c.Label, err)
-					}
-					errs[i] = err
-				}
-				done++
-				if r.Progress != nil {
-					r.Progress(done, n, c.Label)
-				}
-				mu.Unlock()
-			}
-		}()
-	}
-	for i := range cells {
-		queue <- i
-	}
-	close(queue)
-	wg.Wait()
-	return out, errors.Join(errs...)
+	return r.exec(cells, false)
 }
 
 // ForEach runs fn for indices [0, n) over the runner's pool and returns

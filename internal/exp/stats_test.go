@@ -1,0 +1,130 @@
+package exp
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/hpcsim/t2hx/internal/fabric"
+	"github.com/hpcsim/t2hx/internal/telemetry"
+	"github.com/hpcsim/t2hx/internal/workloads"
+)
+
+// TestRunnerStatsFinalSnapshot: OnStats must always deliver a Final
+// snapshot with complete totals, even without a ticker interval.
+func TestRunnerStatsFinalSnapshot(t *testing.T) {
+	cache := NewTableCache(8)
+	var mu sync.Mutex
+	var snaps []RunnerStats
+	r := Runner{
+		Workers:       2,
+		StatsInterval: time.Millisecond,
+		Cache:         cache,
+		OnStats: func(s RunnerStats) {
+			mu.Lock()
+			snaps = append(snaps, s)
+			mu.Unlock()
+		},
+	}
+	_, err := ForEach(r, 16, nil, func(i int, seed uint64) (int, error) {
+		time.Sleep(2 * time.Millisecond)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(snaps) == 0 {
+		t.Fatal("OnStats never called")
+	}
+	last := snaps[len(snaps)-1]
+	if !last.Final {
+		t.Fatal("last snapshot not marked Final")
+	}
+	if last.Done != 16 || last.Total != 16 {
+		t.Fatalf("final snapshot %d/%d, want 16/16", last.Done, last.Total)
+	}
+	if last.Workers != 2 {
+		t.Fatalf("workers %d, want 2", last.Workers)
+	}
+	if last.CellsPerSec <= 0 {
+		t.Fatalf("cells/s %v, want > 0", last.CellsPerSec)
+	}
+	if last.Utilization <= 0 || last.Utilization > 1 {
+		t.Fatalf("utilization %v outside (0, 1]", last.Utilization)
+	}
+	if last.ETA != 0 {
+		t.Fatalf("final ETA %v, want 0", last.ETA)
+	}
+	if last.Cache == nil {
+		t.Fatal("cache stats missing from snapshot")
+	}
+	for _, s := range snaps[:len(snaps)-1] {
+		if s.Final {
+			t.Fatal("non-last snapshot marked Final")
+		}
+		if s.Done < 0 || s.Done > s.Total {
+			t.Fatalf("snapshot done=%d outside [0,%d]", s.Done, s.Total)
+		}
+	}
+	if last.LineKind() != "progress" {
+		t.Fatalf("RunnerStats line kind %q", last.LineKind())
+	}
+}
+
+// TestFCTHistIdenticalAcrossWorkers is the histogram half of the -j1 ≡ -jN
+// contract: FCT histograms observed inside worker cells and merged in cell
+// order must serialize to byte-identical snapshots at any worker count.
+func TestFCTHistIdenticalAcrossWorkers(t *testing.T) {
+	run := func(workers int) []byte {
+		combos := PaperCombos()
+		fixtures := []Combo{combos[0], combos[2]}
+		cols := make([]*telemetry.Collector, len(fixtures))
+		var cells []SweepCell
+		for i, combo := range fixtures {
+			i := i
+			cells = append(cells, SweepCell{
+				Label: combo.Name, Combo: combo,
+				Cfg:    MachineConfig{Small: true, Degrade: true, Seed: 7},
+				Nodes:  16,
+				Trials: 1,
+				Build: func(n int) (*workloads.Instance, error) {
+					return workloads.BuildIMB("alltoall", n, 4096)
+				},
+				Attach: func(_ int, f fabric.Messenger) {
+					if fb, ok := f.(*fabric.Fabric); ok {
+						col := telemetry.New(fb.G, telemetry.Options{Messages: true})
+						fb.AttachTelemetry(col)
+						cols[i] = col
+					}
+				},
+			})
+		}
+		if _, err := RunSweep(Runner{Workers: workers, BaseSeed: 1}, cells); err != nil {
+			t.Fatal(err)
+		}
+		merged := telemetry.NewHist("fct", "s", 1e9)
+		for i, col := range cols {
+			if col == nil {
+				t.Fatalf("cell %d: no collector", i)
+			}
+			merged.Merge(col.FCTHist)
+		}
+		if merged.Count() == 0 {
+			t.Fatal("merged histogram empty")
+		}
+		raw, err := json.Marshal(merged.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	seq := run(1)
+	for _, j := range []int{2, 8} {
+		if par := run(j); string(par) != string(seq) {
+			t.Fatalf("-j%d histogram snapshot differs from -j1:\n  -j1: %s\n  -j%d: %s", j, seq, j, par)
+		}
+	}
+}

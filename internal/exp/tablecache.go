@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/hpcsim/t2hx/internal/route"
 	"github.com/hpcsim/t2hx/internal/topo"
@@ -36,7 +37,11 @@ type TableCache struct {
 	order   []tableKey
 	cap     int
 
-	hits, misses uint64
+	// Counters are atomics so live-progress reporters can read them
+	// mid-sweep without taking the cache lock the workers contend on.
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
 }
 
 // DefaultTableCache is the process-wide cache Plane.Rebuild consults. Its
@@ -66,13 +71,14 @@ func (c *TableCache) Get(g *topo.Graph, engine string, lmc uint8, build func() (
 		e = &cacheEntry{}
 		c.entries[key] = e
 		c.order = append(c.order, key)
-		c.misses++
+		c.misses.Add(1)
 		for len(c.order) > c.cap {
 			delete(c.entries, c.order[0])
 			c.order = c.order[1:]
+			c.evictions.Add(1)
 		}
 	} else {
-		c.hits++
+		c.hits.Add(1)
 	}
 	c.mu.Unlock()
 
@@ -97,11 +103,34 @@ func (c *TableCache) Get(g *topo.Graph, engine string, lmc uint8, build func() (
 	return e.t.Rebind(g), nil
 }
 
-// Stats reports lifetime hit/miss counts.
-func (c *TableCache) Stats() (hits, misses uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+// CacheStats is a point-in-time snapshot of the cache's lifetime counters.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// Lookups is the total Get count.
+func (s CacheStats) Lookups() uint64 { return s.Hits + s.Misses }
+
+// HitRate is hits over lookups, 0 when the cache was never consulted.
+func (s CacheStats) HitRate() float64 {
+	if n := s.Lookups(); n > 0 {
+		return float64(s.Hits) / float64(n)
+	}
+	return 0
+}
+
+// Stats snapshots the lifetime hit/miss/eviction counters. It is safe to
+// call from any goroutine while a sweep is running (lock-free), which is
+// how the runner's live-progress ticker reports cache effectiveness
+// mid-run.
+func (c *TableCache) Stats() CacheStats {
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+	}
 }
 
 // Len reports the number of cached keys.

@@ -40,8 +40,8 @@ func TestTableCacheHealthyDegradedNeverAlias(t *testing.T) {
 	if healthy == degraded {
 		t.Fatal("healthy and degraded graphs returned the same cached tables")
 	}
-	if hits, misses := c.Stats(); hits != 0 || misses != 2 {
-		t.Fatalf("hits=%d misses=%d, want 0/2 (distinct keys)", hits, misses)
+	if s := c.Stats(); s.Hits != 0 || s.Misses != 2 {
+		t.Fatalf("hits=%d misses=%d, want 0/2 (distinct keys)", s.Hits, s.Misses)
 	}
 	// The degraded tables must not forward over a down link anywhere —
 	// i.e. they really were built against the degraded mask, not aliased
@@ -83,8 +83,8 @@ func TestTableCacheHitAfterSMRestore(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if hits, misses := c.Stats(); hits != 1 || misses != 2 {
-		t.Fatalf("hits=%d misses=%d, want 1 hit / 2 misses", hits, misses)
+	if s := c.Stats(); s.Hits != 1 || s.Misses != 2 {
+		t.Fatalf("hits=%d misses=%d, want 1 hit / 2 misses", s.Hits, s.Misses)
 	}
 	if before != after {
 		t.Fatal("restored mask did not return the identical cached tables")
@@ -103,8 +103,8 @@ func TestTableCacheRebindsToRequestersGraph(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if hits, misses := c.Stats(); hits != 1 || misses != 1 {
-		t.Fatalf("hits=%d misses=%d, want 1/1 for two identical machines", hits, misses)
+	if s := c.Stats(); s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1 for two identical machines", s.Hits, s.Misses)
 	}
 	if ta.G != pa.G || tb.G != pb.G {
 		t.Fatal("cached tables not rebound to the requesting machine's graph")
@@ -163,13 +163,19 @@ func TestTableCacheEviction(t *testing.T) {
 	if c.Len() != 2 {
 		t.Fatalf("cache holds %d entries, want cap 2", c.Len())
 	}
+	if got := c.Stats().Evictions; got != 1 {
+		t.Fatalf("eviction counter = %d after one overflow, want 1", got)
+	}
 	// The oldest key (dfsssp) was evicted: requesting it again rebuilds.
-	_, missesBefore := c.Stats()
+	missesBefore := c.Stats().Misses
 	if _, err := c.Get(p.G, "dfsssp", 0, p.buildTables); err != nil {
 		t.Fatal(err)
 	}
-	if _, misses := c.Stats(); misses != missesBefore+1 {
+	if s := c.Stats(); s.Misses != missesBefore+1 {
 		t.Fatal("evicted key did not rebuild")
+	}
+	if got := c.Stats().Evictions; got != 2 {
+		t.Fatalf("eviction counter = %d after re-requesting the evicted key, want 2", got)
 	}
 }
 
@@ -215,11 +221,15 @@ func TestTableCacheDegradedSweepPressure(t *testing.T) {
 			}
 		}
 	}
-	hits, misses := c.Stats()
-	if hits == 0 || misses == 0 {
-		t.Fatalf("pressure walk saw hits=%d misses=%d; want both (revisits hit, evictions miss)", hits, misses)
+	s := c.Stats()
+	if s.Hits == 0 || s.Misses == 0 {
+		t.Fatalf("pressure walk saw hits=%d misses=%d; want both (revisits hit, evictions miss)", s.Hits, s.Misses)
 	}
-	t.Logf("300 near-identical masks: %d hits, %d misses, %d resident", hits, misses, c.Len())
+	if want := s.Misses - uint64(c.Len()); s.Evictions != want {
+		t.Fatalf("evictions=%d, want misses-resident=%d (every miss past residency evicts)", s.Evictions, want)
+	}
+	t.Logf("300 near-identical masks: %d hits, %d misses, %d evictions, %d resident",
+		s.Hits, s.Misses, s.Evictions, c.Len())
 }
 
 // Regression: two down masks differing in exactly one link must never share
@@ -243,23 +253,23 @@ func TestTableCacheKeysDistinguishSingleLink(t *testing.T) {
 		}
 		l.Down = false
 	}
-	hits, misses := c.Stats()
-	if want := uint64(len(p.G.LiveSwitchLinks())) + 1; misses != want {
-		t.Fatalf("%d misses for %d distinct masks", misses, want)
+	s := c.Stats()
+	if want := uint64(len(p.G.LiveSwitchLinks())) + 1; s.Misses != want {
+		t.Fatalf("%d misses for %d distinct masks", s.Misses, want)
 	}
-	if hits != 0 {
-		t.Fatalf("%d unexpected hits: some single-link mask collided", hits)
+	if s.Hits != 0 {
+		t.Fatalf("%d unexpected hits: some single-link mask collided", s.Hits)
 	}
 }
 
 func TestPlaneRebuildUsesDefaultCache(t *testing.T) {
 	p := smallPlane(t)
-	hitsBefore, _ := DefaultTableCache.Stats()
+	hitsBefore := DefaultTableCache.Stats().Hits
 	tb, err := p.Rebuild()
 	if err != nil {
 		t.Fatal(err)
 	}
-	hitsAfter, _ := DefaultTableCache.Stats()
+	hitsAfter := DefaultTableCache.Stats().Hits
 	if hitsAfter == hitsBefore {
 		t.Fatal("Rebuild on an already-built plane missed the default cache")
 	}

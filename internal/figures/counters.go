@@ -66,7 +66,9 @@ func (s *Session) FigCounters(op string) error {
 		s.printf("\n%s: switch-to-switch XmitData heatmap (rows = source switch)\n", c.Name)
 		s.switchHeatmap(col.Chans.SwitchMatrix())
 		s.printf("\n")
-		telemetry.FprintHotLinks(s.P.Out, col.Chans, 10, col.Now())
+		if err := telemetry.FprintHotLinks(s.P.Out, col.Chans, 10, col.Now()); err != nil {
+			return err
+		}
 		for _, h := range col.Chans.HotLinks(0, col.Now()) {
 			k.add(c.Name, h.From, h.To, h.Bytes, float64(h.Wait), int(h.HWM))
 		}

@@ -63,16 +63,21 @@ func (k *csvSink) flush() error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	w := csv.NewWriter(f)
-	if err := w.Write(k.head); err != nil {
-		return err
+	err = w.Write(k.head)
+	if err == nil {
+		err = w.WriteAll(k.rows)
 	}
-	if err := w.WriteAll(k.rows); err != nil {
-		return err
+	if err == nil {
+		w.Flush()
+		err = w.Error()
 	}
-	w.Flush()
-	return w.Error()
+	// A failed Close (buffered data hitting a full disk) must fail the
+	// figure, not vanish.
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // writeWhiskerCSV is used by whisker-style figures.

@@ -1,0 +1,213 @@
+// Package prof wires Go's stdlib profilers into the simulator binaries:
+// pprof CPU/heap profiles behind -cpuprofile/-memprofile flags, a
+// net/http/pprof listener for poking at a live long-running sweep, and a
+// runtime/metrics capture (GC pauses, heap size, goroutine count) that the
+// benchmark harness folds into its JSON baselines. Everything here is
+// flag-gated and costs nothing when unused.
+package prof
+
+import (
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux
+	"os"
+	"runtime"
+	"runtime/metrics"
+	"runtime/pprof"
+	"time"
+)
+
+// Session holds the profiling state opened by Start; Stop finalizes it.
+// The zero Session is valid and Stop on it is a no-op, so callers can
+// unconditionally defer Stop.
+type Session struct {
+	cpuFile *os.File
+	memPath string
+	ln      net.Listener
+}
+
+// Options selects which profilers Start enables; empty fields are off.
+type Options struct {
+	// CPUProfile is the output path of a pprof CPU profile covering
+	// Start..Stop.
+	CPUProfile string
+	// MemProfile is the output path of a heap profile written at Stop
+	// (after a forced GC, so it reflects live objects).
+	MemProfile string
+	// HTTPAddr, e.g. "localhost:6060", serves net/http/pprof for live
+	// inspection (goroutine dumps, 30s CPU captures) of a running sweep.
+	HTTPAddr string
+}
+
+// Start enables the requested profilers. The returned Session must be
+// Stopped (typically deferred) — an unmatched CPU profile start truncates
+// the output file. Errors report which profiler failed; on error no
+// profiler is left running.
+func Start(o Options) (*Session, error) {
+	s := &Session{memPath: o.MemProfile}
+	if o.CPUProfile != "" {
+		f, err := os.Create(o.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		s.cpuFile = f
+	}
+	if o.HTTPAddr != "" {
+		ln, err := net.Listen("tcp", o.HTTPAddr)
+		if err != nil {
+			s.Stop()
+			return nil, fmt.Errorf("pprof-http: %w", err)
+		}
+		s.ln = ln
+		go http.Serve(ln, nil) //nolint:errcheck // dies with the process
+	}
+	return s, nil
+}
+
+// Stop finalizes the session: the CPU profile is flushed and closed, the
+// heap profile written, the HTTP listener shut. Safe on a nil or zero
+// Session and idempotent.
+func (s *Session) Stop() error {
+	if s == nil {
+		return nil
+	}
+	var first error
+	if s.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := s.cpuFile.Close(); err != nil {
+			first = fmt.Errorf("cpuprofile: %w", err)
+		}
+		s.cpuFile = nil
+	}
+	if s.memPath != "" {
+		if err := writeHeapProfile(s.memPath); err != nil && first == nil {
+			first = err
+		}
+		s.memPath = ""
+	}
+	if s.ln != nil {
+		s.ln.Close()
+		s.ln = nil
+	}
+	return first
+}
+
+// Addr reports the HTTP listener's bound address ("" when not serving) —
+// useful with ":0" test listeners.
+func (s *Session) Addr() string {
+	if s == nil || s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// writeHeapProfile GCs and dumps live-object heap state to path.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	runtime.GC() // materialize recently freed memory in the profile
+	if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+		f.Close()
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	return nil
+}
+
+// RuntimeMetrics is a snapshot of the runtime/metrics counters the bench
+// harness tracks alongside ns/op: allocator and GC pressure numbers that
+// regress independently of wall time.
+type RuntimeMetrics struct {
+	// HeapLiveBytes is the live heap after the last GC.
+	HeapLiveBytes uint64 `json:"heap_live_bytes"`
+	// TotalAllocBytes is cumulative allocation since process start.
+	TotalAllocBytes uint64 `json:"total_alloc_bytes"`
+	// GCCycles is the completed GC count.
+	GCCycles uint64 `json:"gc_cycles"`
+	// GCPauseTotal sums stop-the-world pause time.
+	GCPauseTotal time.Duration `json:"gc_pause_total_ns"`
+	// GCPauseMax approximates the largest observed pause (the highest
+	// non-empty bucket of the pause histogram).
+	GCPauseMax time.Duration `json:"gc_pause_max_ns"`
+	// Goroutines is the live goroutine count.
+	Goroutines int `json:"goroutines"`
+}
+
+// ReadRuntimeMetrics samples the runtime.
+func ReadRuntimeMetrics() RuntimeMetrics {
+	samples := []metrics.Sample{
+		{Name: "/memory/classes/heap/objects:bytes"},
+		{Name: "/gc/heap/allocs:bytes"},
+		{Name: "/gc/cycles/total:gc-cycles"},
+		{Name: "/gc/pauses:seconds"},
+		{Name: "/sched/goroutines:goroutines"},
+	}
+	metrics.Read(samples)
+	var rm RuntimeMetrics
+	for _, s := range samples {
+		if s.Value.Kind() == metrics.KindBad {
+			continue
+		}
+		switch s.Name {
+		case "/memory/classes/heap/objects:bytes":
+			rm.HeapLiveBytes = s.Value.Uint64()
+		case "/gc/heap/allocs:bytes":
+			rm.TotalAllocBytes = s.Value.Uint64()
+		case "/gc/cycles/total:gc-cycles":
+			rm.GCCycles = s.Value.Uint64()
+		case "/gc/pauses:seconds":
+			h := s.Value.Float64Histogram()
+			var total, max float64
+			for i, n := range h.Counts {
+				if n == 0 {
+					continue
+				}
+				// Bucket i covers [Buckets[i], Buckets[i+1]); use the finite
+				// edge (the first lower edge is -Inf, the last upper +Inf).
+				edge := h.Buckets[i]
+				if math.IsInf(edge, -1) {
+					edge = h.Buckets[i+1]
+				}
+				if math.IsInf(edge, 1) {
+					edge = h.Buckets[i]
+				}
+				if math.IsInf(edge, 0) {
+					continue
+				}
+				total += float64(n) * edge
+				if edge > max {
+					max = edge
+				}
+			}
+			rm.GCPauseTotal = time.Duration(total * float64(time.Second))
+			rm.GCPauseMax = time.Duration(max * float64(time.Second))
+		case "/sched/goroutines:goroutines":
+			rm.Goroutines = int(s.Value.Uint64())
+		}
+	}
+	return rm
+}
+
+// MetricsReporter is the slice of *testing.B the benchmark helpers need;
+// declaring it here keeps "testing" out of the non-test build.
+type MetricsReporter interface {
+	ReportMetric(n float64, unit string)
+}
+
+// ReportRuntimeMetrics attaches the GC/heap numbers to a benchmark result
+// (they ride into the -bench output and the benchjson baselines).
+func ReportRuntimeMetrics(b MetricsReporter) {
+	rm := ReadRuntimeMetrics()
+	b.ReportMetric(float64(rm.HeapLiveBytes), "heap-B")
+	b.ReportMetric(float64(rm.GCPauseTotal.Nanoseconds()), "gc-pause-ns")
+}

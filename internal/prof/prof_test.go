@@ -1,0 +1,100 @@
+package prof
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartStopWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	s, err := Start(Options{CPUProfile: cpu, MemProfile: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has samples to write.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i * i
+	}
+	_ = x
+	if err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s: %v", p, err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+	// Stop is idempotent.
+	if err := s.Stop(); err != nil {
+		t.Fatalf("second Stop: %v", err)
+	}
+}
+
+func TestNilSessionStop(t *testing.T) {
+	var s *Session
+	if err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHTTPListener(t *testing.T) {
+	s, err := Start(Options{HTTPAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/pprof/", s.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status %d", resp.StatusCode)
+	}
+}
+
+func TestReadRuntimeMetrics(t *testing.T) {
+	m := ReadRuntimeMetrics()
+	if m.HeapLiveBytes == 0 {
+		t.Error("HeapLiveBytes == 0")
+	}
+	if m.TotalAllocBytes == 0 {
+		t.Error("TotalAllocBytes == 0")
+	}
+	if m.Goroutines == 0 {
+		t.Error("Goroutines == 0")
+	}
+	if m.GCPauseMax > 0 && m.GCPauseTotal < m.GCPauseMax {
+		t.Errorf("pause total %v below max %v", m.GCPauseTotal, m.GCPauseMax)
+	}
+}
+
+type fakeReporter struct{ metrics map[string]float64 }
+
+func (f *fakeReporter) ReportMetric(v float64, unit string) {
+	if f.metrics == nil {
+		f.metrics = map[string]float64{}
+	}
+	f.metrics[unit] = v
+}
+
+func TestReportRuntimeMetrics(t *testing.T) {
+	var r fakeReporter
+	ReportRuntimeMetrics(&r)
+	if _, ok := r.metrics["heap-B"]; !ok {
+		t.Fatalf("heap-B not reported: %v", r.metrics)
+	}
+	if _, ok := r.metrics["gc-pause-ns"]; !ok {
+		t.Fatalf("gc-pause-ns not reported: %v", r.metrics)
+	}
+}

@@ -11,9 +11,15 @@ import (
 )
 
 // JSONL export: one self-describing object per line, distinguished by a
-// "kind" field — a "run" summary first, then one "msg" line per recorded
-// message and one "chan" line per fabric channel that saw traffic. The
+// "kind" field — a "run" summary, one "msg" line per recorded message, one
+// "hist" line per distribution (FCT, engine queue depth, per-channel
+// XmitWait), and one "chan" line per fabric channel that saw traffic. The
 // format is grep/jq-friendly and append-mergeable across runs.
+//
+// Buffered exports (WriteMetricsJSONL) put the "run" line first; streaming
+// exports necessarily invert that — "msg" lines appear as messages finish,
+// and FinishStream appends "hist", "chan" and finally "run" when the run's
+// totals are known. Consumers must key on "kind", not position.
 
 type runLine struct {
 	Kind      string  `json:"kind"` // "run"
@@ -33,6 +39,8 @@ type runLine struct {
 	MaxQueue  int     `json:"engine_max_queue"`
 }
 
+func (runLine) LineKind() string { return "run" }
+
 type msgLine struct {
 	Kind         string  `json:"kind"` // "msg"
 	Plane        int     `json:"plane"`
@@ -49,6 +57,8 @@ type msgLine struct {
 	Redispatched bool    `json:"redispatched,omitempty"`
 }
 
+func (msgLine) LineKind() string { return "msg" }
+
 type chanLine struct {
 	Kind     string  `json:"kind"` // "chan"
 	Plane    int     `json:"plane"`
@@ -60,15 +70,46 @@ type chanLine struct {
 	HWM      int32   `json:"active_hwm"`
 }
 
-// WriteMetricsJSONL writes the run summary, message records and channel
-// counters as JSON lines.
-func (c *Collector) WriteMetricsJSONL(w io.Writer) error {
-	return c.writeMetrics(json.NewEncoder(w))
+func (chanLine) LineKind() string { return "chan" }
+
+// histLine is one exported distribution: the convenience percentiles plus
+// the full mergeable bucket state (see HistSnapshot), so offline tooling
+// can re-merge shards from several runs or planes and recompute any
+// quantile.
+type histLine struct {
+	Kind  string  `json:"kind"` // "hist"
+	Plane int     `json:"plane"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Mean  float64 `json:"mean"`
+	HistSnapshot
 }
 
-// writeMetrics streams the collector's lines onto an existing encoder, so
-// Multi can interleave several planes into one document.
-func (c *Collector) writeMetrics(enc *json.Encoder) error {
+func (histLine) LineKind() string { return "hist" }
+
+// makeMsgLine renders a closed record as its export line.
+func makeMsgLine(plane int, r *MsgRecord) msgLine {
+	return msgLine{
+		Kind: "msg", Plane: plane, Src: int32(r.Src), Dst: int32(r.Dst), Size: r.Size,
+		Issued: float64(r.Issued), Wired: float64(r.Wired),
+		Finished: float64(r.Finished), FCT: float64(r.FCT()),
+		Hops: r.Hops, Retries: r.Retries, Delivered: r.Delivered,
+		Redispatched: r.Redispatched,
+	}
+}
+
+// makeHistLine renders a histogram with its convenience percentiles.
+func makeHistLine(plane int, h *Hist) histLine {
+	return histLine{
+		Kind: "hist", Plane: plane,
+		P50: h.Quantile(0.50), P95: h.Quantile(0.95), P99: h.Quantile(0.99),
+		Mean: h.Mean(), HistSnapshot: h.Snapshot(),
+	}
+}
+
+// makeRunLine reduces the collector to its summary line.
+func (c *Collector) makeRunLine() runLine {
 	s := c.FCTSummary()
 	run := runLine{
 		Kind: "run", Plane: c.Plane, PlaneName: c.PlaneName,
@@ -82,32 +123,110 @@ func (c *Collector) writeMetrics(enc *json.Encoder) error {
 		run.XmitData = c.Chans.TotalXmitData()
 		run.HCAWaitS = float64(c.Chans.HCAWait)
 	}
-	if err := enc.Encode(run); err != nil {
+	return run
+}
+
+// histLines assembles the collector's distribution lines: FCT (when
+// message recording is on), engine queue depth (when an engine ran), and
+// the per-channel XmitWait distribution derived from the counters.
+func (c *Collector) histLines() []histLine {
+	var out []histLine
+	if c.FCTHist != nil && c.FCTHist.Count() > 0 {
+		out = append(out, makeHistLine(c.Plane, c.FCTHist))
+	}
+	if c.QueueHist != nil && c.QueueHist.Count() > 0 {
+		out = append(out, makeHistLine(c.Plane, c.QueueHist))
+	}
+	if c.Chans != nil {
+		xw := NewHist("xmit_wait", "s", 1e9)
+		for _, w := range c.Chans.XmitWait {
+			if w > 0 {
+				xw.Observe(float64(w))
+			}
+		}
+		if xw.Count() > 0 {
+			out = append(out, makeHistLine(c.Plane, xw))
+		}
+	}
+	return out
+}
+
+// chanLines assembles the per-channel counter lines (channels with
+// traffic only).
+func (c *Collector) chanLines() []chanLine {
+	if c.Chans == nil {
+		return nil
+	}
+	hot := c.Chans.HotLinks(0, 0)
+	out := make([]chanLine, 0, len(hot))
+	for _, h := range hot {
+		out = append(out, chanLine{
+			Kind: "chan", Plane: c.Plane, Channel: int32(h.Channel), From: h.From, To: h.To,
+			XmitData: h.Bytes, XmitWait: float64(h.Wait), HWM: h.HWM,
+		})
+	}
+	return out
+}
+
+// WriteMetricsJSONL writes the run summary, message records, distribution
+// lines and channel counters as JSON lines (buffered export; requires a
+// retaining collector for the msg lines).
+func (c *Collector) WriteMetricsJSONL(w io.Writer) error {
+	return c.writeMetrics(json.NewEncoder(w))
+}
+
+// writeMetrics streams the collector's lines onto an existing encoder, so
+// Multi can interleave several planes into one document.
+func (c *Collector) writeMetrics(enc *json.Encoder) error {
+	if err := enc.Encode(c.makeRunLine()); err != nil {
 		return err
 	}
 	for i := range c.Msgs {
-		r := &c.Msgs[i]
-		if err := enc.Encode(msgLine{
-			Kind: "msg", Plane: c.Plane, Src: int32(r.Src), Dst: int32(r.Dst), Size: r.Size,
-			Issued: float64(r.Issued), Wired: float64(r.Wired),
-			Finished: float64(r.Finished), FCT: float64(r.FCT()),
-			Hops: r.Hops, Retries: r.Retries, Delivered: r.Delivered,
-			Redispatched: r.Redispatched,
-		}); err != nil {
+		if err := enc.Encode(makeMsgLine(c.Plane, &c.Msgs[i])); err != nil {
 			return err
 		}
 	}
-	if c.Chans != nil {
-		for _, h := range c.Chans.HotLinks(0, 0) {
-			if err := enc.Encode(chanLine{
-				Kind: "chan", Plane: c.Plane, Channel: int32(h.Channel), From: h.From, To: h.To,
-				XmitData: h.Bytes, XmitWait: float64(h.Wait), HWM: h.HWM,
-			}); err != nil {
-				return err
-			}
+	for _, hl := range c.histLines() {
+		if err := enc.Encode(hl); err != nil {
+			return err
+		}
+	}
+	for _, cl := range c.chanLines() {
+		if err := enc.Encode(cl); err != nil {
+			return err
 		}
 	}
 	return nil
+}
+
+// writeStreamFooter emits the trailing summary lines of a streaming
+// export ("hist", "chan", then "run") through the sink.
+func (c *Collector) writeStreamFooter() {
+	for _, hl := range c.histLines() {
+		c.emit(hl)
+	}
+	for _, cl := range c.chanLines() {
+		c.emit(cl)
+	}
+	c.emit(c.makeRunLine())
+}
+
+// FinishStream completes a streaming export: the trailing summary lines,
+// a final flush, and the sink's Close. It returns the first error the
+// export saw — including write failures latched mid-run — so callers can
+// exit non-zero instead of shipping a silently truncated metrics file. A
+// collector without a sink returns nil.
+func (c *Collector) FinishStream() error {
+	if c.sink == nil {
+		return nil
+	}
+	c.writeStreamFooter()
+	err := c.sinkErr
+	if cerr := c.sink.Close(); err == nil {
+		err = cerr
+	}
+	c.sink = nil
+	return err
 }
 
 // WriteChannelCSV writes the per-channel counters as CSV (channels with
@@ -136,16 +255,26 @@ func (c *Collector) WriteChannelCSV(w io.Writer) error {
 }
 
 // FprintHotLinks renders the paper-style top-n counter readout (the
-// PortXmitData/PortXmitWait table read off TSUBAME2's switches) to w.
-func FprintHotLinks(w io.Writer, cc *ChannelCounters, n int, elapsed sim.Duration) {
+// PortXmitData/PortXmitWait table read off TSUBAME2's switches) to w,
+// reporting the first write error instead of dropping rows silently.
+func FprintHotLinks(w io.Writer, cc *ChannelCounters, n int, elapsed sim.Duration) error {
 	hot := cc.HotLinks(n, elapsed)
-	fmt.Fprintf(w, "top %d channels by XmitWait (of %d with traffic):\n", len(hot), len(cc.HotLinks(0, 0)))
-	fmt.Fprintf(w, "  %-24s %-24s %12s %12s %6s %6s\n", "from", "to", "XmitData", "XmitWait", "util", "flows")
+	if _, err := fmt.Fprintf(w, "top %d channels by XmitWait (of %d with traffic):\n", len(hot), len(cc.HotLinks(0, 0))); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  %-24s %-24s %12s %12s %6s %6s\n", "from", "to", "XmitData", "XmitWait", "util", "flows"); err != nil {
+		return err
+	}
 	for _, h := range hot {
-		fmt.Fprintf(w, "  %-24s %-24s %10.1fMB %10.3fms %5.1f%% %6d\n",
-			h.From, h.To, h.Bytes/1e6, 1e3*float64(h.Wait), 100*h.Utilization, h.HWM)
+		if _, err := fmt.Fprintf(w, "  %-24s %-24s %10.1fMB %10.3fms %5.1f%% %6d\n",
+			h.From, h.To, h.Bytes/1e6, 1e3*float64(h.Wait), 100*h.Utilization, h.HWM); err != nil {
+			return err
+		}
 	}
 	if cc.HCAWait > 0 {
-		fmt.Fprintf(w, "  (HCA/node-bandwidth wait, not on any cable: %.3fms)\n", 1e3*float64(cc.HCAWait))
+		if _, err := fmt.Fprintf(w, "  (HCA/node-bandwidth wait, not on any cable: %.3fms)\n", 1e3*float64(cc.HCAWait)); err != nil {
+			return err
+		}
 	}
+	return nil
 }

@@ -1,0 +1,192 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// histSamples draws a deterministic heavy-tailed sample set resembling FCT
+// distributions (many small values, a long tail).
+func histSamples(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Exp(rng.NormFloat64()*2 - 8) // lognormal around ~0.3ms
+	}
+	return out
+}
+
+func TestHistBucketIndexMonotonic(t *testing.T) {
+	prev := -1
+	for u := uint64(0); u < 1<<16; u++ {
+		i := bucketIndex(u)
+		if i < prev {
+			t.Fatalf("bucketIndex not monotonic at %d: %d < %d", u, i, prev)
+		}
+		prev = i
+		if u < histSubCount && bucketMid(i) != u {
+			t.Fatalf("tick %d below 2^%d not exact: mid %d", u, HistSubBits, bucketMid(i))
+		}
+	}
+}
+
+func TestHistBucketMidWithinBucket(t *testing.T) {
+	for _, u := range []uint64{0, 1, 63, 64, 65, 1000, 1 << 20, 1<<40 + 12345} {
+		i := bucketIndex(u)
+		mid := bucketMid(i)
+		if bucketIndex(mid) != i {
+			t.Fatalf("mid %d of bucket %d (tick %d) falls in bucket %d", mid, i, u, bucketIndex(mid))
+		}
+		if rel := math.Abs(float64(mid)-float64(u)) / math.Max(float64(u), 1); rel > math.Pow(2, -HistSubBits) {
+			t.Fatalf("tick %d: mid %d off by rel %.4g > 2^-%d", u, mid, rel, HistSubBits)
+		}
+	}
+}
+
+// TestHistMergeDeterminism is the -j1 ≡ -jN foundation: splitting a sample
+// set into shards and merging them in any order must produce bit-identical
+// histogram state.
+func TestHistMergeDeterminism(t *testing.T) {
+	samples := histSamples(10000, 1)
+	const shards = 8
+
+	build := func(order []int) HistSnapshot {
+		hs := make([]*Hist, shards)
+		for i := range hs {
+			hs[i] = NewHist("fct", "s", 1e9)
+		}
+		for i, v := range samples {
+			hs[i%shards].Observe(v)
+		}
+		merged := NewHist("fct", "s", 1e9)
+		for _, k := range order {
+			merged.Merge(hs[k])
+		}
+		return merged.Snapshot()
+	}
+
+	base := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	want := build(base)
+	wantJSON, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		order := append([]int(nil), base...)
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		got := build(order)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("merge order %v produced different snapshot", order)
+		}
+		gotJSON, err := json.Marshal(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(gotJSON) != string(wantJSON) {
+			t.Fatalf("merge order %v produced different snapshot bytes", order)
+		}
+	}
+
+	// Sharded state must also equal direct observation of the full set.
+	direct := NewHist("fct", "s", 1e9)
+	for _, v := range samples {
+		direct.Observe(v)
+	}
+	if !reflect.DeepEqual(direct.Snapshot(), want) {
+		t.Fatal("sharded merge differs from direct observation")
+	}
+}
+
+// TestHistQuantileErrorBound checks the advertised accuracy against the
+// exact nearest-rank quantile of the quantized sample set.
+func TestHistQuantileErrorBound(t *testing.T) {
+	for _, n := range []int{1, 10, 100, 1000, 10000} {
+		samples := histSamples(n, int64(n))
+		h := NewHist("fct", "s", 1e9)
+		ticks := make([]uint64, n)
+		for i, v := range samples {
+			h.Observe(v)
+			ticks[i] = uint64(v*1e9 + 0.5)
+		}
+		sort.Slice(ticks, func(i, j int) bool { return ticks[i] < ticks[j] })
+		for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.95, 0.99, 1} {
+			exact := float64(ticks[int(q*float64(n-1))]) / 1e9
+			got := h.Quantile(q)
+			// Bucket width bounds the relative error; half a tick the
+			// absolute quantization error.
+			tol := exact*math.Pow(2, -HistSubBits) + 1.0/1e9
+			if math.Abs(got-exact) > tol {
+				t.Fatalf("n=%d q=%.2f: got %.6g, exact %.6g (err %.3g > tol %.3g)",
+					n, q, got, exact, math.Abs(got-exact), tol)
+			}
+		}
+		if h.Quantile(0) != h.Min() || h.Quantile(1) != h.Max() {
+			t.Fatalf("n=%d: quantile envelope [%g, %g] != [min %g, max %g]",
+				n, h.Quantile(0), h.Quantile(1), h.Min(), h.Max())
+		}
+	}
+}
+
+func TestHistExactAggregates(t *testing.T) {
+	samples := []float64{1e-6, 2e-6, 3e-6, 4e-6}
+	h := NewHist("fct", "s", 1e9)
+	var sum float64
+	for _, v := range samples {
+		h.Observe(v)
+		sum += v
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if math.Abs(h.Sum()-sum) > 1e-12 {
+		t.Fatalf("sum %g != %g", h.Sum(), sum)
+	}
+	if math.Abs(h.Mean()-sum/4) > 1e-12 {
+		t.Fatalf("mean %g != %g", h.Mean(), sum/4)
+	}
+	if h.Min() != 1e-6 || h.Max() != 4e-6 {
+		t.Fatalf("min/max %g/%g", h.Min(), h.Max())
+	}
+}
+
+func TestHistSnapshotRoundTrip(t *testing.T) {
+	h := NewHist("queue_depth", "events", 1)
+	for _, u := range []uint64{0, 0, 1, 5, 63, 64, 100, 1 << 20} {
+		h.ObserveTick(u)
+	}
+	snap := h.Snapshot()
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded HistSnapshot
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	back := HistFromSnapshot(decoded)
+	if !reflect.DeepEqual(back.Snapshot(), snap) {
+		t.Fatal("snapshot -> JSON -> hist -> snapshot round trip diverged")
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if back.Quantile(q) != h.Quantile(q) {
+			t.Fatalf("q=%.2f: %g != %g after round trip", q, back.Quantile(q), h.Quantile(q))
+		}
+	}
+}
+
+func TestHistMergeScaleMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging different scales did not panic")
+		}
+	}()
+	a := NewHist("a", "s", 1e9)
+	b := NewHist("b", "s", 1e6)
+	b.Observe(1)
+	a.Merge(b)
+}

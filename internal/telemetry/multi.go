@@ -37,6 +37,88 @@ func NewMulti(gs []*topo.Graph, names []string, opts Options) *Multi {
 // ForPlane returns plane p's collector.
 func (m *Multi) ForPlane(p int) *Collector { return m.Planes[p] }
 
+// SetSink attaches one shared streaming sink to every plane's collector:
+// "msg" lines from all planes interleave in completion order (each stamped
+// with its plane id), and FinishStream appends per-plane footers plus the
+// machine-level summary before closing the sink once.
+func (m *Multi) SetSink(s Sink) {
+	for _, c := range m.Planes {
+		c.SetSink(s)
+	}
+}
+
+// SetTraceSink attaches one shared streaming trace sink to every plane
+// (each plane's lane metadata is emitted immediately); close it with
+// FinishTraceStream.
+func (m *Multi) SetTraceSink(s Sink) {
+	for _, c := range m.Planes {
+		c.SetTraceSink(s)
+	}
+}
+
+// FinishStream completes a shared streaming export: every plane's
+// "hist"/"chan"/"run" footer, the machine summary line last, then one
+// Close on the shared sink. Returns the first error any plane latched.
+func (m *Multi) FinishStream() error {
+	var sink Sink
+	var first error
+	for _, c := range m.Planes {
+		if c.sink == nil {
+			continue
+		}
+		sink = c.sink
+		c.writeStreamFooter()
+		if first == nil {
+			first = c.sinkErr
+		}
+		c.sink = nil
+	}
+	if sink == nil {
+		return first
+	}
+	if err := sink.Write(m.makeMachineLine()); err != nil && first == nil {
+		first = err
+	}
+	if err := sink.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+// FinishTraceStream seals the shared streaming trace document with a
+// single Close, returning the first error any plane's trace export saw.
+func (m *Multi) FinishTraceStream() error {
+	var sink Sink
+	var first error
+	for _, c := range m.Planes {
+		if c.traceSink == nil {
+			continue
+		}
+		sink = c.traceSink
+		if first == nil {
+			first = c.traceErr
+		}
+		c.traceSink = nil
+	}
+	if sink == nil {
+		return first
+	}
+	if err := sink.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+// SinkErr reports the first error any plane's sink latched, or nil.
+func (m *Multi) SinkErr() error {
+	for _, c := range m.Planes {
+		if err := c.SinkErr(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // TotalXmitData sums transmitted bytes over every plane's channel set —
 // the left-hand side of the machine-level conservation identity
 // (ΣXmitData == Σ bytes×hops over delivered messages, all planes).
@@ -54,8 +136,16 @@ func (m *Multi) TotalXmitData() float64 {
 // machine-level completion-time distribution. Records closed as
 // redispatched are plane-local bookkeeping (the carrying plane holds the
 // delivered record) and are excluded from N like any undelivered record
-// is from the percentiles.
+// is from the percentiles. When the planes stream (records not retained),
+// the summary merges the planes' FCT histograms instead — the merge is
+// order-independent, so the machine percentiles match what an offline
+// re-merge of the exported per-plane "hist" lines would give.
 func (m *Multi) FCTSummary() Summary {
+	for _, c := range m.Planes {
+		if !c.retain {
+			return m.streamSummary()
+		}
+	}
 	var s Summary
 	var fcts []float64
 	for _, c := range m.Planes {
@@ -87,6 +177,36 @@ func (m *Multi) FCTSummary() Summary {
 	return s
 }
 
+// streamSummary assembles the machine summary from the planes' streaming
+// aggregates and their merged FCT histograms.
+func (m *Multi) streamSummary() Summary {
+	var s Summary
+	var fctSum, fctMax float64
+	merged := NewHist("fct", "s", 1e9)
+	for _, c := range m.Planes {
+		s.N += c.agg.started
+		s.Delivered += c.agg.delivered
+		s.Bytes += c.agg.bytes
+		s.BytesHops += c.agg.bytesHops
+		fctSum += c.agg.fctSum
+		if c.agg.fctMax > fctMax {
+			fctMax = c.agg.fctMax
+		}
+		if c.FCTHist != nil {
+			merged.Merge(c.FCTHist)
+		}
+	}
+	if s.Delivered == 0 {
+		return s
+	}
+	s.Mean = sim.Duration(fctSum / float64(s.Delivered))
+	s.P50 = sim.Duration(merged.Quantile(0.50))
+	s.P95 = sim.Duration(merged.Quantile(0.95))
+	s.P99 = sim.Duration(merged.Quantile(0.99))
+	s.Max = sim.Duration(fctMax)
+	return s
+}
+
 // WriteTrace merges every plane's timeline (each on its own pid lanes,
 // see TracePlaneStride) into one Chrome trace_event document.
 func (m *Multi) WriteTrace(w io.Writer) error {
@@ -98,30 +218,39 @@ func (m *Multi) WriteTrace(w io.Writer) error {
 	return writeTraceDoc(w, events)
 }
 
-// WriteMetricsJSONL writes a machine-level summary line ("kind":
-// "machine") followed by every plane's full line stream; per-plane lines
-// carry their plane id.
-func (m *Multi) WriteMetricsJSONL(w io.Writer) error {
-	enc := json.NewEncoder(w)
+// machineLine is the machine-level summary row of a multi-plane export.
+type machineLine struct {
+	Kind      string  `json:"kind"` // "machine"
+	Planes    int     `json:"planes"`
+	Messages  int     `json:"messages"`
+	Delivered int     `json:"delivered"`
+	Bytes     float64 `json:"bytes"`
+	BytesHops float64 `json:"bytes_hops"`
+	XmitData  float64 `json:"xmit_data_total"`
+	FCTp50    float64 `json:"fct_p50_s"`
+	FCTp99    float64 `json:"fct_p99_s"`
+}
+
+func (machineLine) LineKind() string { return "machine" }
+
+// makeMachineLine reduces the machine to its summary line.
+func (m *Multi) makeMachineLine() machineLine {
 	s := m.FCTSummary()
-	machine := struct {
-		Kind      string  `json:"kind"` // "machine"
-		Planes    int     `json:"planes"`
-		Messages  int     `json:"messages"`
-		Delivered int     `json:"delivered"`
-		Bytes     float64 `json:"bytes"`
-		BytesHops float64 `json:"bytes_hops"`
-		XmitData  float64 `json:"xmit_data_total"`
-		FCTp50    float64 `json:"fct_p50_s"`
-		FCTp99    float64 `json:"fct_p99_s"`
-	}{
+	return machineLine{
 		Kind: "machine", Planes: len(m.Planes),
 		Messages: s.N, Delivered: s.Delivered,
 		Bytes: s.Bytes, BytesHops: s.BytesHops,
 		XmitData: m.TotalXmitData(),
 		FCTp50:   float64(s.P50), FCTp99: float64(s.P99),
 	}
-	if err := enc.Encode(machine); err != nil {
+}
+
+// WriteMetricsJSONL writes a machine-level summary line ("kind":
+// "machine") followed by every plane's full line stream; per-plane lines
+// carry their plane id.
+func (m *Multi) WriteMetricsJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(m.makeMachineLine()); err != nil {
 		return err
 	}
 	for _, c := range m.Planes {

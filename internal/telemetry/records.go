@@ -39,26 +39,71 @@ func (r MsgRecord) FCT() sim.Duration {
 
 // StartMsg opens a record and returns its index, or -1 when message
 // recording is off (callers pass the index back into the other Msg hooks,
-// which all tolerate -1, so the fabric needs no second nil-check).
+// which all tolerate -1, so the fabric needs no second nil-check). In
+// retained mode the index addresses Msgs; in streaming mode it addresses
+// the open-slot table, whose slots are recycled as records close.
 func (c *Collector) StartMsg(src, dst topo.NodeID, size int64, now sim.Time) int {
 	if c == nil || !c.Opts.Messages {
 		return -1
 	}
-	c.Msgs = append(c.Msgs, MsgRecord{Src: src, Dst: dst, Size: size, Issued: now, Wired: -1})
-	return len(c.Msgs) - 1
+	c.agg.started++
+	r := MsgRecord{Src: src, Dst: dst, Size: size, Issued: now, Wired: -1}
+	if c.retain {
+		c.Msgs = append(c.Msgs, r)
+		return len(c.Msgs) - 1
+	}
+	if k := len(c.freeSlots); k > 0 {
+		slot := c.freeSlots[k-1]
+		c.freeSlots = c.freeSlots[:k-1]
+		c.open[slot] = r
+		return slot
+	}
+	c.open = append(c.open, r)
+	return len(c.open) - 1
+}
+
+// msgAt resolves a live record index against the active storage mode.
+func (c *Collector) msgAt(rec int) *MsgRecord {
+	if c.retain {
+		return &c.Msgs[rec]
+	}
+	return &c.open[rec]
 }
 
 // MsgWired stamps the instant a transfer attempt reached the wire.
 func (c *Collector) MsgWired(rec int, now sim.Time) {
 	if rec >= 0 {
-		c.Msgs[rec].Wired = now
+		c.msgAt(rec).Wired = now
 	}
 }
 
 // MsgRetry counts one failed delivery attempt.
 func (c *Collector) MsgRetry(rec int) {
 	if rec >= 0 {
-		c.Msgs[rec].Retries++
+		c.msgAt(rec).Retries++
+	}
+}
+
+// closeMsg finalizes a record: histogram and aggregate updates, the trace
+// span, the streamed "msg" line, and (streaming mode) slot recycling.
+func (c *Collector) closeMsg(rec int, r *MsgRecord) {
+	if r.Delivered {
+		c.agg.delivered++
+		c.agg.bytes += float64(r.Size)
+		c.agg.bytesHops += float64(r.Size) * float64(r.Hops)
+		fct := float64(r.FCT())
+		c.agg.fctSum += fct
+		if fct > c.agg.fctMax {
+			c.agg.fctMax = fct
+		}
+		c.FCTHist.Observe(fct)
+	}
+	c.traceMsg(r)
+	if c.sink != nil {
+		c.emit(makeMsgLine(c.Plane, r))
+	}
+	if !c.retain {
+		c.freeSlots = append(c.freeSlots, rec)
 	}
 }
 
@@ -68,12 +113,12 @@ func (c *Collector) MsgDelivered(rec int, now sim.Time, hops int, loopback bool)
 	if rec < 0 {
 		return
 	}
-	r := &c.Msgs[rec]
+	r := c.msgAt(rec)
 	r.Finished = now
 	r.Hops = hops
 	r.Delivered = true
 	r.Loopback = loopback
-	c.traceMsg(r)
+	c.closeMsg(rec, r)
 }
 
 // MsgRedispatched closes a record for a message handed to a sibling
@@ -82,10 +127,10 @@ func (c *Collector) MsgRedispatched(rec int, now sim.Time) {
 	if rec < 0 {
 		return
 	}
-	r := &c.Msgs[rec]
+	r := c.msgAt(rec)
 	r.Finished = now
 	r.Redispatched = true
-	c.traceMsg(r)
+	c.closeMsg(rec, r)
 }
 
 // MsgGiveUp closes a record for a message dropped after its retry budget.
@@ -93,9 +138,9 @@ func (c *Collector) MsgGiveUp(rec int, now sim.Time) {
 	if rec < 0 {
 		return
 	}
-	r := &c.Msgs[rec]
+	r := c.msgAt(rec)
 	r.Finished = now
-	c.traceMsg(r)
+	c.closeMsg(rec, r)
 }
 
 // Summary holds the FCT distribution statistics the paper-adjacent work
@@ -115,8 +160,16 @@ type Summary struct {
 }
 
 // FCTSummary reduces the message records to completion-time percentiles and
-// the conservation right-hand side.
+// the conservation right-hand side. In retained mode the percentiles are
+// exact (interpolated over the sorted record set, the historical path the
+// figure pipelines pin); in streaming mode the records are gone, so the
+// percentiles come from the mergeable FCT histogram (nearest rank, relative
+// error <= 2^-HistSubBits) while N/Delivered/Bytes/Mean/Max stay exact via
+// the running aggregates.
 func (c *Collector) FCTSummary() Summary {
+	if !c.retain {
+		return c.streamSummary()
+	}
 	s := Summary{N: len(c.Msgs)}
 	var fcts []float64
 	for i := range c.Msgs {
@@ -142,6 +195,24 @@ func (c *Collector) FCTSummary() Summary {
 	s.P95 = sim.Duration(percentile(fcts, 0.95))
 	s.P99 = sim.Duration(percentile(fcts, 0.99))
 	s.Max = sim.Duration(fcts[len(fcts)-1])
+	return s
+}
+
+// streamSummary assembles the Summary from the streaming aggregates and
+// the FCT histogram.
+func (c *Collector) streamSummary() Summary {
+	s := Summary{
+		N: c.agg.started, Delivered: c.agg.delivered,
+		Bytes: c.agg.bytes, BytesHops: c.agg.bytesHops,
+	}
+	if c.agg.delivered == 0 {
+		return s
+	}
+	s.Mean = sim.Duration(c.agg.fctSum / float64(c.agg.delivered))
+	s.P50 = sim.Duration(c.FCTHist.Quantile(0.50))
+	s.P95 = sim.Duration(c.FCTHist.Quantile(0.95))
+	s.P99 = sim.Duration(c.FCTHist.Quantile(0.99))
+	s.Max = sim.Duration(c.agg.fctMax)
 	return s
 }
 

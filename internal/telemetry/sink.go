@@ -1,0 +1,408 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// Sinks are the streaming half of the observability layer: instead of
+// retaining every per-message record until the run ends (PR 2's buffered
+// model, which caps run size at available memory), a Collector with a sink
+// attached writes each record the moment it closes and forgets it. The
+// only per-run state left in memory is O(1): integer histogram buckets,
+// channel counters, and the open-message slot table (bounded by the number
+// of concurrently in-flight messages, not by run length).
+//
+// Sinks buffer boundedly (a fixed-size bufio window) and flush periodically
+// (every FlushEvery records), so `tail -f | jq` sees a long sweep's lines
+// while it runs. Errors are sticky: the first write/flush failure is
+// latched, every later Write returns it, and Close reports it — export
+// code cannot silently drop lines on a full disk.
+//
+// Sinks are not concurrency-safe (the simulation is single-threaded, and
+// parallel sweep cells each own their collector and sink); CountSink is
+// the exception so tests can share one across workers.
+
+// Line is one self-describing export record — anything that serializes to
+// a JSONL object with a "kind" discriminator field.
+type Line interface {
+	// LineKind reports the record's "kind" value ("run", "msg", "chan",
+	// "hist", "trace", "progress", ...).
+	LineKind() string
+}
+
+// Sink consumes export lines as they are produced.
+type Sink interface {
+	// Write appends one record. After a failure every subsequent call
+	// returns the first error.
+	Write(Line) error
+	// Flush pushes buffered records to the underlying writer.
+	Flush() error
+	// Close flushes, releases the underlying writer (closing it when it
+	// is an io.Closer) and returns the first error the sink saw.
+	Close() error
+}
+
+// defaultFlushEvery is the record cadence of automatic flushes.
+const defaultFlushEvery = 256
+
+// sinkBufSize bounds each sink's in-memory buffering.
+const sinkBufSize = 64 << 10
+
+// closeUnderlying closes w when it is an io.Closer (files), else no-ops
+// (bytes.Buffer, io.Discard).
+func closeUnderlying(w io.Writer) error {
+	if c, ok := w.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// JSONLSink streams lines as JSON objects, one per line — the same
+// grep/jq-friendly format the buffered WriteMetricsJSONL produces, minus
+// the requirement to hold the run in memory.
+type JSONLSink struct {
+	under  io.Writer
+	w      *bufio.Writer
+	enc    *json.Encoder
+	every  int
+	unread int // records since the last flush
+	err    error
+	closed bool
+}
+
+// NewJSONLSink wraps w with bounded buffering and the default flush
+// cadence. If w is an io.Closer, Close closes it.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	bw := bufio.NewWriterSize(w, sinkBufSize)
+	return &JSONLSink{under: w, w: bw, enc: json.NewEncoder(bw), every: defaultFlushEvery}
+}
+
+// FlushEvery sets the automatic flush cadence in records (<= 0 restores
+// the default) and returns the sink for chaining.
+func (s *JSONLSink) FlushEvery(n int) *JSONLSink {
+	if n <= 0 {
+		n = defaultFlushEvery
+	}
+	s.every = n
+	return s
+}
+
+// Write encodes one line.
+func (s *JSONLSink) Write(l Line) error {
+	if s.err != nil {
+		return s.err
+	}
+	if err := s.enc.Encode(l); err != nil {
+		s.err = err
+		return err
+	}
+	s.unread++
+	if s.unread >= s.every {
+		return s.Flush()
+	}
+	return nil
+}
+
+// Flush pushes buffered lines through to the underlying writer.
+func (s *JSONLSink) Flush() error {
+	if s.err != nil {
+		return s.err
+	}
+	s.unread = 0
+	if err := s.w.Flush(); err != nil {
+		s.err = err
+	}
+	return s.err
+}
+
+// Close flushes and closes the underlying writer.
+func (s *JSONLSink) Close() error {
+	if s.closed {
+		return s.err
+	}
+	s.closed = true
+	s.Flush()
+	if err := closeUnderlying(s.under); err != nil && s.err == nil {
+		s.err = err
+	}
+	return s.err
+}
+
+// MsgCSVSink streams "msg" lines as CSV rows for spreadsheet/pandas
+// consumption; lines of any other kind pass through uncounted (a Tee can
+// feed it the full stream). The header row is written lazily with the
+// first record.
+type MsgCSVSink struct {
+	under  io.Writer
+	w      *csv.Writer
+	wrote  bool
+	unread int
+	every  int
+	err    error
+	closed bool
+}
+
+// NewMsgCSVSink wraps w. If w is an io.Closer, Close closes it.
+func NewMsgCSVSink(w io.Writer) *MsgCSVSink {
+	return &MsgCSVSink{under: w, w: csv.NewWriter(bufio.NewWriterSize(w, sinkBufSize)), every: defaultFlushEvery}
+}
+
+var msgCSVHeader = []string{
+	"plane", "src", "dst", "size", "issued_s", "wired_s", "finished_s",
+	"fct_s", "hops", "retries", "delivered", "redispatched",
+}
+
+// Write appends one msg line as a CSV row.
+func (s *MsgCSVSink) Write(l Line) error {
+	if s.err != nil {
+		return s.err
+	}
+	m, ok := l.(msgLine)
+	if !ok {
+		return nil
+	}
+	if !s.wrote {
+		s.wrote = true
+		if err := s.w.Write(msgCSVHeader); err != nil {
+			s.err = err
+			return err
+		}
+	}
+	g := func(v float64) string { return strconv.FormatFloat(v, 'g', 10, 64) }
+	row := []string{
+		strconv.Itoa(m.Plane),
+		strconv.Itoa(int(m.Src)), strconv.Itoa(int(m.Dst)),
+		strconv.FormatInt(m.Size, 10),
+		g(m.Issued), g(m.Wired), g(m.Finished), g(m.FCT),
+		strconv.Itoa(m.Hops), strconv.Itoa(m.Retries),
+		strconv.FormatBool(m.Delivered), strconv.FormatBool(m.Redispatched),
+	}
+	if err := s.w.Write(row); err != nil {
+		s.err = err
+		return err
+	}
+	s.unread++
+	if s.unread >= s.every {
+		return s.Flush()
+	}
+	return nil
+}
+
+// Flush pushes buffered rows through to the underlying writer.
+func (s *MsgCSVSink) Flush() error {
+	if s.err != nil {
+		return s.err
+	}
+	s.unread = 0
+	s.w.Flush()
+	if err := s.w.Error(); err != nil {
+		s.err = err
+	}
+	return s.err
+}
+
+// Close flushes and closes the underlying writer.
+func (s *MsgCSVSink) Close() error {
+	if s.closed {
+		return s.err
+	}
+	s.closed = true
+	s.Flush()
+	if err := closeUnderlying(s.under); err != nil && s.err == nil {
+		s.err = err
+	}
+	return s.err
+}
+
+// TraceSink streams Chrome trace_event JSON: the document envelope is
+// opened on the first event and sealed by Close, so a multi-hour run's
+// timeline goes to disk incrementally instead of accumulating in the
+// collector. Only "trace" lines are accepted.
+type TraceSink struct {
+	under  io.Writer
+	w      *bufio.Writer
+	wrote  bool
+	unread int
+	every  int
+	err    error
+	closed bool
+}
+
+// NewTraceSink wraps w. If w is an io.Closer, Close closes it.
+func NewTraceSink(w io.Writer) *TraceSink {
+	return &TraceSink{under: w, w: bufio.NewWriterSize(w, sinkBufSize), every: defaultFlushEvery}
+}
+
+// Write appends one trace event to the document.
+func (s *TraceSink) Write(l Line) error {
+	if s.err != nil {
+		return s.err
+	}
+	ev, ok := l.(traceEvent)
+	if !ok {
+		s.err = fmt.Errorf("telemetry: trace sink got %q line", l.LineKind())
+		return s.err
+	}
+	raw, err := json.Marshal(ev)
+	if err != nil {
+		s.err = err
+		return err
+	}
+	sep := ",\n"
+	if !s.wrote {
+		s.wrote = true
+		sep = "{\"traceEvents\":[\n"
+	}
+	if _, err := s.w.WriteString(sep); err != nil {
+		s.err = err
+		return err
+	}
+	if _, err := s.w.Write(raw); err != nil {
+		s.err = err
+		return err
+	}
+	s.unread++
+	if s.unread >= s.every {
+		return s.Flush()
+	}
+	return nil
+}
+
+// Flush pushes buffered events through to the underlying writer.
+func (s *TraceSink) Flush() error {
+	if s.err != nil {
+		return s.err
+	}
+	s.unread = 0
+	if err := s.w.Flush(); err != nil {
+		s.err = err
+	}
+	return s.err
+}
+
+// Close seals the trace_event document and closes the underlying writer.
+func (s *TraceSink) Close() error {
+	if s.closed {
+		return s.err
+	}
+	s.closed = true
+	if s.err == nil {
+		tail := "\n],\"displayTimeUnit\":\"ms\"}\n"
+		if !s.wrote {
+			tail = "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}\n"
+		}
+		if _, err := s.w.WriteString(tail); err != nil {
+			s.err = err
+		}
+	}
+	s.Flush()
+	if err := closeUnderlying(s.under); err != nil && s.err == nil {
+		s.err = err
+	}
+	return s.err
+}
+
+// CountSink counts lines by kind and discards them — the null sink. It
+// measures a stream (tests, ablations, dry runs) at zero serialization
+// cost and, unlike the other sinks, is safe for concurrent use.
+type CountSink struct {
+	mu      sync.Mutex
+	kinds   map[string]uint64
+	flushes int
+	closes  int
+}
+
+// NewCountSink returns an empty counting sink.
+func NewCountSink() *CountSink { return &CountSink{kinds: make(map[string]uint64)} }
+
+// Write counts the line's kind.
+func (s *CountSink) Write(l Line) error {
+	s.mu.Lock()
+	s.kinds[l.LineKind()]++
+	s.mu.Unlock()
+	return nil
+}
+
+// Flush counts the call.
+func (s *CountSink) Flush() error {
+	s.mu.Lock()
+	s.flushes++
+	s.mu.Unlock()
+	return nil
+}
+
+// Close counts the call.
+func (s *CountSink) Close() error {
+	s.mu.Lock()
+	s.closes++
+	s.mu.Unlock()
+	return nil
+}
+
+// Count reports how many lines of kind were written.
+func (s *CountSink) Count(kind string) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.kinds[kind]
+}
+
+// Total reports the total line count over all kinds.
+func (s *CountSink) Total() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n uint64
+	for _, c := range s.kinds {
+		n += c
+	}
+	return n
+}
+
+// Closes reports how many times Close was called (sink lifecycle tests).
+func (s *CountSink) Closes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closes
+}
+
+// Tee fans every line out to all sinks; the first error from any sink is
+// returned (all sinks still receive every call).
+type teeSink struct{ sinks []Sink }
+
+// Tee combines sinks, e.g. a JSONL stream plus a CSV side-channel.
+func Tee(sinks ...Sink) Sink { return &teeSink{sinks: sinks} }
+
+func (t *teeSink) Write(l Line) error {
+	var first error
+	for _, s := range t.sinks {
+		if err := s.Write(l); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (t *teeSink) Flush() error {
+	var first error
+	for _, s := range t.sinks {
+		if err := s.Flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (t *teeSink) Close() error {
+	var first error
+	for _, s := range t.sinks {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,359 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/hpcsim/t2hx/internal/sim"
+)
+
+// countingWriter counts underlying Write calls — each one is a sink flush
+// reaching the OS layer.
+type countingWriter struct {
+	buf    bytes.Buffer
+	writes int
+	closes int
+}
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.writes++
+	return w.buf.Write(p)
+}
+
+func (w *countingWriter) Close() error {
+	w.closes++
+	return nil
+}
+
+// failingWriter accepts allow bytes, then fails every call.
+type failingWriter struct {
+	allow int
+	seen  int
+}
+
+var errDiskFull = errors.New("disk full")
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	if w.seen+len(p) > w.allow {
+		return 0, errDiskFull
+	}
+	w.seen += len(p)
+	return len(p), nil
+}
+
+func testMsgLine(i int) msgLine {
+	return msgLine{Kind: "msg", Plane: 0, Src: int32(i), Dst: int32(i + 1), Size: 4096, FCT: 1e-5, Delivered: true}
+}
+
+func TestJSONLSinkFlushCadence(t *testing.T) {
+	w := &countingWriter{}
+	s := NewJSONLSink(w).FlushEvery(4)
+	for i := 0; i < 3; i++ {
+		if err := s.Write(testMsgLine(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.writes != 0 {
+		t.Fatalf("3 records (< cadence 4) already reached the writer %d times", w.writes)
+	}
+	if err := s.Write(testMsgLine(3)); err != nil {
+		t.Fatal(err)
+	}
+	if w.writes == 0 {
+		t.Fatal("4th record did not trigger the periodic flush")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.closes != 1 {
+		t.Fatalf("underlying writer closed %d times, want 1", w.closes)
+	}
+	lines := strings.Split(strings.TrimSpace(w.buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d JSONL lines, want 4", len(lines))
+	}
+	for _, l := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(l), &m); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", l, err)
+		}
+		if m["kind"] != "msg" {
+			t.Fatalf("kind %v, want msg", m["kind"])
+		}
+	}
+}
+
+func TestJSONLSinkStickyError(t *testing.T) {
+	s := NewJSONLSink(&failingWriter{allow: 0}).FlushEvery(1)
+	if err := s.Write(testMsgLine(0)); !errors.Is(err, errDiskFull) {
+		t.Fatalf("first write error = %v, want disk full", err)
+	}
+	// Every later call reports the same latched failure.
+	if err := s.Write(testMsgLine(1)); !errors.Is(err, errDiskFull) {
+		t.Fatalf("later write error = %v, want latched disk full", err)
+	}
+	if err := s.Flush(); !errors.Is(err, errDiskFull) {
+		t.Fatalf("flush error = %v, want latched disk full", err)
+	}
+	if err := s.Close(); !errors.Is(err, errDiskFull) {
+		t.Fatalf("close error = %v, want latched disk full", err)
+	}
+}
+
+func TestMsgCSVSink(t *testing.T) {
+	w := &countingWriter{}
+	s := NewMsgCSVSink(w)
+	for i := 0; i < 3; i++ {
+		if err := s.Write(testMsgLine(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Non-msg kinds pass through silently, so a Tee can feed the full
+	// stream.
+	if err := s.Write(runLine{Kind: "run"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&w.buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 { // header + 3 msgs
+		t.Fatalf("%d CSV rows, want 4", len(rows))
+	}
+	if got := strings.Join(rows[0], ","); got != strings.Join(msgCSVHeader, ",") {
+		t.Fatalf("header %q", got)
+	}
+	if rows[1][1] != "0" || rows[1][2] != "1" {
+		t.Fatalf("first row src/dst = %s/%s", rows[1][1], rows[1][2])
+	}
+}
+
+func TestTraceSinkProducesValidDoc(t *testing.T) {
+	w := &countingWriter{}
+	s := NewTraceSink(w)
+	for i := 0; i < 3; i++ {
+		if err := s.Write(traceEvent{Name: fmt.Sprintf("ev%d", i), Ph: "X", Pid: 1, Tid: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents     []map[string]any `json:"traceEvents"`
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(w.buf.Bytes(), &doc); err != nil {
+		t.Fatalf("streamed trace is not a valid trace_event doc: %v", err)
+	}
+	if len(doc.TraceEvents) != 3 || doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("doc has %d events, unit %q", len(doc.TraceEvents), doc.DisplayTimeUnit)
+	}
+}
+
+func TestTraceSinkEmptyDocAndWrongKind(t *testing.T) {
+	var empty bytes.Buffer
+	s := NewTraceSink(&empty)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(empty.Bytes(), &doc); err != nil {
+		t.Fatalf("empty trace doc invalid: %v", err)
+	}
+
+	s2 := NewTraceSink(&bytes.Buffer{})
+	if err := s2.Write(runLine{Kind: "run"}); err == nil {
+		t.Fatal("trace sink accepted a run line")
+	}
+}
+
+func TestCountSinkAndTee(t *testing.T) {
+	count := NewCountSink()
+	var jsonl bytes.Buffer
+	tee := Tee(count, NewJSONLSink(&jsonl))
+	for i := 0; i < 5; i++ {
+		if err := tee.Write(testMsgLine(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tee.Write(runLine{Kind: "run"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tee.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if count.Count("msg") != 5 || count.Count("run") != 1 || count.Total() != 6 {
+		t.Fatalf("counts msg=%d run=%d total=%d", count.Count("msg"), count.Count("run"), count.Total())
+	}
+	if count.Closes() != 1 {
+		t.Fatalf("%d closes", count.Closes())
+	}
+	if n := strings.Count(jsonl.String(), "\n"); n != 6 {
+		t.Fatalf("tee's JSONL side saw %d lines, want 6", n)
+	}
+}
+
+// drive pushes synthetic message lifecycles through a collector with at
+// most `window` concurrently open records.
+func drive(c *Collector, msgs, window int) {
+	type openMsg struct{ rec int }
+	var open []openMsg
+	for i := 0; i < msgs; i++ {
+		rec := c.StartMsg(1, 2, 4096, 0)
+		c.MsgWired(rec, 0)
+		open = append(open, openMsg{rec})
+		if len(open) >= window {
+			c.MsgDelivered(open[0].rec, 1e-5, 2, false)
+			open = open[1:]
+		}
+	}
+	for _, o := range open {
+		c.MsgDelivered(o.rec, 1e-5, 2, false)
+	}
+}
+
+// TestCollectorStreamingIsO1 is the tentpole's memory guarantee: with a
+// sink attached and retention off, an arbitrarily long run keeps only the
+// open-slot table in memory.
+func TestCollectorStreamingIsO1(t *testing.T) {
+	count := NewCountSink()
+	c := New(nil, Options{Messages: true})
+	c.SetSink(count)
+	const msgs, window = 10000, 4
+	drive(c, msgs, window)
+	if len(c.Msgs) != 0 {
+		t.Fatalf("streaming collector retained %d records", len(c.Msgs))
+	}
+	if len(c.open) > window {
+		t.Fatalf("open-slot table grew to %d, want <= in-flight window %d", len(c.open), window)
+	}
+	if got := count.Count("msg"); got != msgs {
+		t.Fatalf("sink saw %d msg lines, want %d", got, msgs)
+	}
+	s := c.FCTSummary()
+	if s.N != msgs || s.Delivered != msgs {
+		t.Fatalf("stream summary %d/%d, want %d/%d", s.Delivered, s.N, msgs, msgs)
+	}
+	if err := c.FinishStream(); err != nil {
+		t.Fatal(err)
+	}
+	if count.Count("run") != 1 || count.Count("hist") == 0 {
+		t.Fatalf("footer lines: run=%d hist=%d", count.Count("run"), count.Count("hist"))
+	}
+	if count.Closes() != 1 {
+		t.Fatalf("%d closes", count.Closes())
+	}
+}
+
+// TestStreamingMatchesBufferedSummary drives identical lifecycles through
+// a retained and a streaming collector: the exact aggregates must agree
+// exactly, the percentiles within the histogram's error bound.
+func TestStreamingMatchesBufferedSummary(t *testing.T) {
+	buffered := New(nil, Options{Messages: true})
+	streaming := New(nil, Options{Messages: true})
+	streaming.SetSink(NewCountSink())
+
+	for _, c := range []*Collector{buffered, streaming} {
+		for i := 0; i < 500; i++ {
+			rec := c.StartMsg(1, 2, 1024, 0)
+			fct := sim.Time(1e-6 * float64(1+i%100))
+			c.MsgDelivered(rec, fct, 3, false)
+		}
+	}
+	b, s := buffered.FCTSummary(), streaming.FCTSummary()
+	if b.N != s.N || b.Delivered != s.Delivered || b.Bytes != s.Bytes || b.BytesHops != s.BytesHops {
+		t.Fatalf("exact aggregates diverge: buffered %+v streaming %+v", b, s)
+	}
+	// The streaming mean/max come from integer nanosecond ticks, so they
+	// agree with the float path only up to half-tick quantization.
+	if math.Abs(float64(b.Mean-s.Mean)) > 1e-9 || math.Abs(float64(b.Max-s.Max)) > 1e-9 {
+		t.Fatalf("mean/max diverge: %v/%v vs %v/%v", b.Mean, b.Max, s.Mean, s.Max)
+	}
+	relOK := func(a, b float64) bool {
+		if b == 0 {
+			return a == 0
+		}
+		d := a - b
+		if d < 0 {
+			d = -d
+		}
+		return d/b <= 0.02 + 1e-9 // 2^-6 bucket + interpolation-vs-rank slack
+	}
+	if !relOK(float64(s.P50), float64(b.P50)) || !relOK(float64(s.P99), float64(b.P99)) {
+		t.Fatalf("percentiles outside bound: buffered p50=%v p99=%v, streaming p50=%v p99=%v",
+			b.P50, b.P99, s.P50, s.P99)
+	}
+}
+
+// TestRetainWithSink keeps the buffered API alongside a stream when
+// Options.Retain is set.
+func TestRetainWithSink(t *testing.T) {
+	count := NewCountSink()
+	c := New(nil, Options{Messages: true, Retain: true})
+	c.SetSink(count)
+	drive(c, 100, 4)
+	if len(c.Msgs) != 100 {
+		t.Fatalf("retaining collector kept %d records, want 100", len(c.Msgs))
+	}
+	if count.Count("msg") != 100 {
+		t.Fatalf("sink saw %d msg lines, want 100", count.Count("msg"))
+	}
+}
+
+// TestCollectorSinkErrorLatches: a failing sink mid-run surfaces from
+// FinishStream instead of being dropped.
+func TestCollectorSinkErrorLatches(t *testing.T) {
+	c := New(nil, Options{Messages: true})
+	c.SetSink(NewJSONLSink(&failingWriter{allow: 0}).FlushEvery(1))
+	drive(c, 10, 2)
+	if c.SinkErr() == nil {
+		t.Fatal("write failures did not latch")
+	}
+	if err := c.FinishStream(); !errors.Is(err, errDiskFull) {
+		t.Fatalf("FinishStream = %v, want disk full", err)
+	}
+}
+
+// TestStreamFooterOrdering: streamed docs carry msg lines first and end
+// with hist/chan/run footers, all self-describing.
+func TestStreamFooterOrdering(t *testing.T) {
+	var buf bytes.Buffer
+	c := New(nil, Options{Messages: true})
+	c.SetSink(NewJSONLSink(&buf))
+	drive(c, 50, 4)
+	if err := c.FinishStream(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	var kinds []string
+	for _, l := range lines {
+		var m struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal([]byte(l), &m); err != nil {
+			t.Fatalf("bad line %q: %v", l, err)
+		}
+		kinds = append(kinds, m.Kind)
+	}
+	if kinds[len(kinds)-1] != "run" {
+		t.Fatalf("last streamed line is %q, want run", kinds[len(kinds)-1])
+	}
+	for i, k := range kinds[:50] {
+		if k != "msg" {
+			t.Fatalf("line %d is %q, want msg", i, k)
+		}
+	}
+	if !strings.Contains(strings.Join(kinds, ","), "hist") {
+		t.Fatal("no hist line in streamed footer")
+	}
+}

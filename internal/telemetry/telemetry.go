@@ -33,6 +33,11 @@ type Options struct {
 	// Trace enables the Chrome trace_event timeline (message lifecycle
 	// spans, fault instants, subnet-manager sweeps).
 	Trace bool
+	// Retain keeps closed message records (and trace events) in memory
+	// even when a sink is attached — the buffered pre-sink API that tests
+	// and the figure pipelines scan after the run. Without a sink,
+	// retention is implied and this flag is ignored.
+	Retain bool
 }
 
 // All enables every recording surface.
@@ -55,8 +60,19 @@ type Collector struct {
 	// false.
 	Chans *ChannelCounters
 	// Msgs holds one record per submitted message when Opts.Messages is
-	// set.
+	// set and the collector retains (no sink, or Opts.Retain). With a
+	// sink attached and retention off, closed records leave memory as
+	// "msg" lines and Msgs stays empty.
 	Msgs []MsgRecord
+
+	// FCTHist is the mergeable completion-time distribution of delivered
+	// messages (unit seconds); nil unless Opts.Messages. It is maintained
+	// in both retained and streaming modes, so percentile lines survive
+	// runs whose per-message records do not.
+	FCTHist *Hist
+	// QueueHist is the engine pending-event-queue depth distribution,
+	// sampled per executed event once an engine is attached.
+	QueueHist *Hist
 
 	trace []traceEvent
 
@@ -65,25 +81,81 @@ type Collector struct {
 	MaxQueueDepth int
 
 	eng *sim.Engine
+
+	// Streaming state: sink receives closed records as lines; traceSink
+	// receives trace events. sinkErr latches the first write failure
+	// (surfaced by FinishStream / SinkErr). retain mirrors "no sink or
+	// Opts.Retain". open/freeSlots form the O(concurrent-messages) slot
+	// table replacing Msgs in streaming mode.
+	sink      Sink
+	traceSink Sink
+	sinkErr   error
+	traceErr  error
+	retain    bool
+	open      []MsgRecord
+	freeSlots []int
+	agg       streamAgg
+}
+
+// streamAgg accumulates the run-summary aggregates that the retained path
+// would recompute by scanning Msgs; in streaming mode it is the only
+// per-run message state besides the histograms.
+type streamAgg struct {
+	started   int
+	delivered int
+	bytes     float64
+	bytesHops float64
+	fctSum    float64
+	fctMax    float64
 }
 
 // New builds a collector over g's channels with the given options.
 func New(g *topo.Graph, opts Options) *Collector {
-	c := &Collector{Opts: opts}
+	c := &Collector{Opts: opts, retain: true}
 	if opts.Counters {
 		c.Chans = NewChannelCounters(g)
 	}
+	if opts.Messages {
+		c.FCTHist = NewHist("fct", "s", 1e9)
+	}
+	c.QueueHist = NewHist("queue_depth", "events", 1)
 	return c
+}
+
+// SetSink attaches a streaming sink: every message record is written as a
+// "msg" line the moment it closes, and FinishStream appends the trailing
+// "hist"/"chan"/"run" summary lines. Unless Opts.Retain is set, records
+// are no longer kept in Msgs — memory stays O(concurrently in-flight
+// messages) for arbitrarily long runs. Attach before traffic starts;
+// write errors latch into SinkErr and surface from FinishStream.
+func (c *Collector) SetSink(s Sink) {
+	c.sink = s
+	c.retain = s == nil || c.Opts.Retain
+}
+
+// SinkErr reports the first error the attached sink returned, or nil.
+func (c *Collector) SinkErr() error { return c.sinkErr }
+
+// emit writes one line to the sink, latching the first failure.
+func (c *Collector) emit(l Line) {
+	if c.sink == nil || c.sinkErr != nil {
+		return
+	}
+	if err := c.sink.Write(l); err != nil {
+		c.sinkErr = err
+	}
 }
 
 // AttachEngine hooks the collector into the event loop to sample queue
 // depth. The fabric's AttachTelemetry calls this; standalone users may too.
 func (c *Collector) AttachEngine(eng *sim.Engine) {
 	c.eng = eng
+	qh := c.QueueHist
 	eng.OnStep = func(_ sim.Time, pending int) {
 		if pending > c.MaxQueueDepth {
 			c.MaxQueueDepth = pending
 		}
+		qh.ObserveTick(uint64(pending))
 	}
 }
 

@@ -41,14 +41,60 @@ type traceEvent struct {
 	Args map[string]any `json:"args,omitempty"`
 }
 
+func (traceEvent) LineKind() string { return "trace" }
+
 func usec(t sim.Time) float64 { return 1e6 * float64(t) }
+
+// SetTraceSink streams trace events out as they are recorded instead of
+// buffering the timeline: the pid-lane metadata goes out immediately, every
+// later Span/Instant follows, and FinishTraceStream seals the document.
+// Unless Opts.Retain is set, events are no longer kept in memory (TraceLen
+// stays 0). Pair it with a TraceSink for a valid Chrome trace_event file.
+func (c *Collector) SetTraceSink(s Sink) {
+	c.traceSink = s
+	if s != nil {
+		for _, ev := range c.metaEvents() {
+			c.emitTrace(ev)
+		}
+	}
+}
+
+// emitTrace routes one event to the trace sink and/or the in-memory buffer.
+func (c *Collector) emitTrace(ev traceEvent) {
+	if c.traceSink != nil {
+		if c.traceErr == nil {
+			if err := c.traceSink.Write(ev); err != nil {
+				c.traceErr = err
+			}
+		}
+		if !c.Opts.Retain {
+			return
+		}
+	}
+	c.trace = append(c.trace, ev)
+}
+
+// FinishTraceStream seals the streaming trace document and closes the
+// sink, returning the first error the trace export saw. A collector
+// without a trace sink returns nil.
+func (c *Collector) FinishTraceStream() error {
+	if c.traceSink == nil {
+		return nil
+	}
+	err := c.traceErr
+	if cerr := c.traceSink.Close(); err == nil {
+		err = cerr
+	}
+	c.traceSink = nil
+	return err
+}
 
 // Span records a completed interval [start, end] on the given lane.
 func (c *Collector) Span(pid, tid int, cat, name string, start, end sim.Time, args map[string]any) {
 	if c == nil || !c.Opts.Trace {
 		return
 	}
-	c.trace = append(c.trace, traceEvent{
+	c.emitTrace(traceEvent{
 		Name: name, Cat: cat, Ph: "X",
 		Ts: usec(start), Dur: usec(end - start),
 		Pid: pid + TracePlaneStride*c.Plane, Tid: tid, Args: args,
@@ -60,7 +106,7 @@ func (c *Collector) Instant(pid, tid int, cat, name string, at sim.Time, args ma
 	if c == nil || !c.Opts.Trace {
 		return
 	}
-	c.trace = append(c.trace, traceEvent{
+	c.emitTrace(traceEvent{
 		Name: name, Cat: cat, Ph: "i", S: "t",
 		Ts: usec(at), Pid: pid + TracePlaneStride*c.Plane, Tid: tid, Args: args,
 	})
