@@ -2,17 +2,18 @@
 
 DATE := $(shell date +%F)
 
-.PHONY: all build test race vet check bench bench-check bench-solver bench-sweep bench-sweep-check bench-degraded bench-degraded-check bench-telemetry bench-telemetry-check
+.PHONY: all build test race vet check bench bench-check bench-solver bench-sweep bench-sweep-check bench-degraded bench-degraded-check bench-telemetry bench-telemetry-check bench-scale bench-scale-check
 
 # BASELINE is the committed bench document bench-check compares against;
 # override with `make bench-check BASELINE=BENCH_....json`. The sweep-
 # engine and degraded-sweep baselines live in their own BENCH_sweep_* /
 # BENCH_degraded_* documents (more iterations, different cadence) and must
 # not be picked up here.
-BASELINE := $(lastword $(sort $(filter-out BENCH_sweep_% BENCH_degraded_% BENCH_telemetry_%,$(wildcard BENCH_*.json))))
+BASELINE := $(lastword $(sort $(filter-out BENCH_sweep_% BENCH_degraded_% BENCH_telemetry_% BENCH_scale_%,$(wildcard BENCH_*.json))))
 SWEEPBASELINE := $(lastword $(sort $(wildcard BENCH_sweep_*.json)))
 DEGBASELINE := $(lastword $(sort $(wildcard BENCH_degraded_*.json)))
 TELBASELINE := $(lastword $(sort $(wildcard BENCH_telemetry_*.json)))
+SCALEBASELINE := $(lastword $(sort $(wildcard BENCH_scale_*.json)))
 
 # The sweep-engine benchmarks (parallel runner + table cache).
 SWEEPBENCH := BenchmarkSweepParallel|BenchmarkTablesBuild
@@ -23,6 +24,10 @@ DEGBENCH := BenchmarkDegradedTables
 
 # The telemetry export benchmark (streaming sinks vs retained records).
 TELBENCH := BenchmarkExportStreaming
+
+# The flow-core scale benchmarks: lifecycle-churn allocation cost over the
+# arena/SoA flow table, and the windowed endurance loop end to end.
+SCALEBENCH := BenchmarkFlowChurn|BenchmarkScaleRun
 
 all: check
 
@@ -110,3 +115,19 @@ bench-telemetry:
 bench-telemetry-check:
 	go test -run xxx -bench '$(TELBENCH)' -benchtime 20x -benchmem . \
 		| go run ./cmd/benchjson -filter 'ExportStreaming' -baseline $(TELBASELINE) > /dev/null
+
+# bench-scale records the flow-core scale baseline: allocs/op + B/op of
+# flow lifecycle churn at 1k/10k/100k resident flows, and msgs/s of the
+# windowed endurance loop, with heap/GC/peak-RSS metrics folded in via
+# internal/prof. Committed as BENCH_scale_<date>.json.
+bench-scale:
+	go test -run xxx -bench '$(SCALEBENCH)' -benchtime 50x -benchmem . \
+		| go run ./cmd/benchjson -filter 'FlowChurn|ScaleRun' -out BENCH_scale_$(DATE).json
+	@echo "scale baseline written to BENCH_scale_$(DATE).json"
+
+# bench-scale-check reruns the flow-core scale benchmarks and compares
+# flows/s, msgs/s, B/op and peak-rss-B against the newest committed scale
+# baseline (warn-only, like bench-check).
+bench-scale-check:
+	go test -run xxx -bench '$(SCALEBENCH)' -benchtime 50x -benchmem . \
+		| go run ./cmd/benchjson -filter 'FlowChurn|ScaleRun' -baseline $(SCALEBASELINE) > /dev/null

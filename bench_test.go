@@ -708,6 +708,78 @@ func BenchmarkSolverChurn(b *testing.B) {
 	}
 }
 
+// BenchmarkFlowChurn measures the allocation cost of flow lifecycle churn:
+// with N long-lived concurrent flows resident, each op cancels one flow and
+// starts a replacement on the same path. Unlike BenchmarkSolverChurn (which
+// reports solver throughput), this bench runs with -benchmem semantics
+// (ReportAllocs) so B/op and allocs/op expose the per-flow storage layout:
+// the arena/SoA flow table must hold steady-state churn near zero
+// allocations per op, where the pointer-per-flow layout paid a *Flow box
+// plus Path/pos slice headers for every Start. Peak RSS and heap/GC
+// metrics ride along in the bench JSON via prof.ReportRuntimeMetrics.
+func BenchmarkFlowChurn(b *testing.B) {
+	for _, pattern := range []string{"local", "uniform"} {
+		pattern := pattern
+		b.Run(pattern, func(b *testing.B) {
+			for _, nflows := range []int{1000, 10000, 100000} {
+				nflows := nflows
+				b.Run(fmt.Sprintf("flows=%d", nflows), func(b *testing.B) {
+					hx := benchHX()
+					paths := solverChurnPaths(b, hx, pattern, nflows)
+					eng := sim.NewEngine()
+					net := flow.NewNetwork(eng, hx.Graph)
+					net.SetSolver(flow.SolverIncremental)
+					ids := make([]flow.FlowID, nflows)
+					for i, p := range paths {
+						ids[i] = net.Start(p, 1e15, func(sim.Time) {})
+					}
+					eng.RunUntil(0)
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						k := i % nflows
+						net.Cancel(ids[k])
+						ids[k] = net.Start(paths[k], 1e15, func(sim.Time) {})
+						eng.RunUntil(0)
+					}
+					b.StopTimer()
+					b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "flows/s")
+					prof.ReportRuntimeMetrics(b)
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkScaleRun measures the end-to-end cost of the windowed
+// large-terminal endurance loop (exp.RunScale) at a CI-sized lattice: one
+// op is a complete build + route + deliver cycle. msgs/s is the headline
+// throughput; B/op (via -benchmem) and peak-rss-B track whether per-flow
+// or per-terminal state regresses toward the pre-arena layout, which is
+// what decides if the full 12x8 T=342 configuration still fits a build
+// machine. The full configuration itself runs via `t2hx -scale` or
+// T2HX_SCALE=1 (see EXPERIMENTS.md).
+func BenchmarkScaleRun(b *testing.B) {
+	const msgs = 20000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunScale(exp.ScaleSpec{
+			S: []int{6, 4}, T: 32, // 768 terminals
+			Window: 128, Messages: msgs, MsgBytes: 16 * 1024,
+			Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Delivered != msgs {
+			b.Fatalf("delivered %d of %d", res.Delivered, msgs)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)*msgs/b.Elapsed().Seconds(), "msgs/s")
+	prof.ReportRuntimeMetrics(b)
+}
+
 // --- telemetry export benches (DESIGN.md Sec. 10) ---
 
 // BenchmarkExportStreaming measures the telemetry pipeline's per-message

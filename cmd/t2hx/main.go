@@ -115,6 +115,10 @@ func main() {
 	faultsMode := flag.Bool("faults", false, "resilience scenario: inject runtime link failures mid-run and re-sweep (uses imb:<op> benches; default alltoall)")
 	failures := flag.Int("failures", 0, "runtime link failures to inject (0 = paper count: 15 HyperX / 197 Fat-Tree)")
 	degradedMode := flag.Bool("degraded", false, "degraded-topology survival sweep: seeded failure-chain variants per (engine x failure count) on the HyperX plane (uses imb:<op> benches; default alltoall)")
+	scaleMode := flag.Bool("scale", false, "large-terminal endurance run: windowed closed-loop traffic on a big HyperX (default 12x8 at T=342, 32832 terminals, 1M delivered messages)")
+	scaleT := flag.Int("scale-t", 0, "with -scale: terminals per switch (0 = 342)")
+	scaleMsgs := flag.Uint64("scale-msgs", 0, "with -scale: delivered-message budget (0 = 1e6)")
+	scaleWindow := flag.Int("scale-window", 0, "with -scale: in-flight message window (0 = 256)")
 	enginesF := flag.String("engines", "hxmin,hxnm", "with -degraded: comma-separated HyperX routing engines to compare")
 	countsF := flag.String("counts", "", "with -degraded: comma-separated failure counts (default 0,15,30,60,90; small planes 0,3,6,9,12)")
 	variants := flag.Int("variants", 25, "with -degraded: seeded degradation variants per cell")
@@ -168,6 +172,21 @@ func main() {
 			fmt.Printf("%s ", a.Abbrev)
 		}
 		fmt.Println("\n  baidu ebb mpigraph")
+		return
+	}
+	if *scaleMode {
+		// -size defaults to 1 MiB for the benches; the scale run's own
+		// default is 64 KiB, so only an explicit -size overrides it.
+		var msgBytes int64
+		flag.Visit(func(fl *flag.Flag) {
+			if fl.Name == "size" {
+				msgBytes = *size
+			}
+		})
+		runScale(scaleCLI{
+			t: *scaleT, msgs: *scaleMsgs, window: *scaleWindow,
+			size: msgBytes, routing: *routing, seed: *seed,
+		})
 		return
 	}
 	if *bench == "" && !*faultsMode && !*degradedMode {
@@ -918,6 +937,44 @@ func runTrials(m *exp.Machine, n, trials int, seed uint64, unit string, tel telC
 	}
 	tel.report(col, "")
 	tel.reportMulti(tm, "")
+}
+
+type scaleCLI struct {
+	t       int
+	msgs    uint64
+	window  int
+	size    int64
+	routing string
+	seed    uint64
+}
+
+// runScale is the -scale mode: the 32k-terminal endurance configuration
+// (or a custom-sized variant) with live progress on stderr and a summary
+// line of wall/sim cost and peak RSS.
+func runScale(cli scaleCLI) {
+	start := time.Now()
+	spec := exp.ScaleSpec{
+		T: cli.t, Messages: cli.msgs, Window: cli.window,
+		MsgBytes: cli.size, Routing: cli.routing, Seed: cli.seed,
+		Progress: func(delivered uint64, now sim.Time) {
+			fmt.Fprintf(os.Stderr, "\rscale: %d delivered  sim %.3fs  wall %s ",
+				delivered, float64(now), time.Since(start).Round(time.Second))
+		},
+	}
+	res, err := exp.RunScale(spec)
+	fmt.Fprintln(os.Stderr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("scale run: %d terminals over %d switches\n", res.Terminals, res.Switches)
+	fmt.Printf("delivered %d messages (%.2f GiB) in %.3f simulated s\n",
+		res.Delivered, res.DeliveredBytes/(1<<30), float64(res.SimElapsed))
+	fmt.Printf("build %s | run %s (%.0f msgs/s) | %d flow recomputes\n",
+		res.BuildWall.Round(time.Millisecond), res.RunWall.Round(time.Millisecond),
+		float64(res.Delivered)/res.RunWall.Seconds(), res.Recomputes)
+	if res.PeakRSSBytes > 0 {
+		fmt.Printf("peak RSS %.1f MiB\n", float64(res.PeakRSSBytes)/(1<<20))
+	}
 }
 
 func fatal(err error) {

@@ -1,0 +1,70 @@
+package exp
+
+import (
+	"os"
+	"testing"
+
+	"github.com/hpcsim/t2hx/internal/sim"
+)
+
+// A scaled-down endurance run that exercises the whole RunScale loop —
+// windowed closed-loop traffic, stride generator, drain check — in well
+// under a second.
+func TestRunScaleSmall(t *testing.T) {
+	var ticks int
+	res, err := RunScale(ScaleSpec{
+		S: []int{4, 4}, T: 8,
+		Window: 32, Messages: 5000, MsgBytes: 4096,
+		Strides: 4, Seed: 1,
+		Progress:      func(uint64, sim.Time) { ticks++ },
+		ProgressEvery: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Terminals != 128 || res.Switches != 16 {
+		t.Errorf("built %d terminals / %d switches, want 128 / 16", res.Terminals, res.Switches)
+	}
+	if res.Delivered != 5000 {
+		t.Errorf("Delivered = %d, want 5000", res.Delivered)
+	}
+	if res.DeliveredBytes != 5000*4096 {
+		t.Errorf("DeliveredBytes = %g, want %d", res.DeliveredBytes, 5000*4096)
+	}
+	if res.SimElapsed <= 0 {
+		t.Errorf("SimElapsed = %v, want > 0", res.SimElapsed)
+	}
+	if res.Recomputes == 0 {
+		t.Error("no flow recomputes recorded")
+	}
+	if ticks < 5 {
+		t.Errorf("progress fired %d times, want >= 5", ticks)
+	}
+}
+
+func TestRunScaleRejectsUnknownRouting(t *testing.T) {
+	if _, err := RunScale(ScaleSpec{S: []int{2, 2}, T: 2, Routing: "parx", Messages: 1}); err == nil {
+		t.Fatal("unknown routing accepted")
+	}
+}
+
+// The acceptance-criteria configuration: a 12x8 HyperX at T=342 (32832
+// terminals) delivering a million messages. Minutes of CPU, so gated.
+func TestRunScale32kTerminals(t *testing.T) {
+	if os.Getenv("T2HX_SCALE") == "" {
+		t.Skip("set T2HX_SCALE=1 to run the 32k-terminal endurance configuration")
+	}
+	res, err := RunScale(ScaleSpec{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Terminals < 32768 {
+		t.Errorf("Terminals = %d, want >= 32768", res.Terminals)
+	}
+	if res.Delivered < 1_000_000 {
+		t.Errorf("Delivered = %d, want >= 1e6", res.Delivered)
+	}
+	t.Logf("terminals=%d delivered=%d sim=%.3fs build=%v run=%v recomputes=%d peakRSS=%.1f MiB",
+		res.Terminals, res.Delivered, float64(res.SimElapsed), res.BuildWall, res.RunWall,
+		res.Recomputes, float64(res.PeakRSSBytes)/(1<<20))
+}

@@ -96,9 +96,17 @@ type Fabric struct {
 	// res enables mid-run fault tolerance; nil keeps the legacy fail-fast
 	// behaviour (panic on unroutable sends). See EnableResilience.
 	res *Resilience
-	// inflight maps active flow IDs to their pending sends so channel
-	// failures can tear down exactly the affected messages.
-	inflight map[flow.FlowID]*pendingSend
+	// inflight tracks active sends by flow-table slot so channel failures
+	// can tear down exactly the affected messages: inflight[flow.Index(id)]
+	// is the pendingSend whose flow occupies that slot. Each pendingSend
+	// records its full handle, so a slot recycled by the flow network is
+	// never mistaken for a send this fabric still owns.
+	inflight  []*pendingSend
+	inflightN int
+	// fpScratch is the reusable buffer attempt() assembles node-channel-
+	// wrapped flow paths in; flow.Start copies paths into its arena, so
+	// the buffer is free again as soon as Start returns.
+	fpScratch []topo.ChannelID
 
 	// Messages counts submitted messages; Bytes the submitted payload.
 	Messages uint64

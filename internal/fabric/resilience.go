@@ -2,7 +2,6 @@ package fabric
 
 import (
 	"fmt"
-	"sort"
 
 	"github.com/hpcsim/t2hx/internal/flow"
 	"github.com/hpcsim/t2hx/internal/route"
@@ -58,8 +57,36 @@ type pendingSend struct {
 	// path is the routed (switch-fabric) path of the active attempt; nil
 	// between attempts.
 	path []topo.ChannelID
+	// flowID is the handle of the active attempt's flow while the send is
+	// registered in Fabric.inflight; it authenticates the inflight slot
+	// against flow-table recycling.
+	flowID flow.FlowID
 	// rec is the telemetry record index, -1 when telemetry is off.
 	rec int
+}
+
+// setInflight registers m under its flow's table slot.
+func (f *Fabric) setInflight(id flow.FlowID, m *pendingSend) {
+	idx := int(flow.Index(id))
+	for idx >= len(f.inflight) {
+		f.inflight = append(f.inflight, nil)
+	}
+	m.flowID = id
+	f.inflight[idx] = m
+	f.inflightN++
+}
+
+// clearInflight drops the registration for id, verifying the slot still
+// belongs to it (the flow network recycles slots; a stale clear must not
+// evict a newer send).
+func (f *Fabric) clearInflight(id flow.FlowID) {
+	idx := int(flow.Index(id))
+	if idx < len(f.inflight) {
+		if m := f.inflight[idx]; m != nil && m.flowID == id {
+			f.inflight[idx] = nil
+			f.inflightN--
+		}
+	}
 }
 
 // EnableResilience switches the fabric from fail-fast sends (panic on an
@@ -75,9 +102,6 @@ func (f *Fabric) EnableResilience(r Resilience) {
 		r.MaxRetries = 0
 	}
 	f.res = &r
-	if f.inflight == nil {
-		f.inflight = make(map[flow.FlowID]*pendingSend)
-	}
 }
 
 // ResilienceEnabled reports whether the bounded-retry layer is active.
@@ -101,15 +125,10 @@ func (f *Fabric) attempt(m *pendingSend) {
 	}
 	pre := f.overhead() + f.PathLatency(p)
 	recvO := f.Params.RecvOverhead
-	fp := p
+	srcChan, dstChan := topo.ChannelID(-1), topo.ChannelID(-1)
 	if f.nodeChan0 >= 0 {
-		// Thread the flow through both endpoints' aggregate-bandwidth
-		// channels so concurrent sends+receives of one node share its
-		// PCIe/HCA budget.
-		fp = make([]topo.ChannelID, 0, len(p)+2)
-		fp = append(fp, f.nodeChan0+topo.ChannelID(f.Tables.TermIndex(m.src)))
-		fp = append(fp, p...)
-		fp = append(fp, f.nodeChan0+topo.ChannelID(f.Tables.TermIndex(m.dst)))
+		srcChan = f.nodeChan0 + topo.ChannelID(f.Tables.TermIndex(m.src))
+		dstChan = f.nodeChan0 + topo.ChannelID(f.Tables.TermIndex(m.dst))
 	}
 	adaptivePath := f.pml == adaptive
 	if adaptivePath {
@@ -128,14 +147,24 @@ func (f *Fabric) attempt(m *pendingSend) {
 				f.G.Nodes[m.src].Label, f.G.Nodes[m.dst].Label))
 			return
 		}
+		fp := p
+		if srcChan >= 0 {
+			// Thread the flow through both endpoints' aggregate-bandwidth
+			// channels so concurrent sends+receives of one node share its
+			// PCIe/HCA budget. The scratch buffer is safe to reuse across
+			// attempts: flow.Start copies the path into its arena before
+			// returning.
+			fp = append(f.fpScratch[:0], srcChan)
+			fp = append(fp, p...)
+			fp = append(fp, dstChan)
+			f.fpScratch = fp[:0]
+		}
 		var id flow.FlowID
 		id = f.Net.Start(fp, float64(m.size), func(sim.Time) {
 			if adaptivePath {
 				f.noteFlow(p, -1)
 			}
-			if f.inflight != nil {
-				delete(f.inflight, id)
-			}
+			f.clearInflight(id)
 			f.Delivered++
 			f.DeliveredBytes += float64(m.size)
 			f.Eng.After(recvO, func(e *sim.Engine) {
@@ -146,7 +175,7 @@ func (f *Fabric) attempt(m *pendingSend) {
 		// Zero-size flows get a real, cancellable ID too, so a link dying
 		// under a header-only message tears it down like any other.
 		if f.res != nil {
-			f.inflight[id] = m
+			f.setInflight(id, m)
 		}
 	})
 }
@@ -204,21 +233,24 @@ func (f *Fabric) FailChannels(dead func(topo.ChannelID) bool) int {
 	if f.res == nil {
 		return 0
 	}
-	var victims []flow.FlowID
-	for id, m := range f.inflight {
+	// Scanning the dense slot array in ascending index order is
+	// deterministic: the flow table assigns slots deterministically, so the
+	// retry events scheduled below enqueue in a reproducible order.
+	var victims []*pendingSend
+	for _, m := range f.inflight {
+		if m == nil {
+			continue
+		}
 		for _, c := range m.path {
 			if dead(c) {
-				victims = append(victims, id)
+				victims = append(victims, m)
 				break
 			}
 		}
 	}
-	// Deterministic teardown order: map iteration is randomized, and the
-	// retry events scheduled below must enqueue in a reproducible order.
-	sort.Slice(victims, func(i, j int) bool { return victims[i] < victims[j] })
-	for _, id := range victims {
-		m := f.inflight[id]
-		delete(f.inflight, id)
+	for _, m := range victims {
+		id := m.flowID
+		f.clearInflight(id)
 		f.Net.Cancel(id)
 		if f.pml == adaptive {
 			f.noteFlow(m.path, -1)

@@ -70,8 +70,8 @@ func TestFailChannelsTearsDownZeroSizeFlow(t *testing.T) {
 	if f.Delivered != 1 {
 		t.Errorf("Delivered = %d, want 1", f.Delivered)
 	}
-	if len(f.inflight) != 0 {
-		t.Errorf("%d flows left in the inflight map after delivery", len(f.inflight))
+	if f.inflightN != 0 {
+		t.Errorf("%d flows left in the inflight table after delivery", f.inflightN)
 	}
 }
 
@@ -98,7 +98,7 @@ func TestZeroSizeDeliversAtWireTimeUnderResilience(t *testing.T) {
 		t.Errorf("spurious fault bookkeeping: torndown=%d retries=%d giveups=%d",
 			f.TornDown, f.Retries, f.GiveUps)
 	}
-	if len(f.inflight) != 0 {
-		t.Errorf("%d flows left in the inflight map", len(f.inflight))
+	if f.inflightN != 0 {
+		t.Errorf("%d flows left in the inflight table", f.inflightN)
 	}
 }

@@ -73,11 +73,17 @@ func TestMaxMinProperty(t *testing.T) {
 		eng.Step() // settle: rates computed
 		usage := map[topo.ChannelID]float64{}
 		maxRateOn := map[topo.ChannelID]float64{}
-		for _, fl := range net.flows {
-			for _, c := range fl.Path {
-				usage[c] += fl.Rate
-				if fl.Rate > maxRateOn[c] {
-					maxRateOn[c] = fl.Rate
+		var active []int32
+		for i := range net.tab.live {
+			if net.tab.live[i] && net.tab.zeroEv[i] == nil {
+				active = append(active, int32(i))
+			}
+		}
+		for _, idx := range active {
+			for _, c := range net.tab.path(idx) {
+				usage[c] += net.tab.rate[idx]
+				if net.tab.rate[idx] > maxRateOn[c] {
+					maxRateOn[c] = net.tab.rate[idx]
 				}
 			}
 		}
@@ -88,11 +94,11 @@ func TestMaxMinProperty(t *testing.T) {
 			}
 		}
 		// Bottleneck property.
-		for _, fl := range net.flows {
+		for _, idx := range active {
 			bottlenecked := false
-			for _, c := range fl.Path {
+			for _, c := range net.tab.path(idx) {
 				saturated := usage[c] >= net.caps[c]*(1-1e-9)
-				if saturated && fl.Rate >= maxRateOn[c]-1e-9 {
+				if saturated && net.tab.rate[idx] >= maxRateOn[c]-1e-9 {
 					bottlenecked = true
 					break
 				}

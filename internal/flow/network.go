@@ -8,6 +8,12 @@
 // exactly, while per-packet effects are folded into latency and overhead
 // terms handled by internal/fabric.
 //
+// Flow state lives in an arena/SoA table (table.go, DESIGN.md §11): dense
+// parallel slices indexed by the slot half of a generation-tagged FlowID
+// handle, with paths in a shared arena. At AI scale (≥32k terminals,
+// millions of flows per run) this keeps steady-state churn allocation-free
+// and gives the GC nothing to trace.
+//
 // Two solvers compute the allocation (DESIGN.md §7):
 //
 //   - SolverIncremental (the default): a min-heap over channel fair
@@ -34,37 +40,11 @@ import (
 	"github.com/hpcsim/t2hx/internal/topo"
 )
 
-// FlowID identifies an active flow.
+// FlowID is the handle of an active flow: the low 32 bits index the dense
+// flow table, the high 32 bits carry the slot generation (table.go).
+// Handles are always positive and nonzero; a handle outliving its flow
+// goes stale rather than aliasing the slot's next occupant.
 type FlowID int64
-
-// Flow is one in-flight message transfer.
-type Flow struct {
-	ID        FlowID
-	Path      []topo.ChannelID
-	Remaining float64 // bytes left to transfer
-	Rate      float64 // current bytes/second (max-min share)
-	OnDone    func(at sim.Time)
-
-	// solo is the flow's bottleneck-free rate (min capacity along the
-	// path) and bott the channel progressive filling froze it at — the
-	// IB-counter bookkeeping, maintained only when counters are attached.
-	solo float64
-	bott topo.ChannelID
-
-	// last is the flow's integration frontier: Remaining is exact as of
-	// this time. With counters attached every flow advances in lockstep
-	// (the exact-integration contract); without, flows advance lazily so
-	// a partial recompute never pays for flows outside its region.
-	last sim.Time
-	// pos[i] is the flow's slot index in Network.chanFlows[Path[i]]
-	// (incremental solver only; enables O(1) membership removal).
-	pos []int32
-	// mark is the region-BFS epoch stamp (incremental solver).
-	mark uint64
-	// doneGen invalidates stale completion-heap entries: an entry is live
-	// only while its recorded generation matches.
-	doneGen uint64
-}
 
 // Solver selects the max-min rate computation strategy.
 type Solver uint8
@@ -81,8 +61,8 @@ type Network struct {
 	eng  *sim.Engine
 	caps []float64 // per-channel capacity (bytes/s)
 
-	flows  map[FlowID]*Flow
-	nextID FlowID
+	// tab is the SoA flow table every per-flow field lives in.
+	tab flowTable
 
 	dirty    bool
 	settleEv *sim.Event
@@ -90,17 +70,27 @@ type Network struct {
 
 	solver Solver
 
-	// zeroPending tracks the same-instant completion events of zero-size
-	// flows so Cancel honors its contract ("aborts a flow without firing
-	// its callback") for them too.
-	zeroPending map[FlowID]*sim.Event
-
 	// Recomputes counts rate recomputations (for ablation benchmarks).
 	Recomputes uint64
-	// perChanFlows is the reference solver's scratch index, rebuilt from
-	// scratch on every recompute (that full rebuild is precisely what the
-	// incremental solver's persistent membership avoids).
-	perChanFlows map[topo.ChannelID][]*Flow
+	// StaleCancels counts Cancel calls that presented a once-valid handle
+	// whose flow is already gone (generation mismatch on a recycled or
+	// freed slot). Such cancels are ignored — the recycled slot's current
+	// occupant is never touched — but the count makes handle-lifetime bugs
+	// in callers observable instead of silent.
+	StaleCancels uint64
+
+	// --- reference solver scratch (see solver_reference.go) ---
+
+	// refPerChan/refResidual/refUnfrozen are the reference solver's dense
+	// per-channel scratch, validated by refStamp against refEpoch so only
+	// channels touched by the current solve are (re)initialized — the
+	// rebuild walks the SoA table directly, boxing nothing.
+	refPerChan  [][]int32
+	refTouched  []topo.ChannelID
+	refStamp    []uint64
+	refEpoch    uint64
+	refResidual []float64
+	refUnfrozen []int32
 
 	// --- incremental solver state (see solver_incremental.go) ---
 
@@ -113,7 +103,7 @@ type Network struct {
 	dirtyChans []topo.ChannelID
 	dirtyStamp []uint64
 	dirtyEpoch uint64
-	// epoch stamps region discovery (regionStamp per channel, Flow.mark
+	// epoch stamps region discovery (regionStamp per channel, tab.mark
 	// per flow) so no per-solve clearing is needed.
 	epoch       uint64
 	regionStamp []uint64
@@ -127,11 +117,12 @@ type Network struct {
 	shareHeap   shareHeap
 	tieScratch  []shareEntry
 	regionChans []topo.ChannelID
-	regionFlows []*Flow
-	freeze      []*Flow
-	doneScratch []*Flow
+	regionFlows []int32
+	freeze      []int32
+	doneScratch []int32
+	cbScratch   []func(at sim.Time)
 	// doneHeap orders predicted completion times; entries invalidate
-	// lazily via Flow.doneGen.
+	// lazily via tab.doneGen.
 	doneHeap doneHeap
 
 	// cc receives IB-style per-channel counters, fed exactly on every
@@ -145,14 +136,10 @@ type Network struct {
 // build tag); use SetSolver before starting traffic to override.
 func NewNetwork(eng *sim.Engine, g *topo.Graph) *Network {
 	n := &Network{
-		eng:          eng,
-		caps:         make([]float64, 2*len(g.Links)),
-		flows:        make(map[FlowID]*Flow),
-		perChanFlows: make(map[topo.ChannelID][]*Flow),
-		zeroPending:  make(map[FlowID]*sim.Event),
-		nextID:       1,
-		solver:       defaultSolver,
-		dirtyEpoch:   1,
+		eng:        eng,
+		caps:       make([]float64, 2*len(g.Links)),
+		solver:     defaultSolver,
+		dirtyEpoch: 1,
 	}
 	for _, l := range g.Links {
 		n.caps[2*l.ID] = l.Bandwidth
@@ -165,7 +152,7 @@ func NewNetwork(eng *sim.Engine, g *topo.Graph) *Network {
 // starts: the two solvers keep different bookkeeping, so switching with
 // active flows panics.
 func (n *Network) SetSolver(s Solver) {
-	if len(n.flows) != 0 {
+	if n.tab.liveCount != 0 {
 		panic("flow: SetSolver with active flows")
 	}
 	n.solver = s
@@ -196,7 +183,7 @@ func (n *Network) SetCounters(cc *telemetry.ChannelCounters) { n.cc = cc }
 
 // Active reports the number of in-flight flows (zero-size flows, which
 // complete at the current instant, are not counted).
-func (n *Network) Active() int { return len(n.flows) }
+func (n *Network) Active() int { return n.tab.liveCount - n.tab.zeroCount }
 
 // Start begins transferring size bytes along path; onDone fires when the
 // last byte has been put on the wire. Zero/negative sizes complete at the
@@ -204,14 +191,22 @@ func (n *Network) Active() int { return len(n.flows) }
 // same-instant completion event fires suppresses the callback, per the
 // Cancel contract. The path must be non-empty for positive sizes.
 func (n *Network) Start(path []topo.ChannelID, size float64, onDone func(at sim.Time)) FlowID {
-	id := n.nextID
-	n.nextID++
 	if size <= 0 {
-		ev := n.eng.After(0, func(e *sim.Engine) {
-			delete(n.zeroPending, id)
-			onDone(e.Now())
+		idx, id := n.tab.alloc()
+		t := &n.tab
+		t.pathLen[idx] = 0
+		t.remaining[idx] = 0
+		t.rate[idx] = 0
+		t.solo[idx] = 0
+		t.onDone[idx] = onDone
+		t.zeroCount++
+		t.zeroEv[idx] = n.eng.After(0, func(e *sim.Engine) {
+			done := t.onDone[idx]
+			t.zeroEv[idx] = nil
+			t.zeroCount--
+			t.freeSlot(idx)
+			done(e.Now())
 		})
-		n.zeroPending[id] = ev
 		return id
 	}
 	if len(path) == 0 {
@@ -220,76 +215,93 @@ func (n *Network) Start(path []topo.ChannelID, size float64, onDone func(at sim.
 	if n.cc != nil || n.solver == SolverReference {
 		n.advanceAll()
 	}
-	f := &Flow{ID: id, Path: path, Remaining: size, OnDone: onDone, last: n.eng.Now()}
+	n.ensureChanArrays()
+	idx, id := n.tab.alloc()
+	t := &n.tab
+	t.setPath(idx, path)
+	t.remaining[idx] = size
+	t.rate[idx] = 0
+	t.solo[idx] = 0
+	t.bott[idx] = 0
+	t.last[idx] = n.eng.Now()
+	t.onDone[idx] = onDone
 	if n.cc != nil {
-		f.solo = math.Inf(1)
+		solo := math.Inf(1)
 		for _, c := range path {
-			if n.caps[c] < f.solo {
-				f.solo = n.caps[c]
+			if n.caps[c] < solo {
+				solo = n.caps[c]
 			}
 		}
+		t.solo[idx] = solo
 	}
-	n.flows[id] = f
 	if n.solver == SolverIncremental {
-		n.addMembership(f)
+		n.addMembership(idx)
 	}
 	n.markDirty()
 	return id
 }
 
-// Cancel aborts a flow without firing its callback. Unknown IDs are
-// ignored. The partial bytes a cancelled flow moved before this instant
-// stay credited to the attached counters — that is what keeps the
-// bytes×hops conservation identity exact under mid-flight teardown.
+// Cancel aborts a flow without firing its callback. Unknown and stale
+// handles are ignored (stale ones — a once-valid handle whose slot has
+// been freed or recycled — are additionally counted in StaleCancels), so a
+// late cancel can never tear down the slot's next occupant. The partial
+// bytes a cancelled flow moved before this instant stay credited to the
+// attached counters — that is what keeps the bytes×hops conservation
+// identity exact under mid-flight teardown.
 func (n *Network) Cancel(id FlowID) {
-	if ev, ok := n.zeroPending[id]; ok {
-		n.eng.Cancel(ev)
-		delete(n.zeroPending, id)
+	idx, ok := n.lookup(id)
+	if !ok {
+		if idx >= 0 && int(idx) < len(n.tab.gen) && handleGen(id) != 0 {
+			n.StaleCancels++
+		}
 		return
 	}
-	f, ok := n.flows[id]
-	if !ok {
+	if ev := n.tab.zeroEv[idx]; ev != nil {
+		n.eng.Cancel(ev)
+		n.tab.zeroEv[idx] = nil
+		n.tab.zeroCount--
+		n.tab.freeSlot(idx)
 		return
 	}
 	if n.cc != nil || n.solver == SolverReference {
 		n.advanceAll()
 	}
-	n.removeFlow(f)
+	n.removeFlow(idx)
 	n.markDirty()
 }
 
-// removeFlow detaches a flow from every solver structure; the caller has
-// already integrated its transferred bytes up to now.
-func (n *Network) removeFlow(f *Flow) {
+// removeFlow detaches a flow slot from every solver structure and frees
+// it; the caller has already integrated its transferred bytes up to now.
+func (n *Network) removeFlow(idx int32) {
 	if n.solver == SolverIncremental {
-		n.removeMembership(f)
+		n.removeMembership(idx)
 	}
-	f.doneGen++ // invalidate any completion-heap entry
-	delete(n.flows, f.ID)
+	n.tab.freeSlot(idx) // bumps gen + doneGen: handles and heap entries die
 }
 
 // advanceFlow integrates one flow's transferred bytes up to now. Rates
 // are piecewise-constant between recomputes, so crediting rate*dt per
 // interval makes the attached counters exact rather than sampled
 // approximations.
-func (n *Network) advanceFlow(f *Flow, now sim.Time) {
-	dt := float64(now - f.last)
+func (n *Network) advanceFlow(idx int32, now sim.Time) {
+	t := &n.tab
+	dt := float64(now - t.last[idx])
 	if dt > 0 {
-		moved := f.Rate * dt
-		f.Remaining -= moved
+		moved := t.rate[idx] * dt
+		t.remaining[idx] -= moved
 		if n.cc != nil {
-			for _, c := range f.Path {
+			for _, c := range t.path(idx) {
 				n.cc.AddXmit(c, moved)
 			}
-			if f.solo > 0 && f.Rate < f.solo {
+			if t.solo[idx] > 0 && t.rate[idx] < t.solo[idx] {
 				// The flow spent this interval below its bottleneck-free
 				// rate: charge the stalled fraction to the channel that
 				// froze it — the PortXmitWait analogue.
-				n.cc.AddWait(f.bott, sim.Duration(dt*(1-f.Rate/f.solo)))
+				n.cc.AddWait(t.bott[idx], sim.Duration(dt*(1-t.rate[idx]/t.solo[idx])))
 			}
 		}
 	}
-	f.last = now
+	t.last[idx] = now
 }
 
 // advanceAll integrates every flow up to the current time. Mandatory with
@@ -297,8 +309,11 @@ func (n *Network) advanceFlow(f *Flow, now sim.Time) {
 // incremental solver otherwise advances lazily per flow.
 func (n *Network) advanceAll() {
 	now := n.eng.Now()
-	for _, f := range n.flows {
-		n.advanceFlow(f, now)
+	t := &n.tab
+	for idx := range t.live {
+		if t.live[idx] && t.zeroEv[idx] == nil {
+			n.advanceFlow(int32(idx), now)
+		}
 	}
 }
 
@@ -347,32 +362,39 @@ func (n *Network) completeDue() {
 
 // drained reports whether a flow's remaining bytes are within float noise
 // of zero.
-func drained(f *Flow) bool {
-	return f.Remaining <= f.Rate*1e-12+1e-6
+func (n *Network) drained(idx int32) bool {
+	return n.tab.remaining[idx] <= n.tab.rate[idx]*1e-12+1e-6
 }
 
 // finishFlows removes the done flows (crediting the float-integration
 // residue so bytes×hops conservation holds exactly), re-settles, and
-// fires the callbacks in deterministic ID order.
-func (n *Network) finishFlows(done []*Flow) {
-	sort.Slice(done, func(i, j int) bool { return done[i].ID < done[j].ID })
-	for _, f := range done {
+// fires the callbacks in deterministic start order. Callbacks are
+// collected before the slots are freed: a callback may Start a flow that
+// recycles the very slot it is completing.
+func (n *Network) finishFlows(done []int32) {
+	t := &n.tab
+	sort.Slice(done, func(i, j int) bool { return t.seq[done[i]] < t.seq[done[j]] })
+	cbs := n.cbScratch[:0]
+	for _, idx := range done {
 		if n.cc != nil {
 			// Round the attributed bytes to exactly the flow's size: the
-			// epsilon left in Remaining (either sign) is what the float
+			// epsilon left in remaining (either sign) is what the float
 			// integration missed, and crediting it here is what makes the
 			// bytes x hops conservation identity hold exactly.
-			for _, c := range f.Path {
-				n.cc.AddXmit(c, f.Remaining)
+			for _, c := range t.path(idx) {
+				n.cc.AddXmit(c, t.remaining[idx])
 			}
 		}
-		n.removeFlow(f)
+		cbs = append(cbs, t.onDone[idx])
+		n.removeFlow(idx)
 	}
 	n.markDirty()
 	now := n.eng.Now()
-	for _, f := range done {
-		f.OnDone(now)
+	for i, cb := range cbs {
+		cb(now)
+		cbs[i] = nil // drop the closure so the scratch retains nothing
 	}
+	n.cbScratch = cbs[:0]
 }
 
 // scheduleDoneAt points the completion event at t, reusing the queued
@@ -420,8 +442,9 @@ func sharesEqual(a, b float64) bool {
 }
 
 // checkRate guards the solver invariant that every settled flow moves.
-func checkRate(f *Flow) {
-	if f.Rate <= 0 {
-		panic(fmt.Sprintf("flow %d has rate %v", f.ID, f.Rate))
+func (n *Network) checkRate(idx int32) {
+	if n.tab.rate[idx] <= 0 {
+		panic(fmt.Sprintf("flow %d has rate %v",
+			handleOf(idx, n.tab.gen[idx]), n.tab.rate[idx]))
 	}
 }

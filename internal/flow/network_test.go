@@ -233,12 +233,16 @@ func TestConservationProperty(t *testing.T) {
 	// Step until rates settle, then check conservation.
 	e.Step() // settle event
 	usage := map[topo.ChannelID]float64{}
-	for _, f := range n.flows {
-		if f.Rate <= 0 {
-			t.Fatalf("flow %d has non-positive rate", f.ID)
+	for i := range n.tab.live {
+		if !n.tab.live[i] || n.tab.zeroEv[i] != nil {
+			continue
 		}
-		for _, c := range f.Path {
-			usage[c] += f.Rate
+		idx := int32(i)
+		if n.tab.rate[idx] <= 0 {
+			t.Fatalf("flow %d has non-positive rate", handleOf(idx, n.tab.gen[idx]))
+		}
+		for _, c := range n.tab.path(idx) {
+			usage[c] += n.tab.rate[idx]
 		}
 	}
 	for c, u := range usage {

@@ -1,8 +1,6 @@
 package flow
 
 import (
-	"container/heap"
-
 	"github.com/hpcsim/t2hx/internal/sim"
 	"github.com/hpcsim/t2hx/internal/topo"
 )
@@ -10,9 +8,10 @@ import (
 // This file is the incremental max-min solver. Three ideas replace the
 // reference solver's per-settle full re-solve:
 //
-//  1. Persistent membership: chanFlows (channel -> flows, with O(1)
-//     swap-remove via Flow.pos) is maintained on Start/Cancel/completion
-//     instead of being rebuilt from every active flow on every settle.
+//  1. Persistent membership: chanFlows (channel -> flow slots, with O(1)
+//     swap-remove via the pos arena) is maintained on Start/Cancel/
+//     completion instead of being rebuilt from every active flow on every
+//     settle.
 //  2. Dirty-region re-solve: a settle re-rates only the connected region
 //     of the flow/channel contention graph reachable from channels whose
 //     membership changed. Distinct components share no channels, so the
@@ -23,19 +22,25 @@ import (
 //  3. Heaps for both bottleneck selection (shareHeap over channel fair
 //     shares, lazily invalidated by chanGen) and completion scheduling
 //     (doneHeap over predicted finish times, lazily invalidated by
-//     Flow.doneGen), replacing the linear scans.
+//     tab.doneGen), replacing the linear scans. Both heaps are hand-rolled
+//     over value slices: container/heap's interface Push/Pop boxes every
+//     entry, and at 100k-flow churn those boxes were most of the solver's
+//     allocation bill.
 //
 // Determinism: region channels are initialized and frozen in an order
 // fixed by (share, channel ID) with the epsilon tie-break, and flows on a
-// bottleneck freeze in ID order, so the float arithmetic — and therefore
-// rates, XmitWait attribution and event timing — is reproducible.
+// bottleneck freeze in start (seq) order, so the float arithmetic — and
+// therefore rates, XmitWait attribution and event timing — is
+// reproducible.
 
 // chanSlot is one entry of a channel's flow membership list; hop is the
 // flow's path index for this channel, so a swap-remove can repair the
-// moved flow's back-pointer in O(1).
+// moved flow's back-pointer in O(1). Pointer-free by design: membership
+// lists are the largest live structure at scale and the GC never scans
+// them.
 type chanSlot struct {
-	f   *Flow
-	hop int32
+	idx int32 // flow table slot
+	hop int32 // index into the flow's path for this channel
 }
 
 // shareEntry is a (fair share, channel) candidate in the bottleneck heap;
@@ -46,50 +51,141 @@ type shareEntry struct {
 	gen   uint32
 }
 
+// shareHeap is a hand-rolled min-heap of shareEntry values ordered by
+// (share, channel ID).
 type shareHeap []shareEntry
 
-func (h shareHeap) Len() int { return len(h) }
-func (h shareHeap) Less(i, j int) bool {
+func (h shareHeap) less(i, j int) bool {
 	if h[i].share != h[j].share {
 		return h[i].share < h[j].share
 	}
 	return h[i].c < h[j].c
 }
-func (h shareHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *shareHeap) Push(x any)        { *h = append(*h, x.(shareEntry)) }
-func (h *shareHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
 
-// doneEntry is a predicted flow completion; stale entries are recognized
-// by gen != f.doneGen.
-type doneEntry struct {
-	at  sim.Time
-	id  FlowID
-	f   *Flow
-	gen uint64
-}
-
-type doneHeap []doneEntry
-
-func (h doneHeap) Len() int { return len(h) }
-func (h doneHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (h *shareHeap) push(e shareEntry) {
+	s := append(*h, e)
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s.less(i, p) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
 	}
-	return h[i].id < h[j].id
+	*h = s
 }
-func (h doneHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *doneHeap) Push(x any)   { *h = append(*h, x.(doneEntry)) }
-func (h *doneHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = doneEntry{}
-	*h = old[:n-1]
+
+func (h *shareHeap) pop() shareEntry {
+	s := *h
+	e := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	*h = s
+	s.down(0)
 	return e
 }
 
+func (h shareHeap) down(i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		m := l
+		if r := l + 1; r < len(h) && h.less(r, l) {
+			m = r
+		}
+		if !h.less(m, i) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+func (h shareHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+}
+
+// doneEntry is a predicted flow completion; stale entries are recognized
+// by gen != tab.doneGen[idx] (freeSlot bumps doneGen, so entries for a
+// slot's previous occupant can never fire against its current one). seq
+// is the flow's start order, the deterministic tie-break for equal times.
+type doneEntry struct {
+	at  sim.Time
+	seq uint64
+	gen uint64
+	idx int32
+}
+
+// doneHeap is a hand-rolled min-heap of doneEntry values ordered by
+// (time, start order).
+type doneHeap []doneEntry
+
+func (h doneHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *doneHeap) push(e doneEntry) {
+	s := append(*h, e)
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s.less(i, p) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+	*h = s
+}
+
+func (h *doneHeap) pop() doneEntry {
+	s := *h
+	e := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	*h = s
+	s.down(0)
+	return e
+}
+
+func (h doneHeap) down(i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		m := l
+		if r := l + 1; r < len(h) && h.less(r, l) {
+			m = r
+		}
+		if !h.less(m, i) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+func (h doneHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+}
+
 // ensureChanArrays grows the per-channel solver arrays to cover every
-// capacity slot (AddNodeChannels appends after construction).
+// capacity slot (AddNodeChannels appends after construction). Shared by
+// both solvers: the incremental membership lists and the reference
+// solver's dense scratch are parallel to caps.
 func (n *Network) ensureChanArrays() {
 	if len(n.chanFlows) >= len(n.caps) {
 		return
@@ -98,12 +194,18 @@ func (n *Network) ensureChanArrays() {
 	for len(n.chanFlows) < grow {
 		n.chanFlows = append(n.chanFlows, nil)
 	}
+	for len(n.refPerChan) < grow {
+		n.refPerChan = append(n.refPerChan, nil)
+	}
 	n.dirtyStamp = append(n.dirtyStamp, make([]uint64, grow-len(n.dirtyStamp))...)
 	n.regionStamp = append(n.regionStamp, make([]uint64, grow-len(n.regionStamp))...)
 	n.residual = append(n.residual, make([]float64, grow-len(n.residual))...)
 	n.unfrozenCnt = append(n.unfrozenCnt, make([]int32, grow-len(n.unfrozenCnt))...)
 	n.chanGen = append(n.chanGen, make([]uint32, grow-len(n.chanGen))...)
 	n.pushedGen = append(n.pushedGen, make([]uint32, grow-len(n.pushedGen))...)
+	n.refStamp = append(n.refStamp, make([]uint64, grow-len(n.refStamp))...)
+	n.refResidual = append(n.refResidual, make([]float64, grow-len(n.refResidual))...)
+	n.refUnfrozen = append(n.refUnfrozen, make([]int32, grow-len(n.refUnfrozen))...)
 }
 
 // dirtyChan records a membership change on c for the next recompute.
@@ -115,31 +217,32 @@ func (n *Network) dirtyChan(c topo.ChannelID) {
 	n.dirtyChans = append(n.dirtyChans, c)
 }
 
-// addMembership inserts f into the membership list of every channel it
-// crosses, dirtying them.
-func (n *Network) addMembership(f *Flow) {
-	n.ensureChanArrays()
-	f.pos = make([]int32, len(f.Path))
-	for i, c := range f.Path {
-		f.pos[i] = int32(len(n.chanFlows[c]))
-		n.chanFlows[c] = append(n.chanFlows[c], chanSlot{f: f, hop: int32(i)})
+// addMembership inserts the flow slot into the membership list of every
+// channel it crosses, dirtying them.
+func (n *Network) addMembership(idx int32) {
+	t := &n.tab
+	pos := t.pos(idx)
+	for i, c := range t.path(idx) {
+		pos[i] = int32(len(n.chanFlows[c]))
+		n.chanFlows[c] = append(n.chanFlows[c], chanSlot{idx: idx, hop: int32(i)})
 		n.dirtyChan(c)
 	}
 }
 
-// removeMembership swap-removes f from its channels' membership lists,
-// dirtying them.
-func (n *Network) removeMembership(f *Flow) {
-	for i, c := range f.Path {
+// removeMembership swap-removes the flow slot from its channels'
+// membership lists, dirtying them.
+func (n *Network) removeMembership(idx int32) {
+	t := &n.tab
+	pos := t.pos(idx)
+	for i, c := range t.path(idx) {
 		s := n.chanFlows[c]
-		idx := f.pos[i]
+		p := pos[i]
 		last := int32(len(s) - 1)
-		if idx != last {
+		if p != last {
 			moved := s[last]
-			s[idx] = moved
-			moved.f.pos[moved.hop] = idx
+			s[p] = moved
+			t.posArena[t.pathOff[moved.idx]+moved.hop] = p
 		}
-		s[last] = chanSlot{}
 		n.chanFlows[c] = s[:last]
 		n.dirtyChan(c)
 	}
@@ -158,7 +261,8 @@ func (n *Network) recomputeIncremental() {
 	if len(n.dirtyChans) == 0 {
 		return
 	}
-	if len(n.flows) == 0 {
+	t := &n.tab
+	if n.Active() == 0 {
 		n.consumeDirty()
 		return
 	}
@@ -178,13 +282,12 @@ func (n *Network) recomputeIncremental() {
 	n.consumeDirty()
 	for head := 0; head < len(regionChans); head++ {
 		for _, sl := range n.chanFlows[regionChans[head]] {
-			f := sl.f
-			if f.mark == ep {
+			if t.mark[sl.idx] == ep {
 				continue
 			}
-			f.mark = ep
-			regionFlows = append(regionFlows, f)
-			for _, c2 := range f.Path {
+			t.mark[sl.idx] = ep
+			regionFlows = append(regionFlows, sl.idx)
+			for _, c2 := range t.path(sl.idx) {
 				if n.regionStamp[c2] != ep {
 					n.regionStamp[c2] = ep
 					regionChans = append(regionChans, c2)
@@ -200,8 +303,8 @@ func (n *Network) recomputeIncremental() {
 	// Integrate region flows to now under their outgoing rates before
 	// re-rating them (with counters attached advanceAll already did).
 	if n.cc == nil {
-		for _, f := range regionFlows {
-			n.advanceFlow(f, now)
+		for _, idx := range regionFlows {
+			n.advanceFlow(idx, now)
 		}
 	}
 	// Progressive filling restricted to the region, bottleneck selection
@@ -221,9 +324,9 @@ func (n *Network) recomputeIncremental() {
 			*h = append(*h, shareEntry{share: n.caps[c] / float64(cnt), c: c, gen: n.chanGen[c]})
 		}
 	}
-	heap.Init(h)
-	for _, f := range regionFlows {
-		f.Rate = -1 // unfrozen
+	h.init()
+	for _, idx := range regionFlows {
+		t.rate[idx] = -1 // unfrozen
 	}
 	remaining := len(regionFlows)
 	for remaining > 0 {
@@ -242,13 +345,13 @@ func (n *Network) recomputeIncremental() {
 		for len(*h) > 0 {
 			top := (*h)[0]
 			if top.gen != n.chanGen[top.c] {
-				heap.Pop(h)
+				h.pop()
 				continue
 			}
 			if !sharesEqual(top.share, e.share) {
 				break
 			}
-			heap.Pop(h)
+			h.pop()
 			if top.c < best.c {
 				ties = append(ties, best)
 				best = top
@@ -257,20 +360,20 @@ func (n *Network) recomputeIncremental() {
 			}
 		}
 		remaining -= n.freezeChannel(best.c, best.share)
-		for _, t := range ties {
-			n.pushBack(t)
+		for _, tie := range ties {
+			n.pushBack(tie)
 		}
 		n.tieScratch = ties[:0]
 	}
 	// Predict completions for every re-rated flow.
-	for _, f := range regionFlows {
-		checkRate(f)
-		f.doneGen++
-		heap.Push(&n.doneHeap, doneEntry{
-			at:  now + sim.Time(f.Remaining/f.Rate),
-			id:  f.ID,
-			f:   f,
-			gen: f.doneGen,
+	for _, idx := range regionFlows {
+		n.checkRate(idx)
+		t.doneGen[idx]++
+		n.doneHeap.push(doneEntry{
+			at:  now + sim.Time(t.remaining[idx]/t.rate[idx]),
+			seq: t.seq[idx],
+			gen: t.doneGen[idx],
+			idx: idx,
 		})
 	}
 	n.maybeCompactDoneHeap()
@@ -280,7 +383,7 @@ func (n *Network) recomputeIncremental() {
 func (n *Network) popValidShare() (shareEntry, bool) {
 	h := &n.shareHeap
 	for len(*h) > 0 {
-		e := heap.Pop(h).(shareEntry)
+		e := h.pop()
 		if e.gen == n.chanGen[e.c] {
 			return e, true
 		}
@@ -291,31 +394,32 @@ func (n *Network) popValidShare() (shareEntry, bool) {
 // pushBack re-inserts a still-live candidate popped during tie-breaking.
 func (n *Network) pushBack(e shareEntry) {
 	if e.gen == n.chanGen[e.c] {
-		heap.Push(&n.shareHeap, e)
+		n.shareHeap.push(e)
 	}
 }
 
 // freezeChannel freezes every unfrozen flow crossing bott at share (in
-// flow-ID order, for deterministic float arithmetic), updates residuals
+// start order, for deterministic float arithmetic), updates residuals
 // and re-queues the touched channels. Returns the number frozen.
 func (n *Network) freezeChannel(bott topo.ChannelID, share float64) int {
+	t := &n.tab
 	fs := n.freeze[:0]
 	for _, sl := range n.chanFlows[bott] {
-		if sl.f.Rate < 0 {
-			fs = append(fs, sl.f)
+		if t.rate[sl.idx] < 0 {
+			fs = append(fs, sl.idx)
 		}
 	}
-	// Insertion sort by ID: bottleneck freeze sets are usually small, and
+	// Insertion sort by seq: bottleneck freeze sets are usually small, and
 	// membership order is insertion order, already mostly sorted.
 	for i := 1; i < len(fs); i++ {
-		for j := i; j > 0 && fs[j].ID < fs[j-1].ID; j-- {
+		for j := i; j > 0 && t.seq[fs[j]] < t.seq[fs[j-1]]; j-- {
 			fs[j], fs[j-1] = fs[j-1], fs[j]
 		}
 	}
-	for _, f := range fs {
-		f.Rate = share
-		f.bott = bott
-		for _, c := range f.Path {
+	for _, idx := range fs {
+		t.rate[idx] = share
+		t.bott[idx] = bott
+		for _, c := range t.path(idx) {
 			n.residual[c] -= share
 			if n.residual[c] < 0 {
 				n.residual[c] = 0
@@ -325,11 +429,11 @@ func (n *Network) freezeChannel(bott topo.ChannelID, share float64) int {
 		}
 	}
 	// Re-queue each touched channel once, at its updated share.
-	for _, f := range fs {
-		for _, c := range f.Path {
+	for _, idx := range fs {
+		for _, c := range t.path(idx) {
 			if n.unfrozenCnt[c] > 0 && n.pushedGen[c] != n.chanGen[c] {
 				n.pushedGen[c] = n.chanGen[c]
-				heap.Push(&n.shareHeap, shareEntry{
+				n.shareHeap.push(shareEntry{
 					share: n.residual[c] / float64(n.unfrozenCnt[c]),
 					c:     c,
 					gen:   n.chanGen[c],
@@ -345,8 +449,8 @@ func (n *Network) freezeChannel(bott topo.ChannelID, share float64) int {
 // prediction.
 func (n *Network) scheduleNextDoneHeap() {
 	h := &n.doneHeap
-	for len(*h) > 0 && (*h)[0].gen != (*h)[0].f.doneGen {
-		heap.Pop(h)
+	for len(*h) > 0 && (*h)[0].gen != n.tab.doneGen[(*h)[0].idx] {
+		h.pop()
 	}
 	if len(*h) == 0 {
 		n.cancelDoneEv()
@@ -364,31 +468,32 @@ func (n *Network) completeDueHeap() {
 	if n.cc != nil {
 		n.advanceAll()
 	}
+	t := &n.tab
 	done := n.doneScratch[:0]
 	h := &n.doneHeap
 	for len(*h) > 0 {
 		top := (*h)[0]
-		if top.gen != top.f.doneGen {
-			heap.Pop(h)
+		if top.gen != t.doneGen[top.idx] {
+			h.pop()
 			continue
 		}
 		if top.at > now {
 			break
 		}
-		heap.Pop(h)
-		f := top.f
-		n.advanceFlow(f, now)
-		if drained(f) {
-			done = append(done, f)
+		h.pop()
+		idx := top.idx
+		n.advanceFlow(idx, now)
+		if n.drained(idx) {
+			done = append(done, idx)
 			continue
 		}
-		f.doneGen++
-		t := now + sim.Time(f.Remaining/f.Rate)
-		if t <= now {
-			done = append(done, f) // residue below time resolution
+		t.doneGen[idx]++
+		at := now + sim.Time(t.remaining[idx]/t.rate[idx])
+		if at <= now {
+			done = append(done, idx) // residue below time resolution
 			continue
 		}
-		heap.Push(h, doneEntry{at: t, id: f.ID, f: f, gen: f.doneGen})
+		h.push(doneEntry{at: at, seq: t.seq[idx], gen: t.doneGen[idx], idx: idx})
 	}
 	n.doneScratch = done[:0]
 	if len(done) == 0 {
@@ -402,18 +507,15 @@ func (n *Network) completeDueHeap() {
 // the heap, bounding memory under churn-heavy workloads.
 func (n *Network) maybeCompactDoneHeap() {
 	h := n.doneHeap
-	if len(h) <= 4*len(n.flows)+64 {
+	if len(h) <= 4*n.Active()+64 {
 		return
 	}
 	live := h[:0]
 	for _, e := range h {
-		if e.gen == e.f.doneGen {
+		if e.gen == n.tab.doneGen[e.idx] {
 			live = append(live, e)
 		}
 	}
-	for i := len(live); i < len(h); i++ {
-		h[i] = doneEntry{}
-	}
 	n.doneHeap = live
-	heap.Init(&n.doneHeap)
+	n.doneHeap.init()
 }

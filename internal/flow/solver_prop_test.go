@@ -125,11 +125,12 @@ func runPropInstance(t *testing.T, inst propInstance, s Solver) propResult {
 		op := op
 		if op.cancel {
 			eng.Schedule(op.at, func(*sim.Engine) {
-				if f, ok := net.flows[ids[op.idx]]; ok {
+				if idx, ok := net.lookup(ids[op.idx]); ok && net.tab.zeroEv[idx] == nil {
 					// Integrate up to now, then measure the partial bytes
 					// this cancel strands: they must stay credited.
 					net.advanceAll()
-					res.movedHops += (sizes[op.idx] - f.Remaining) * float64(len(f.Path))
+					res.movedHops += (sizes[op.idx] - net.tab.remaining[idx]) *
+						float64(net.tab.pathLen[idx])
 				}
 				net.Cancel(ids[op.idx])
 			})
@@ -154,8 +155,12 @@ func runPropInstance(t *testing.T, inst propInstance, s Solver) propResult {
 	for k, id := range ids {
 		idxOf[id] = k
 	}
-	for id, f := range net.flows {
-		res.ratesAt[idxOf[id]] = f.Rate
+	for i := range net.tab.live {
+		if !net.tab.live[i] || net.tab.zeroEv[i] != nil {
+			continue
+		}
+		id := handleOf(int32(i), net.tab.gen[i])
+		res.ratesAt[idxOf[id]] = net.tab.rate[i]
 	}
 	eng.Run()
 

@@ -10,9 +10,16 @@ import (
 // This file is the reference max-min solver: the original full
 // progressive-filling implementation, O(active flows × touched channels)
 // per settle. It is kept as the oracle the incremental solver is
-// property-tested against (TestSolversAgree) and as the baseline of the
-// solver microbench (BenchmarkSolverChurn); build with `-tags flowref`
-// to make it the package default.
+// property-tested against (TestSolverEquivalenceProperty) and as the
+// baseline of the solver microbench (BenchmarkSolverChurn); build with
+// `-tags flowref` to make it the package default.
+//
+// The per-settle channel index is rebuilt straight from the SoA table
+// into dense epoch-stamped scratch (refPerChan/refResidual/refUnfrozen,
+// validated by refStamp against refEpoch): no maps, no per-settle
+// allocation, and no re-boxing of flow state — which is what keeps
+// flowref property runs within memory of CI runners even though the
+// algorithm itself stays deliberately naive.
 
 // recomputeReference performs progressive filling from scratch:
 // repeatedly find the channel with the smallest fair share among unfrozen
@@ -20,40 +27,55 @@ import (
 // continue until every flow is frozen.
 func (n *Network) recomputeReference() {
 	n.Recomputes++
-	if len(n.flows) == 0 {
+	remaining := n.Active()
+	if remaining == 0 {
 		return
 	}
-	// Build channel -> flows index (only channels actually used).
-	for c := range n.perChanFlows {
-		delete(n.perChanFlows, c)
-	}
-	for _, f := range n.flows {
-		f.Rate = -1 // unfrozen
-		for _, c := range f.Path {
-			n.perChanFlows[c] = append(n.perChanFlows[c], f)
+	n.ensureChanArrays()
+	t := &n.tab
+	// Rebuild the channel -> flows index for channels actually used,
+	// initializing each channel's scratch on first touch this epoch.
+	// Slots are walked in index order, so the rebuild is deterministic
+	// (the old map-backed rebuild iterated flows in map order).
+	n.refEpoch++
+	ep := n.refEpoch
+	touched := n.refTouched[:0]
+	for i := range t.live {
+		if !t.live[i] || t.zeroEv[i] != nil {
+			continue
+		}
+		idx := int32(i)
+		t.rate[idx] = -1 // unfrozen
+		for _, c := range t.path(idx) {
+			if n.refStamp[c] != ep {
+				n.refStamp[c] = ep
+				n.refPerChan[c] = n.refPerChan[c][:0]
+				n.refResidual[c] = n.caps[c]
+				n.refUnfrozen[c] = 0
+				touched = append(touched, c)
+			}
+			n.refPerChan[c] = append(n.refPerChan[c], idx)
+			n.refUnfrozen[c]++
 		}
 	}
-	residual := make(map[topo.ChannelID]float64, len(n.perChanFlows))
-	unfrozen := make(map[topo.ChannelID]int, len(n.perChanFlows))
-	for c, fs := range n.perChanFlows {
-		residual[c] = n.caps[c]
-		unfrozen[c] = len(fs)
-		if n.cc != nil {
-			n.cc.NoteActive(c, len(fs))
+	n.refTouched = touched
+	if n.cc != nil {
+		for _, c := range touched {
+			n.cc.NoteActive(c, len(n.refPerChan[c]))
 		}
 	}
-	remaining := len(n.flows)
 	for remaining > 0 {
 		// Bottleneck channel: minimal residual/unfrozen, epsilon-equal
 		// shares resolved toward the smallest channel ID.
 		var bott topo.ChannelID
 		share := math.Inf(1)
 		found := false
-		for c, u := range unfrozen {
+		for _, c := range touched {
+			u := n.refUnfrozen[c]
 			if u == 0 {
 				continue
 			}
-			s := residual[c] / float64(u)
+			s := n.refResidual[c] / float64(u)
 			switch {
 			case !found:
 				share, bott, found = s, c, true
@@ -69,19 +91,19 @@ func (n *Network) recomputeReference() {
 			panic("flow: unfrozen flows but no bottleneck channel")
 		}
 		// Freeze every unfrozen flow crossing the bottleneck.
-		for _, f := range n.perChanFlows[bott] {
-			if f.Rate >= 0 {
+		for _, idx := range n.refPerChan[bott] {
+			if t.rate[idx] >= 0 {
 				continue
 			}
-			f.Rate = share
-			f.bott = bott
+			t.rate[idx] = share
+			t.bott[idx] = bott
 			remaining--
-			for _, c := range f.Path {
-				residual[c] -= share
-				if residual[c] < 0 {
-					residual[c] = 0
+			for _, c := range t.path(idx) {
+				n.refResidual[c] -= share
+				if n.refResidual[c] < 0 {
+					n.refResidual[c] = 0
 				}
-				unfrozen[c]--
+				n.refUnfrozen[c]--
 			}
 		}
 	}
@@ -90,16 +112,22 @@ func (n *Network) recomputeReference() {
 // scheduleNextDoneScan finds the earliest completing flow(s) by a linear
 // scan and schedules the completion event.
 func (n *Network) scheduleNextDoneScan() {
-	if len(n.flows) == 0 {
+	if n.Active() == 0 {
 		n.cancelDoneEv()
 		return
 	}
+	t := &n.tab
+	now := n.eng.Now()
 	soonest := sim.Infinity
-	for _, f := range n.flows {
-		checkRate(f)
-		t := n.eng.Now() + sim.Time(f.Remaining/f.Rate)
-		if t < soonest {
-			soonest = t
+	for i := range t.live {
+		if !t.live[i] || t.zeroEv[i] != nil {
+			continue
+		}
+		idx := int32(i)
+		n.checkRate(idx)
+		at := now + sim.Time(t.remaining[idx]/t.rate[idx])
+		if at < soonest {
+			soonest = at
 		}
 	}
 	n.scheduleDoneAt(soonest)
@@ -108,12 +136,14 @@ func (n *Network) scheduleNextDoneScan() {
 // completeDueScan finishes every drained flow found by a full scan.
 func (n *Network) completeDueScan() {
 	n.advanceAll()
-	var done []*Flow
-	for _, f := range n.flows {
-		if drained(f) {
-			done = append(done, f)
+	t := &n.tab
+	done := n.doneScratch[:0]
+	for i := range t.live {
+		if t.live[i] && t.zeroEv[i] == nil && n.drained(int32(i)) {
+			done = append(done, int32(i))
 		}
 	}
+	n.doneScratch = done[:0]
 	if len(done) == 0 {
 		// Numerical guard: re-schedule.
 		n.markDirty()

@@ -141,6 +141,12 @@ type RuntimeMetrics struct {
 	GCPauseMax time.Duration `json:"gc_pause_max_ns"`
 	// Goroutines is the live goroutine count.
 	Goroutines int `json:"goroutines"`
+	// PeakRSSBytes is the process's high-water resident set size from the
+	// OS (getrusage), 0 where unsupported. Unlike the heap numbers it
+	// captures everything the kernel charged the process — stacks, runtime
+	// overhead, arena slack — which is the number that decides whether a
+	// 32k-terminal sweep fits on a build machine.
+	PeakRSSBytes uint64 `json:"peak_rss_bytes"`
 }
 
 // ReadRuntimeMetrics samples the runtime.
@@ -195,6 +201,7 @@ func ReadRuntimeMetrics() RuntimeMetrics {
 			rm.Goroutines = int(s.Value.Uint64())
 		}
 	}
+	rm.PeakRSSBytes = peakRSSBytes()
 	return rm
 }
 
@@ -210,4 +217,7 @@ func ReportRuntimeMetrics(b MetricsReporter) {
 	rm := ReadRuntimeMetrics()
 	b.ReportMetric(float64(rm.HeapLiveBytes), "heap-B")
 	b.ReportMetric(float64(rm.GCPauseTotal.Nanoseconds()), "gc-pause-ns")
+	if rm.PeakRSSBytes > 0 {
+		b.ReportMetric(float64(rm.PeakRSSBytes), "peak-rss-B")
+	}
 }

@@ -1,0 +1,6 @@
+//go:build linux
+
+package prof
+
+// Linux getrusage reports ru_maxrss in kilobytes.
+const rusageRSSUnit = 1024

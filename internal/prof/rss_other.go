@@ -1,0 +1,7 @@
+//go:build !unix
+
+package prof
+
+// peakRSSBytes is unavailable without getrusage; callers treat 0 as
+// "unsupported" and skip the peak-rss-B metric.
+func peakRSSBytes() uint64 { return 0 }

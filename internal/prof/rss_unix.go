@@ -1,0 +1,18 @@
+//go:build unix
+
+package prof
+
+import "syscall"
+
+// peakRSSBytes reads the process's high-water RSS via getrusage. Linux
+// reports ru_maxrss in KiB; darwin/BSD report bytes — normalize to bytes.
+func peakRSSBytes() uint64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	if ru.Maxrss <= 0 {
+		return 0
+	}
+	return uint64(ru.Maxrss) * rusageRSSUnit
+}

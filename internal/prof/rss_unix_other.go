@@ -1,0 +1,6 @@
+//go:build unix && !linux
+
+package prof
+
+// darwin and the BSDs report ru_maxrss in bytes.
+const rusageRSSUnit = 1

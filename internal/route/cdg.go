@@ -15,43 +15,75 @@ import (
 // CDG maintains a topological order incrementally (Pearce-Kelly): adding an
 // edge either succeeds in amortized small cost or reports that it would
 // close a cycle, in which case the graph is left unchanged.
+//
+// Storage is dense: channel IDs are small and contiguous (they index the
+// topology's link array), so adjacency, order, and DFS-visited state are
+// slices indexed by topo.ChannelID rather than nested maps. Per-channel
+// successor lists stay short — bounded by switch radix — so membership
+// tests are linear scans over a cache-resident slice.
 type CDG struct {
-	succ map[topo.ChannelID]map[topo.ChannelID]bool
-	pred map[topo.ChannelID]map[topo.ChannelID]bool
-	ord  map[topo.ChannelID]int
-	next int
+	// ord[c] is c's topological order, or -1 while c is not a node.
+	ord []int32
+	// succ[c] / pred[c] list c's dependency neighbours.
+	succ, pred [][]topo.ChannelID
+	// nodes lists the channels present, in insertion order.
+	nodes []topo.ChannelID
+	next  int32
+
+	// DFS scratch, reused across operations: seen[c] holds the epoch of
+	// the last traversal that visited c.
+	seen  []uint64
+	epoch uint64
+	stack []topo.ChannelID
+
+	// AddPath scratch.
+	fabric []topo.ChannelID
+	added  [][2]topo.ChannelID
 }
 
 // NewCDG returns an empty channel dependency graph.
 func NewCDG() *CDG {
-	return &CDG{
-		succ: make(map[topo.ChannelID]map[topo.ChannelID]bool),
-		pred: make(map[topo.ChannelID]map[topo.ChannelID]bool),
-		ord:  make(map[topo.ChannelID]int),
+	return &CDG{}
+}
+
+// grow extends the per-channel arrays to cover c.
+func (g *CDG) grow(c topo.ChannelID) {
+	for int(c) >= len(g.ord) {
+		g.ord = append(g.ord, -1)
+		g.succ = append(g.succ, nil)
+		g.pred = append(g.pred, nil)
+		g.seen = append(g.seen, 0)
 	}
 }
 
 func (g *CDG) ensure(c topo.ChannelID) {
-	if _, ok := g.ord[c]; ok {
+	g.grow(c)
+	if g.ord[c] >= 0 {
 		return
 	}
 	g.ord[c] = g.next
 	g.next++
-	g.succ[c] = make(map[topo.ChannelID]bool)
-	g.pred[c] = make(map[topo.ChannelID]bool)
+	g.nodes = append(g.nodes, c)
 }
 
 // HasEdge reports whether the dependency u->v is already present.
 func (g *CDG) HasEdge(u, v topo.ChannelID) bool {
-	s, ok := g.succ[u]
-	return ok && s[v]
+	if int(u) >= len(g.succ) {
+		return false
+	}
+	for _, m := range g.succ[u] {
+		if m == v {
+			return true
+		}
+	}
+	return false
 }
 
 // Edges reports the number of dependency edges.
 func (g *CDG) Edges() int {
 	n := 0
-	for _, s := range g.succ {
-		n += len(s)
+	for _, c := range g.nodes {
+		n += len(g.succ[c])
 	}
 	return n
 }
@@ -65,14 +97,14 @@ func (g *CDG) AddEdge(u, v topo.ChannelID) bool {
 	}
 	g.ensure(u)
 	g.ensure(v)
-	if g.succ[u][v] {
+	if g.HasEdge(u, v) {
 		return true
 	}
 	lb, ub := g.ord[v], g.ord[u]
 	if lb > ub {
 		// Order already consistent.
-		g.succ[u][v] = true
-		g.pred[v][u] = true
+		g.succ[u] = append(g.succ[u], v)
+		g.pred[v] = append(g.pred[v], u)
 		return true
 	}
 	// Discover the affected region: forward from v within (lb..ub],
@@ -83,29 +115,31 @@ func (g *CDG) AddEdge(u, v topo.ChannelID) bool {
 	}
 	deltaB := g.dfsB(u, lb)
 	g.reorder(deltaF, deltaB)
-	g.succ[u][v] = true
-	g.pred[v][u] = true
+	g.succ[u] = append(g.succ[u], v)
+	g.pred[v] = append(g.pred[v], u)
 	return true
 }
 
 // dfsF collects nodes reachable from v with order <= ub. Reaching order ==
-// ub means reaching u: a cycle.
-func (g *CDG) dfsF(v topo.ChannelID, ub int) ([]topo.ChannelID, bool) {
+// ub means reaching u: a cycle. The returned slice aliases nothing and is
+// freshly built per call (it feeds reorder, which sorts it in place).
+func (g *CDG) dfsF(v topo.ChannelID, ub int32) ([]topo.ChannelID, bool) {
+	g.epoch++
+	g.seen[v] = g.epoch
+	g.stack = append(g.stack[:0], v)
 	var out []topo.ChannelID
-	seen := map[topo.ChannelID]bool{v: true}
-	stack := []topo.ChannelID{v}
-	for len(stack) > 0 {
-		n := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
+	for len(g.stack) > 0 {
+		n := g.stack[len(g.stack)-1]
+		g.stack = g.stack[:len(g.stack)-1]
 		out = append(out, n)
-		for m := range g.succ[n] {
+		for _, m := range g.succ[n] {
 			o := g.ord[m]
 			if o == ub {
 				return nil, true // found u: cycle
 			}
-			if o < ub && !seen[m] {
-				seen[m] = true
-				stack = append(stack, m)
+			if o < ub && g.seen[m] != g.epoch {
+				g.seen[m] = g.epoch
+				g.stack = append(g.stack, m)
 			}
 		}
 	}
@@ -113,18 +147,19 @@ func (g *CDG) dfsF(v topo.ChannelID, ub int) ([]topo.ChannelID, bool) {
 }
 
 // dfsB collects nodes reaching u with order >= lb.
-func (g *CDG) dfsB(u topo.ChannelID, lb int) []topo.ChannelID {
+func (g *CDG) dfsB(u topo.ChannelID, lb int32) []topo.ChannelID {
+	g.epoch++
+	g.seen[u] = g.epoch
+	g.stack = append(g.stack[:0], u)
 	var out []topo.ChannelID
-	seen := map[topo.ChannelID]bool{u: true}
-	stack := []topo.ChannelID{u}
-	for len(stack) > 0 {
-		n := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
+	for len(g.stack) > 0 {
+		n := g.stack[len(g.stack)-1]
+		g.stack = g.stack[:len(g.stack)-1]
 		out = append(out, n)
-		for m := range g.pred[n] {
-			if g.ord[m] > lb && !seen[m] {
-				seen[m] = true
-				stack = append(stack, m)
+		for _, m := range g.pred[n] {
+			if g.ord[m] > lb && g.seen[m] != g.epoch {
+				g.seen[m] = g.epoch
+				g.stack = append(g.stack, m)
 			}
 		}
 	}
@@ -137,11 +172,11 @@ func (g *CDG) reorder(deltaF, deltaB []topo.ChannelID) {
 	sort.Slice(deltaB, func(i, j int) bool { return g.ord[deltaB[i]] < g.ord[deltaB[j]] })
 	sort.Slice(deltaF, func(i, j int) bool { return g.ord[deltaF[i]] < g.ord[deltaF[j]] })
 	nodes := append(append([]topo.ChannelID{}, deltaB...), deltaF...)
-	slots := make([]int, 0, len(nodes))
+	slots := make([]int32, 0, len(nodes))
 	for _, n := range nodes {
 		slots = append(slots, g.ord[n])
 	}
-	sort.Ints(slots)
+	sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
 	for i, n := range nodes {
 		g.ord[n] = slots[i]
 	}
@@ -155,13 +190,14 @@ func (g *CDG) reorder(deltaF, deltaB []topo.ChannelID) {
 // and delivery (switch->terminal) channels cannot be part of a credit
 // cycle, matching how OpenSM builds its CDG.
 func (g *CDG) AddPath(path []topo.ChannelID, isSwitchChannel func(topo.ChannelID) bool) bool {
-	var fabric []topo.ChannelID
+	fabric := g.fabric[:0]
 	for _, c := range path {
 		if isSwitchChannel(c) {
 			fabric = append(fabric, c)
 		}
 	}
-	var added [][2]topo.ChannelID
+	g.fabric = fabric
+	added := g.added[:0]
 	for i := 0; i+1 < len(fabric); i++ {
 		u, v := fabric[i], fabric[i+1]
 		if g.HasEdge(u, v) {
@@ -171,31 +207,44 @@ func (g *CDG) AddPath(path []topo.ChannelID, isSwitchChannel func(topo.ChannelID
 			for _, e := range added {
 				g.removeEdge(e[0], e[1])
 			}
+			g.added = added[:0]
 			return false
 		}
 		added = append(added, [2]topo.ChannelID{u, v})
 	}
+	g.added = added[:0]
 	return true
 }
 
 func (g *CDG) removeEdge(u, v topo.ChannelID) {
-	delete(g.succ[u], v)
-	delete(g.pred[v], u)
+	g.succ[u] = removeChan(g.succ[u], v)
+	g.pred[v] = removeChan(g.pred[v], u)
+}
+
+// removeChan deletes the first occurrence of c, preserving list order so
+// traversals stay deterministic across removals.
+func removeChan(s []topo.ChannelID, c topo.ChannelID) []topo.ChannelID {
+	for i, m := range s {
+		if m == c {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
 }
 
 // Acyclic exhaustively re-verifies acyclicity (used by tests and the
 // validator; the incremental structure maintains it by construction).
 func (g *CDG) Acyclic() bool {
 	const (
-		white = 0
-		gray  = 1
-		black = 2
+		white = int8(0)
+		gray  = int8(1)
+		black = int8(2)
 	)
-	color := make(map[topo.ChannelID]int, len(g.ord))
+	color := make([]int8, len(g.ord))
 	var visit func(c topo.ChannelID) bool
 	visit = func(c topo.ChannelID) bool {
 		color[c] = gray
-		for m := range g.succ[c] {
+		for _, m := range g.succ[c] {
 			switch color[m] {
 			case gray:
 				return false
@@ -208,7 +257,7 @@ func (g *CDG) Acyclic() bool {
 		color[c] = black
 		return true
 	}
-	for c := range g.ord {
+	for _, c := range g.nodes {
 		if color[c] == white {
 			if !visit(c) {
 				return false
@@ -227,26 +276,26 @@ func (g *CDG) CanReach(u, v topo.ChannelID) bool {
 	if u == v {
 		return true
 	}
-	ou, ok := g.ord[u]
-	if !ok {
+	if int(u) >= len(g.ord) || g.ord[u] < 0 {
 		return false
 	}
-	ov, ok := g.ord[v]
-	if !ok || ou >= ov {
+	if int(v) >= len(g.ord) || g.ord[v] < 0 || g.ord[u] >= g.ord[v] {
 		return false
 	}
-	seen := map[topo.ChannelID]bool{u: true}
-	stack := []topo.ChannelID{u}
-	for len(stack) > 0 {
-		n := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for m := range g.succ[n] {
+	ov := g.ord[v]
+	g.epoch++
+	g.seen[u] = g.epoch
+	g.stack = append(g.stack[:0], u)
+	for len(g.stack) > 0 {
+		n := g.stack[len(g.stack)-1]
+		g.stack = g.stack[:len(g.stack)-1]
+		for _, m := range g.succ[n] {
 			if m == v {
 				return true
 			}
-			if g.ord[m] < ov && !seen[m] {
-				seen[m] = true
-				stack = append(stack, m)
+			if g.ord[m] < ov && g.seen[m] != g.epoch {
+				g.seen[m] = g.epoch
+				g.stack = append(g.stack, m)
 			}
 		}
 	}

@@ -135,7 +135,7 @@ func reachable(g *CDG, from, to topo.ChannelID) bool {
 		if n == to {
 			return true
 		}
-		for m := range g.succ[n] {
+		for _, m := range g.succ[n] {
 			if !seen[m] {
 				seen[m] = true
 				stack = append(stack, m)

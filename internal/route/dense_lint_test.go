@@ -4,6 +4,8 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"github.com/hpcsim/t2hx/internal/topo"
@@ -37,7 +39,7 @@ func TestNoNodeIDMapsInHotPaths(t *testing.T) {
 			if !ok {
 				return true
 			}
-			if isTopoNodeID(m.Key) {
+			if isSelector(m.Key, "topo", "NodeID") {
 				t.Errorf("%s: map keyed by topo.NodeID — use a flat slice over Graph.SwitchIndex/TerminalIndex instead",
 					fset.Position(m.Pos()))
 			}
@@ -46,13 +48,61 @@ func TestNoNodeIDMapsInHotPaths(t *testing.T) {
 	}
 }
 
-func isTopoNodeID(e ast.Expr) bool {
+// TestNoHandleMapsInFlowFabricHotPaths extends the dense-state lint to the
+// per-flow hot paths: internal/flow keeps its state in the arena/SoA flow
+// table indexed by flow.Index(id), and internal/fabric keys its inflight
+// tracking by the same slot index. map[FlowID] / map[topo.ChannelID] churn
+// here is exactly what the arena refactor removed; this stops it creeping
+// back. Test files are exempt (they favor clarity over allocation rate).
+func TestNoHandleMapsInFlowFabricHotPaths(t *testing.T) {
+	fset := token.NewFileSet()
+	for _, dir := range []string{"../flow", "../fabric"} {
+		files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(files) == 0 {
+			t.Fatalf("no Go files found in %s", dir)
+		}
+		for _, file := range files {
+			if strings.HasSuffix(file, "_test.go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, file, nil, 0)
+			if err != nil {
+				t.Fatalf("parsing %s: %v", file, err)
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				m, ok := n.(*ast.MapType)
+				if !ok {
+					return true
+				}
+				if isIdent(m.Key, "FlowID") || isSelector(m.Key, "flow", "FlowID") {
+					t.Errorf("%s: map keyed by FlowID — index a dense slice by flow.Index(id) and authenticate with the full handle instead",
+						fset.Position(m.Pos()))
+				}
+				if isSelector(m.Key, "topo", "ChannelID") {
+					t.Errorf("%s: map keyed by topo.ChannelID — channel IDs are dense; use a flat slice over the channel space instead",
+						fset.Position(m.Pos()))
+				}
+				return true
+			})
+		}
+	}
+}
+
+func isIdent(e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == name
+}
+
+func isSelector(e ast.Expr, pkg, name string) bool {
 	sel, ok := e.(*ast.SelectorExpr)
 	if !ok {
 		return false
 	}
-	pkg, ok := sel.X.(*ast.Ident)
-	return ok && pkg.Name == "topo" && sel.Sel.Name == "NodeID"
+	p, ok := sel.X.(*ast.Ident)
+	return ok && p.Name == pkg && sel.Sel.Name == name
 }
 
 func TestFrozenTablesRejectWrites(t *testing.T) {

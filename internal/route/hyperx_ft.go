@@ -285,38 +285,65 @@ func assignLanesTolerant(t *Tables, maxVL int) (int, error) {
 	g := t.G
 	terms := g.Terminals()
 	span := 1 << t.LMC
+	// Every terminal on a switch shares its fabric path to a given
+	// destination LID — injection and delivery channels are not CDG
+	// participants — so lane assignment only needs one representative
+	// source per (switch, LID) pair; the lane is then recorded for the
+	// whole group. The former walk over all terminal pairs was quadratic
+	// in terminals: at 32832 terminals it enumerated over a billion paths
+	// for a set with |switches| x |LIDs| distinct members.
+	bySwitch := make([][]topo.NodeID, g.NumSwitches())
+	for _, tm := range terms {
+		if sw := g.SwitchOf(tm); sw >= 0 {
+			si := g.SwitchIndex(sw)
+			bySwitch[si] = append(bySwitch[si], tm)
+		}
+	}
 	type key struct {
-		src topo.NodeID
+		sw  int // switch index of the source group
 		lid LID
 	}
 	var keys []key
 	var paths [][]topo.ChannelID
 	unreachable := 0
-	for _, src := range terms {
-		if g.SwitchOf(src) < 0 {
+	for si, group := range bySwitch {
+		if len(group) == 0 {
 			continue
 		}
+		src := group[0]
 		for di, dst := range terms {
-			if src == dst || g.SwitchOf(dst) < 0 {
+			if g.SwitchOf(dst) < 0 {
 				continue
 			}
 			for off := 0; off < span; off++ {
 				lid := t.BaseLID[di] + LID(off)
+				if dst == src {
+					continue
+				}
 				p, err := t.Path(src, lid)
 				if err != nil {
 					if errors.Is(err, ErrNoRoute) {
-						unreachable++
+						// Count what the terminal-pair walk would have:
+						// every source terminal of the group misses dst.
+						unreachable += len(group)
 						continue
 					}
 					return unreachable, fmt.Errorf("route: %s lane assignment: %w", t.Engine, err)
 				}
-				keys = append(keys, key{src, lid})
+				keys = append(keys, key{si, lid})
 				paths = append(paths, p)
 			}
 		}
 	}
 	lanes, failed := AssignLayers(g, paths, maxVL, func(i, vl int) {
-		t.SetSL(keys[i].src, keys[i].lid, uint8(vl))
+		if vl == 0 {
+			// SL defaults to 0; skipping the write keeps single-lane
+			// engines from materializing the O(terminals^2) SL table.
+			return
+		}
+		for _, src := range bySwitch[keys[i].sw] {
+			t.SetSL(src, keys[i].lid, uint8(vl))
+		}
 	})
 	if failed >= 0 {
 		return unreachable, fmt.Errorf("route: %s needs more than %d virtual lanes (failed at path %d of %d)",
