@@ -43,6 +43,11 @@ type ScaleSpec struct {
 	// Seed drives nothing today (the generator is fully deterministic) but
 	// is threaded into the fabric's PML randomness.
 	Seed uint64
+	// SolverWorkers bounds the flow solver's per-component shard
+	// parallelism (flow.Network.SetWorkers, DESIGN.md §12). 0 keeps the
+	// solver sequential; negative selects GOMAXPROCS. The run's results
+	// are bit-identical at every setting — only wall time changes.
+	SolverWorkers int
 	// Progress, when set, is invoked every ProgressEvery deliveries (and
 	// once at the end) with the running total and the simulated clock.
 	Progress      func(delivered uint64, now sim.Time)
@@ -64,10 +69,40 @@ type ScaleResult struct {
 	RunWall   time.Duration
 	// Recomputes counts flow-network rate recomputations.
 	Recomputes uint64
+	// SolverWorkers is the effective flow-solver shard parallelism the run
+	// used (after GOMAXPROCS resolution); 1 means fully sequential.
+	SolverWorkers int
 	// PeakRSSBytes is the process high-water RSS after the run (0 where
 	// the platform cannot report it). Note it is process-wide: under `go
 	// test` it includes whatever earlier tests peaked at.
 	PeakRSSBytes uint64
+}
+
+// scaleStrides returns count distinct source-to-destination index offsets
+// in [1, n-1], spread across the index space so consecutive messages
+// exercise intra-row, intra-column and diagonal traffic. The generator
+// pairs source i%n with stride i%len(strides); bounding the stride set
+// bounds distinct (source, stride) pairs — and so the fabric's path cache.
+// count is clamped to n-1 (only that many distinct non-self offsets
+// exist; the old modular formula silently emitted duplicates here), and
+// n < 2 is an error rather than a degenerate loop — on a one-terminal
+// lattice every send would be a self-send.
+func scaleStrides(n, count int) ([]int, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("exp: scale run needs at least 2 terminals, got %d (every send would be a self-send)", n)
+	}
+	if count < 1 {
+		count = 1
+	}
+	if count > n-1 {
+		count = n - 1
+	}
+	step := (n - 1) / count // >= 1 after the clamp
+	strides := make([]int, count)
+	for k := range strides {
+		strides[k] = 1 + k*step
+	}
+	return strides, nil
 }
 
 // RunScale builds the lattice and runs the windowed message loop until the
@@ -119,11 +154,14 @@ func RunScale(spec ScaleSpec) (*ScaleResult, error) {
 		return nil, err
 	}
 	eng := sim.NewEngine()
-	f := fabric.New(eng, tb, fabric.DefaultParams(), spec.Seed)
+	params := fabric.DefaultParams()
+	params.SolverWorkers = spec.SolverWorkers
+	f := fabric.New(eng, tb, params, spec.Seed)
 	res := &ScaleResult{
-		Terminals: hx.Graph.NumTerminals(),
-		Switches:  hx.Graph.NumSwitches(),
-		BuildWall: time.Since(buildStart),
+		Terminals:     hx.Graph.NumTerminals(),
+		Switches:      hx.Graph.NumSwitches(),
+		BuildWall:     time.Since(buildStart),
+		SolverWorkers: f.Net.Workers(),
 	}
 
 	terms := hx.Graph.Terminals()
@@ -131,20 +169,12 @@ func RunScale(spec ScaleSpec) (*ScaleResult, error) {
 	if spec.Window > n {
 		spec.Window = n
 	}
-	// Stride set: spread offsets across the index space so consecutive
-	// messages exercise intra-row, intra-column and diagonal traffic. The
-	// generator pairs source i%n with stride i%len(strides); when the
-	// stride count divides n, that bounds distinct (source, stride) pairs
-	// — and so the path cache — to n entries.
-	strides := make([]int, spec.Strides)
-	for k := range strides {
-		strides[k] = (1 + k*(n/(spec.Strides+1))) % n
-		if strides[k] == 0 {
-			strides[k] = 1
-		}
+	strides, err := scaleStrides(n, spec.Strides)
+	if err != nil {
+		return nil, err
 	}
 
-	var sent, delivered uint64
+	var sent, delivered, lastProgress uint64
 	var onDelivered func(at sim.Time)
 	sendNext := func() {
 		if sent >= spec.Messages {
@@ -153,15 +183,14 @@ func RunScale(spec ScaleSpec) (*ScaleResult, error) {
 		i := sent
 		sent++
 		srcIdx := int(i % uint64(n))
+		// Strides are in [1, n-1], so dst never aliases src.
 		dstIdx := (srcIdx + strides[int(i)%len(strides)]) % n
-		if dstIdx == srcIdx {
-			dstIdx = (dstIdx + 1) % n
-		}
 		f.Send(terms[srcIdx], terms[dstIdx], spec.MsgBytes, onDelivered)
 	}
 	onDelivered = func(at sim.Time) {
 		delivered++
 		if spec.Progress != nil && delivered%spec.ProgressEvery == 0 {
+			lastProgress = delivered
 			spec.Progress(delivered, at)
 		}
 		sendNext()
@@ -178,7 +207,10 @@ func RunScale(spec ScaleSpec) (*ScaleResult, error) {
 	res.DeliveredBytes = f.DeliveredBytes
 	res.Recomputes = f.Net.Recomputes
 	res.PeakRSSBytes = prof.ReadRuntimeMetrics().PeakRSSBytes
-	if spec.Progress != nil {
+	// Final progress call only when the drain left deliveries unreported:
+	// when Messages is a multiple of ProgressEvery, the last delivery
+	// already fired the callback with these exact totals.
+	if spec.Progress != nil && delivered != lastProgress {
 		spec.Progress(delivered, res.SimElapsed)
 	}
 	if res.Delivered != spec.Messages {

@@ -42,6 +42,124 @@ func TestRunScaleSmall(t *testing.T) {
 	}
 }
 
+// TestScaleStrides pins the stride-generator contract: distinct offsets
+// in [1, n-1] (the old modular formula emitted duplicates when Strides
+// was large relative to n), clamping to the n-1 distinct offsets that
+// exist, and a hard error on degenerate lattices instead of a self-send
+// patch loop.
+func TestScaleStrides(t *testing.T) {
+	cases := []struct{ n, count, wantLen int }{
+		{8, 20, 7},   // clamp: only 7 distinct non-self offsets exist
+		{8, 7, 7},    // exact fit
+		{128, 4, 4},  // spread across the index space
+		{128, 8, 8},  // the default count at small n
+		{2, 8, 1},    // minimum viable lattice
+		{342, 0, 1},  // count floor
+		{342, -3, 1}, // count floor on nonsense input
+	}
+	for _, c := range cases {
+		strides, err := scaleStrides(c.n, c.count)
+		if err != nil {
+			t.Fatalf("scaleStrides(%d, %d): %v", c.n, c.count, err)
+		}
+		if len(strides) != c.wantLen {
+			t.Errorf("scaleStrides(%d, %d) emitted %d strides, want %d",
+				c.n, c.count, len(strides), c.wantLen)
+		}
+		seen := map[int]bool{}
+		for _, s := range strides {
+			if s < 1 || s > c.n-1 {
+				t.Errorf("scaleStrides(%d, %d): stride %d outside [1, %d]", c.n, c.count, s, c.n-1)
+			}
+			if seen[s] {
+				t.Errorf("scaleStrides(%d, %d): duplicate stride %d", c.n, c.count, s)
+			}
+			seen[s] = true
+		}
+	}
+	for _, n := range []int{0, 1} {
+		if _, err := scaleStrides(n, 8); err == nil {
+			t.Errorf("scaleStrides(%d, 8): degenerate lattice accepted", n)
+		}
+	}
+}
+
+// TestScaleProgressNoDuplicateFinal checks the progress contract: when
+// the budget is a multiple of ProgressEvery the last delivery's callback
+// IS the final report, and the post-drain call must not repeat it.
+func TestScaleProgressNoDuplicateFinal(t *testing.T) {
+	run := func(messages uint64) []uint64 {
+		var calls []uint64
+		_, err := RunScale(ScaleSpec{
+			S: []int{2, 2}, T: 2,
+			Window: 8, Messages: messages, MsgBytes: 4096,
+			Strides: 4, Seed: 1,
+			Progress:      func(d uint64, _ sim.Time) { calls = append(calls, d) },
+			ProgressEvery: 500,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return calls
+	}
+	// Budget divides ProgressEvery: exactly Messages/ProgressEvery calls,
+	// the last one already carrying the final total.
+	calls := run(2000)
+	want := []uint64{500, 1000, 1500, 2000}
+	if len(calls) != len(want) {
+		t.Fatalf("progress calls %v, want %v", calls, want)
+	}
+	for i := range want {
+		if calls[i] != want[i] {
+			t.Fatalf("progress calls %v, want %v", calls, want)
+		}
+	}
+	// Budget leaves a tail: one extra final call with the drain total.
+	calls = run(2200)
+	if len(calls) != 5 || calls[4] != 2200 {
+		t.Fatalf("progress calls %v, want [500 1000 1500 2000 2200]", calls)
+	}
+}
+
+// TestRunScaleDeterministicAcrossSolverWorkers holds the endurance loop
+// to the shard determinism contract end to end: the simulated clock,
+// delivery counts and recompute counts must be identical at any
+// -solver-j, mirroring the flow-level TestShardDeterminism.
+func TestRunScaleDeterministicAcrossSolverWorkers(t *testing.T) {
+	run := func(j int) *ScaleResult {
+		res, err := RunScale(ScaleSpec{
+			S: []int{4, 4}, T: 4,
+			Window: 256, Messages: 3000, MsgBytes: 64 * 1024,
+			Strides: 6, Seed: 7, SolverWorkers: j,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base := run(0)
+	if base.SolverWorkers != 1 {
+		t.Errorf("SolverWorkers=0 resolved to %d, want sequential 1", base.SolverWorkers)
+	}
+	for _, j := range []int{2, 8} {
+		got := run(j)
+		if got.SolverWorkers != j {
+			t.Errorf("solver-j %d: result reports %d workers", j, got.SolverWorkers)
+		}
+		if got.SimElapsed != base.SimElapsed {
+			t.Errorf("solver-j %d: SimElapsed %v vs %v (not bit-identical)",
+				j, got.SimElapsed, base.SimElapsed)
+		}
+		if got.Delivered != base.Delivered || got.DeliveredBytes != base.DeliveredBytes {
+			t.Errorf("solver-j %d: delivered %d/%g vs %d/%g",
+				j, got.Delivered, got.DeliveredBytes, base.Delivered, base.DeliveredBytes)
+		}
+		if got.Recomputes != base.Recomputes {
+			t.Errorf("solver-j %d: %d recomputes vs %d", j, got.Recomputes, base.Recomputes)
+		}
+	}
+}
+
 func TestRunScaleRejectsUnknownRouting(t *testing.T) {
 	if _, err := RunScale(ScaleSpec{S: []int{2, 2}, T: 2, Routing: "parx", Messages: 1}); err == nil {
 		t.Fatal("unknown routing accepted")

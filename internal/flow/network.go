@@ -113,14 +113,23 @@ type Network struct {
 	unfrozenCnt []int32
 	chanGen     []uint32
 	pushedGen   []uint32
-	// Scratch reused across solves.
-	shareHeap   shareHeap
-	tieScratch  []shareEntry
+	// Scratch reused across solves. regionChans/regionFlows hold the
+	// dirty region segmented into connected components; comps spans both
+	// (solver_shard.go). scratches holds one private progressive-filling
+	// scratch (share heap, tie buffer, freeze set) per shard worker;
+	// sequential solves use scratches[0].
 	regionChans []topo.ChannelID
 	regionFlows []int32
-	freeze      []int32
+	comps       []component
+	scratches   []solverScratch
 	doneScratch []int32
 	cbScratch   []func(at sim.Time)
+	// workers bounds the per-component parallelism of the incremental
+	// re-solve (SetWorkers); 1, the default, keeps every settle on the
+	// event goroutine. pool is the fork-join pool used when workers > 1,
+	// always joined before the settle event returns.
+	workers int
+	pool    *sim.Pool
 	// doneHeap orders predicted completion times; entries invalidate
 	// lazily via tab.doneGen.
 	doneHeap doneHeap
@@ -140,6 +149,8 @@ func NewNetwork(eng *sim.Engine, g *topo.Graph) *Network {
 		caps:       make([]float64, 2*len(g.Links)),
 		solver:     defaultSolver,
 		dirtyEpoch: 1,
+		workers:    1,
+		scratches:  make([]solverScratch, 1),
 	}
 	for _, l := range g.Links {
 		n.caps[2*l.ID] = l.Bandwidth

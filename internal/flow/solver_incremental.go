@@ -19,6 +19,8 @@ import (
 //     touched components from scratch while keeping every other flow's
 //     rate is exactly the global solution. When the dirty region spans
 //     the whole network this degenerates into a full (heap-driven) solve.
+//     The region is discovered segmented into its connected components,
+//     which can be re-solved in parallel (solver_shard.go, DESIGN.md §12).
 //  3. Heaps for both bottleneck selection (shareHeap over channel fair
 //     shares, lazily invalidated by chanGen) and completion scheduling
 //     (doneHeap over predicted finish times, lazily invalidated by
@@ -255,194 +257,47 @@ func (n *Network) consumeDirty() {
 }
 
 // recomputeIncremental re-solves the region of the contention graph
-// touched by the dirty channels; flows outside it keep their rates.
+// touched by the dirty channels; flows outside it keep their rates. The
+// region is discovered segmented into connected components
+// (solver_shard.go), each component is progressively filled independently
+// — in parallel when SetWorkers allows and the region is big enough — and
+// the completion predictions are merged sequentially in (component root,
+// start order) order, keeping the result bit-identical to the fully
+// sequential solve at any worker count.
 func (n *Network) recomputeIncremental() {
 	n.Recomputes++
 	if len(n.dirtyChans) == 0 {
 		return
 	}
-	t := &n.tab
 	if n.Active() == 0 {
 		n.consumeDirty()
 		return
 	}
 	now := n.eng.Now()
-	// Region discovery: BFS over the flow/channel bipartite graph from
-	// the dirty channels.
-	n.epoch++
-	ep := n.epoch
-	regionChans := n.regionChans[:0]
-	regionFlows := n.regionFlows[:0]
-	for _, c := range n.dirtyChans {
-		if n.regionStamp[c] != ep {
-			n.regionStamp[c] = ep
-			regionChans = append(regionChans, c)
-		}
-	}
-	n.consumeDirty()
-	for head := 0; head < len(regionChans); head++ {
-		for _, sl := range n.chanFlows[regionChans[head]] {
-			if t.mark[sl.idx] == ep {
-				continue
-			}
-			t.mark[sl.idx] = ep
-			regionFlows = append(regionFlows, sl.idx)
-			for _, c2 := range t.path(sl.idx) {
-				if n.regionStamp[c2] != ep {
-					n.regionStamp[c2] = ep
-					regionChans = append(regionChans, c2)
-				}
-			}
-		}
-	}
-	n.regionChans = regionChans
-	n.regionFlows = regionFlows
-	if len(regionFlows) == 0 {
+	comps := n.discoverComponents()
+	if len(comps) == 0 {
 		return
 	}
-	// Integrate region flows to now under their outgoing rates before
-	// re-rating them (with counters attached advanceAll already did).
-	if n.cc == nil {
-		for _, idx := range regionFlows {
-			n.advanceFlow(idx, now)
+	n.solveComponents(comps, now)
+	// Merge: predict completions for every re-rated flow, sequentially in
+	// ascending component-root order (the canonical order fixed by
+	// discoverComponents), flows in discovery order within a component —
+	// the same total order the unsharded solve produced.
+	t := &n.tab
+	for ci := range comps {
+		comp := &comps[ci]
+		for _, idx := range n.regionFlows[comp.flowOff : comp.flowOff+comp.flowLen] {
+			n.checkRate(idx)
+			t.doneGen[idx]++
+			n.doneHeap.push(doneEntry{
+				at:  now + sim.Time(t.remaining[idx]/t.rate[idx]),
+				seq: t.seq[idx],
+				gen: t.doneGen[idx],
+				idx: idx,
+			})
 		}
-	}
-	// Progressive filling restricted to the region, bottleneck selection
-	// via the share heap.
-	h := &n.shareHeap
-	*h = (*h)[:0]
-	for _, c := range regionChans {
-		cnt := int32(len(n.chanFlows[c]))
-		n.residual[c] = n.caps[c]
-		n.unfrozenCnt[c] = cnt
-		n.chanGen[c]++
-		if cnt > 0 {
-			if n.cc != nil {
-				n.cc.NoteActive(c, int(cnt))
-			}
-			n.pushedGen[c] = n.chanGen[c]
-			*h = append(*h, shareEntry{share: n.caps[c] / float64(cnt), c: c, gen: n.chanGen[c]})
-		}
-	}
-	h.init()
-	for _, idx := range regionFlows {
-		t.rate[idx] = -1 // unfrozen
-	}
-	remaining := len(regionFlows)
-	for remaining > 0 {
-		e, ok := n.popValidShare()
-		if !ok {
-			panic("flow: unfrozen flows but no bottleneck channel")
-		}
-		// Epsilon tie-break: gather every live candidate whose share is
-		// equal to the minimum within tolerance and freeze the smallest
-		// channel ID, so last-ulp share differences cannot flip the
-		// bottleneck choice. Candidates are held aside and re-queued
-		// after the choice (re-queueing inside the scan would just pop
-		// the same minimum again).
-		best := e
-		ties := n.tieScratch[:0]
-		for len(*h) > 0 {
-			top := (*h)[0]
-			if top.gen != n.chanGen[top.c] {
-				h.pop()
-				continue
-			}
-			if !sharesEqual(top.share, e.share) {
-				break
-			}
-			h.pop()
-			if top.c < best.c {
-				ties = append(ties, best)
-				best = top
-			} else {
-				ties = append(ties, top)
-			}
-		}
-		remaining -= n.freezeChannel(best.c, best.share)
-		for _, tie := range ties {
-			n.pushBack(tie)
-		}
-		n.tieScratch = ties[:0]
-	}
-	// Predict completions for every re-rated flow.
-	for _, idx := range regionFlows {
-		n.checkRate(idx)
-		t.doneGen[idx]++
-		n.doneHeap.push(doneEntry{
-			at:  now + sim.Time(t.remaining[idx]/t.rate[idx]),
-			seq: t.seq[idx],
-			gen: t.doneGen[idx],
-			idx: idx,
-		})
 	}
 	n.maybeCompactDoneHeap()
-}
-
-// popValidShare pops heap entries until one reflects current state.
-func (n *Network) popValidShare() (shareEntry, bool) {
-	h := &n.shareHeap
-	for len(*h) > 0 {
-		e := h.pop()
-		if e.gen == n.chanGen[e.c] {
-			return e, true
-		}
-	}
-	return shareEntry{}, false
-}
-
-// pushBack re-inserts a still-live candidate popped during tie-breaking.
-func (n *Network) pushBack(e shareEntry) {
-	if e.gen == n.chanGen[e.c] {
-		n.shareHeap.push(e)
-	}
-}
-
-// freezeChannel freezes every unfrozen flow crossing bott at share (in
-// start order, for deterministic float arithmetic), updates residuals
-// and re-queues the touched channels. Returns the number frozen.
-func (n *Network) freezeChannel(bott topo.ChannelID, share float64) int {
-	t := &n.tab
-	fs := n.freeze[:0]
-	for _, sl := range n.chanFlows[bott] {
-		if t.rate[sl.idx] < 0 {
-			fs = append(fs, sl.idx)
-		}
-	}
-	// Insertion sort by seq: bottleneck freeze sets are usually small, and
-	// membership order is insertion order, already mostly sorted.
-	for i := 1; i < len(fs); i++ {
-		for j := i; j > 0 && t.seq[fs[j]] < t.seq[fs[j-1]]; j-- {
-			fs[j], fs[j-1] = fs[j-1], fs[j]
-		}
-	}
-	for _, idx := range fs {
-		t.rate[idx] = share
-		t.bott[idx] = bott
-		for _, c := range t.path(idx) {
-			n.residual[c] -= share
-			if n.residual[c] < 0 {
-				n.residual[c] = 0
-			}
-			n.unfrozenCnt[c]--
-			n.chanGen[c]++
-		}
-	}
-	// Re-queue each touched channel once, at its updated share.
-	for _, idx := range fs {
-		for _, c := range t.path(idx) {
-			if n.unfrozenCnt[c] > 0 && n.pushedGen[c] != n.chanGen[c] {
-				n.pushedGen[c] = n.chanGen[c]
-				n.shareHeap.push(shareEntry{
-					share: n.residual[c] / float64(n.unfrozenCnt[c]),
-					c:     c,
-					gen:   n.chanGen[c],
-				})
-			}
-		}
-	}
-	n.freeze = fs[:0]
-	return len(fs)
 }
 
 // scheduleNextDoneHeap points the completion event at the earliest live

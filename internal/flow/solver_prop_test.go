@@ -106,15 +106,20 @@ type propResult struct {
 }
 
 // runPropInstance replays inst's ops on a fresh engine/network under the
-// given solver. Cancels and starts are scheduled in generation order, so
-// the engine's (time, seq) FIFO makes the interleaving identical across
-// solvers. movedHops is measured from flow state at each cancel/completion
-// boundary, independently of the counters it is later checked against.
-func runPropInstance(t *testing.T, inst propInstance, s Solver) propResult {
+// given solver and shard worker count (workers <= 1 keeps the sequential
+// path; only SolverIncremental shards). Cancels and starts are scheduled
+// in generation order, so the engine's (time, seq) FIFO makes the
+// interleaving identical across solvers. movedHops is measured from flow
+// state at each cancel/completion boundary, independently of the counters
+// it is later checked against.
+func runPropInstance(t *testing.T, inst propInstance, s Solver, workers int) propResult {
 	t.Helper()
 	eng := sim.NewEngine()
 	net := NewNetwork(eng, inst.g)
 	net.SetSolver(s)
+	if workers > 1 {
+		net.SetWorkers(workers)
+	}
 	cc := telemetry.NewChannelCounters(inst.g)
 	net.SetCounters(cc)
 
@@ -184,13 +189,22 @@ func relClose(a, b, relEps, absEps float64) bool {
 
 // TestSolverEquivalenceProperty is the acceptance property for the
 // incremental solver: on >= 120 randomized instances it must be
-// indistinguishable from the reference solver.
+// indistinguishable from the reference solver, and the sharded variant
+// must be bit-identical to the sequential one.
 func TestSolverEquivalenceProperty(t *testing.T) {
+	defer func(old int) { shardMinFlows = old }(shardMinFlows)
+	shardMinFlows = 0 // force parallel dispatch on these tiny instances
 	const instances = 120
 	for seed := uint64(0); seed < instances; seed++ {
 		inst := genInstance(seed)
-		inc := runPropInstance(t, inst, SolverIncremental)
-		ref := runPropInstance(t, inst, SolverReference)
+		inc := runPropInstance(t, inst, SolverIncremental, 1)
+		ref := runPropInstance(t, inst, SolverReference, 1)
+
+		// The sharded solver is held to a stricter bar than the reference
+		// oracle: not epsilon-close but bit-identical to the sequential
+		// incremental solve.
+		shard := runPropInstance(t, inst, SolverIncremental, 4)
+		requireBitIdentical(t, seed, "workers=4", inc, shard)
 
 		// Identical completion sets and times.
 		if len(inc.doneAt) != len(ref.doneAt) {

@@ -91,6 +91,29 @@ func TestNoHandleMapsInFlowFabricHotPaths(t *testing.T) {
 	}
 }
 
+// TestNoMapsInComponentIndexHotPath bans maps of ANY key type in the
+// sharded solver's component-index hot path and the fork-join pool under
+// it: component discovery runs on every settle and the solve body runs on
+// pool workers, so both must stay on epoch-stamped flat slices (a map
+// would also be a latent data race between workers). Stricter than the
+// keyed bans above on purpose — these files have no legitimate map use.
+func TestNoMapsInComponentIndexHotPath(t *testing.T) {
+	fset := token.NewFileSet()
+	for _, file := range []string{"../flow/solver_shard.go", "../sim/pool.go"} {
+		f, err := parser.ParseFile(fset, file, nil, 0)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", file, err)
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if m, ok := n.(*ast.MapType); ok {
+				t.Errorf("%s: map in the component-index hot path — use epoch-stamped flat slices over the channel/flow space instead",
+					fset.Position(m.Pos()))
+			}
+			return true
+		})
+	}
+}
+
 func isIdent(e ast.Expr, name string) bool {
 	id, ok := e.(*ast.Ident)
 	return ok && id.Name == name

@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a bounded fork-join worker pool for parallel work *inside* a
+// discrete-event callback. The engine is strictly sequential: an event
+// callback owns the simulation until it returns, so any parallelism it
+// spawns must be joined before that boundary — otherwise a worker could
+// observe (or mutate) simulation state while the engine has already moved
+// on to the next event. Pool.Run enforces exactly that contract: it forks
+// up to Workers goroutines, runs every job, and does not return until all
+// of them have finished (event-boundary synchronization). No goroutine
+// outlives a Run call, so a Pool needs no Close and an idle Pool costs
+// nothing.
+//
+// Determinism is the caller's half of the bargain: jobs run in arbitrary
+// order on arbitrary workers, so Run is only safe for job sets whose
+// writes are disjoint and whose per-job arithmetic does not depend on
+// scheduling; callers that need reproducible global output must merge the
+// per-job results in a canonical order after Run returns (see
+// flow/solver_shard.go).
+type Pool struct {
+	workers int
+}
+
+// NewPool sizes a pool; workers <= 0 selects GOMAXPROCS.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers reports the pool's parallelism bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// Run executes fn(worker, job) for every job in [0, jobs) on at most
+// Workers() concurrent goroutines and returns only when every dispatched
+// job has completed. The calling goroutine participates as worker 0;
+// worker identifies the slot in [0, min(Workers, jobs)) running the job,
+// so callers can hand each worker private scratch. Jobs are pulled from a
+// shared atomic counter (dynamic load balancing — component sizes are
+// typically skewed). If a job panics, the first panic value is re-raised
+// on the calling goroutine after the join, preserving the event boundary
+// even on failure; jobs already claimed by other workers still run.
+func (p *Pool) Run(jobs int, fn func(worker, job int)) {
+	if jobs <= 0 {
+		return
+	}
+	nw := p.workers
+	if nw > jobs {
+		nw = jobs
+	}
+	if nw <= 1 {
+		for j := 0; j < jobs; j++ {
+			fn(0, j)
+		}
+		return
+	}
+	var next atomic.Int64
+	var panicOnce sync.Once
+	var panicked any
+	work := func(worker int) {
+		defer func() {
+			if r := recover(); r != nil {
+				panicOnce.Do(func() { panicked = r })
+			}
+		}()
+		for {
+			j := int(next.Add(1)) - 1
+			if j >= jobs {
+				return
+			}
+			fn(worker, j)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(nw - 1)
+	for w := 1; w < nw; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			work(worker)
+		}(w)
+	}
+	work(0)
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}

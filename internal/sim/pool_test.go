@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestPoolRunsEveryJob checks that every job index runs exactly once,
+// across job counts straddling the worker count.
+func TestPoolRunsEveryJob(t *testing.T) {
+	p := NewPool(4)
+	if p.Workers() != 4 {
+		t.Fatalf("Workers() = %d, want 4", p.Workers())
+	}
+	for _, jobs := range []int{0, 1, 3, 4, 5, 64, 1000} {
+		hits := make([]atomic.Int32, jobs)
+		p.Run(jobs, func(worker, job int) {
+			if worker < 0 || worker >= 4 {
+				t.Errorf("worker %d out of range", worker)
+			}
+			hits[job].Add(1)
+		})
+		for j := range hits {
+			if got := hits[j].Load(); got != 1 {
+				t.Fatalf("jobs=%d: job %d ran %d times", jobs, j, got)
+			}
+		}
+	}
+}
+
+// TestPoolJoinsBeforeReturn checks the event-boundary contract: when Run
+// returns, every job's effects are visible to the caller with no further
+// synchronization.
+func TestPoolJoinsBeforeReturn(t *testing.T) {
+	p := NewPool(8)
+	const jobs = 512
+	out := make([]int, jobs) // plain writes: the join must publish them
+	p.Run(jobs, func(_, job int) { out[job] = job + 1 })
+	for j, v := range out {
+		if v != j+1 {
+			t.Fatalf("job %d effect not visible after Run returned", j)
+		}
+	}
+}
+
+// TestPoolWorkerScratchIsExclusive checks that a worker index is never
+// used by two goroutines at once, the property the solver relies on to
+// hand each worker private scratch.
+func TestPoolWorkerScratchIsExclusive(t *testing.T) {
+	const workers = 4
+	p := NewPool(workers)
+	var busy [workers]atomic.Int32
+	p.Run(256, func(worker, _ int) {
+		if busy[worker].Add(1) != 1 {
+			t.Errorf("worker slot %d used concurrently", worker)
+		}
+		busy[worker].Add(-1)
+	})
+}
+
+// TestPoolPanicPropagates checks that a job panic is re-raised on the
+// calling goroutine after the join, not swallowed or crashed elsewhere.
+func TestPoolPanicPropagates(t *testing.T) {
+	p := NewPool(4)
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want \"boom\"", r)
+		}
+	}()
+	p.Run(64, func(_, job int) {
+		if job == 17 {
+			panic("boom")
+		}
+	})
+	t.Fatal("Run returned normally despite panicking job")
+}
+
+// TestPoolZeroSelectsGOMAXPROCS pins the sizing rule shared with
+// flow.Network.SetWorkers.
+func TestPoolZeroSelectsGOMAXPROCS(t *testing.T) {
+	if NewPool(0).Workers() < 1 {
+		t.Fatal("NewPool(0) sized below 1")
+	}
+	if NewPool(-3).Workers() < 1 {
+		t.Fatal("NewPool(-3) sized below 1")
+	}
+}
