@@ -2,19 +2,20 @@
 
 DATE := $(shell date +%F)
 
-.PHONY: all build test race vet check bench bench-check bench-solver bench-sweep bench-sweep-check bench-degraded bench-degraded-check bench-telemetry bench-telemetry-check bench-scale bench-scale-check bench-shard bench-shard-check
+.PHONY: all build test race vet check bench bench-check bench-solver bench-sweep bench-sweep-check bench-degraded bench-degraded-check bench-telemetry bench-telemetry-check bench-scale bench-scale-check bench-shard bench-shard-check bench-events bench-events-check
 
 # BASELINE is the committed bench document bench-check compares against;
 # override with `make bench-check BASELINE=BENCH_....json`. The sweep-
 # engine and degraded-sweep baselines live in their own BENCH_sweep_* /
 # BENCH_degraded_* documents (more iterations, different cadence) and must
 # not be picked up here.
-BASELINE := $(lastword $(sort $(filter-out BENCH_sweep_% BENCH_degraded_% BENCH_telemetry_% BENCH_scale_% BENCH_shard_%,$(wildcard BENCH_*.json))))
+BASELINE := $(lastword $(sort $(filter-out BENCH_sweep_% BENCH_degraded_% BENCH_telemetry_% BENCH_scale_% BENCH_shard_% BENCH_events_%,$(wildcard BENCH_*.json))))
 SWEEPBASELINE := $(lastword $(sort $(wildcard BENCH_sweep_*.json)))
 DEGBASELINE := $(lastword $(sort $(wildcard BENCH_degraded_*.json)))
 TELBASELINE := $(lastword $(sort $(wildcard BENCH_telemetry_*.json)))
 SCALEBASELINE := $(lastword $(sort $(wildcard BENCH_scale_*.json)))
 SHARDBASELINE := $(lastword $(sort $(wildcard BENCH_shard_*.json)))
+EVENTSBASELINE := $(lastword $(sort $(wildcard BENCH_events_*.json)))
 
 # The sweep-engine benchmarks (parallel runner + table cache).
 SWEEPBENCH := BenchmarkSweepParallel|BenchmarkTablesBuild
@@ -33,6 +34,11 @@ SCALEBENCH := BenchmarkFlowChurn|BenchmarkScaleRun
 # The sharded-solver benchmark: component re-solve flows/s at 1/2/4/8
 # workers over the 100k-flow churn workload.
 SHARDBENCH := BenchmarkSolverShard
+
+# The event-core benchmarks: steady-state arena churn (the 0 allocs/op
+# contract) and the instrumented-vs-detached endurance loop.
+EVENTCHURNBENCH := BenchmarkEventChurn
+EVENTSCALEBENCH := BenchmarkScaleInstrumented
 
 all: check
 
@@ -156,3 +162,25 @@ bench-shard:
 bench-shard-check:
 	go test -run xxx -bench '$(SHARDBENCH)' -benchtime 20x . \
 		| go run ./cmd/benchjson -filter 'SolverShard' -baseline $(SHARDBASELINE) > /dev/null
+
+# bench-events records the event-core baseline: steady-state event churn
+# (the allocs/op column MUST read 0 — the generation-tagged arena contract)
+# plus the windowed endurance loop with the full observability stack
+# attached vs detached (the instrumented msgs/s must stay within 15% of
+# detached, DESIGN.md §13). The two benches need different iteration
+# counts (one is a microbench, one a full run), so they run as two
+# invocations feeding one benchjson document. Committed as
+# BENCH_events_<date>.json.
+bench-events:
+	( go test -run xxx -bench '$(EVENTCHURNBENCH)' -benchtime 200000x -benchmem . ; \
+	  go test -run xxx -bench '$(EVENTSCALEBENCH)' -benchtime 10x -benchmem . ) \
+		| go run ./cmd/benchjson -filter 'EventChurn|ScaleInstrumented' -out BENCH_events_$(DATE).json
+	@echo "event-core baseline written to BENCH_events_$(DATE).json"
+
+# bench-events-check reruns the event-core benchmarks and compares ns/op,
+# B/op, allocs/op and the msgs/s / events/s throughputs against the newest
+# committed events baseline (warn-only, like bench-check).
+bench-events-check:
+	( go test -run xxx -bench '$(EVENTCHURNBENCH)' -benchtime 200000x -benchmem . ; \
+	  go test -run xxx -bench '$(EVENTSCALEBENCH)' -benchtime 10x -benchmem . ) \
+		| go run ./cmd/benchjson -filter 'EventChurn|ScaleInstrumented' -baseline $(EVENTSBASELINE) > /dev/null

@@ -830,6 +830,101 @@ func BenchmarkScaleRun(b *testing.B) {
 	prof.ReportRuntimeMetrics(b)
 }
 
+// --- event-core benches (DESIGN.md Sec. 13) ---
+
+// BenchmarkEventChurn measures the dense event arena at steady state: a
+// resident population of self-re-arming ticks plus a tracked pool of
+// far-future one-shots, where each op executes one event (its reused
+// closure immediately re-arms itself), cancels a one-shot, schedules its
+// replacement, and re-sequences another — the four mutation paths of the
+// event core. The allocs/op column is the headline: the generation-tagged
+// slot arena plus the value-indexed 4-ary heap must hold steady-state churn
+// at exactly zero allocations per op (a regression here re-boxes every
+// event the endurance runs execute by the hundred million). events/s
+// counts executed events.
+func BenchmarkEventChurn(b *testing.B) {
+	for _, pending := range []int{64, 4096} {
+		pending := pending
+		b.Run(fmt.Sprintf("pending=%d", pending), func(b *testing.B) {
+			eng := sim.NewEngine()
+			const horizon = sim.Duration(1e-6)
+			// The executing population: each tick re-arms itself through the
+			// SAME closure value, so Step's pop + the re-arm recycle one slot
+			// with no allocation.
+			var tick func(*sim.Engine)
+			tick = func(e *sim.Engine) { e.After(horizon, tick) }
+			for i := 0; i < pending; i++ {
+				eng.After(horizon*sim.Duration(i+1)/sim.Duration(pending), tick)
+			}
+			// The churn victims: far-future one-shots that never execute, so
+			// the tracked handles stay live across ops.
+			noop := func(*sim.Engine) {}
+			const far = sim.Duration(3600)
+			victims := make([]sim.EventID, 64)
+			for i := range victims {
+				victims[i] = eng.After(far, noop)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := i % len(victims)
+				eng.Cancel(victims[k])
+				victims[k] = eng.After(far, noop)
+				if !eng.Reschedule(victims[(k+1)%len(victims)], eng.Now()+far) {
+					b.Fatal("live victim handle went stale")
+				}
+				eng.Step()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
+}
+
+// BenchmarkScaleInstrumented holds the tentpole claim of DESIGN.md §13 to a
+// number: the windowed endurance loop with the FULL observability stack
+// attached (channel counters, per-message records, engine probe, streaming
+// sink) versus the blind run, at the same CI-sized lattice as
+// BenchmarkScaleRun. With region-local counter integration and the
+// allocation-free event core, the instrumented msgs/s must stay within 15%
+// of detached (EXPERIMENTS.md records the measured gap); before this, the
+// counter-attached run paid an O(live-flows) advanceAll on every settle and
+// was budgeted separately.
+func BenchmarkScaleInstrumented(b *testing.B) {
+	const msgs = 20000
+	for _, mode := range []struct {
+		name string
+		inst bool
+	}{
+		{"detached", false},
+		{"instrumented", true},
+	} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var events uint64
+			for i := 0; i < b.N; i++ {
+				res, err := exp.RunScale(exp.ScaleSpec{
+					S: []int{6, 4}, T: 32, // 768 terminals
+					Window: 128, Messages: msgs, MsgBytes: 16 * 1024,
+					Seed: 1, Instrumented: mode.inst,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Delivered != msgs {
+					b.Fatalf("delivered %d of %d", res.Delivered, msgs)
+				}
+				events = res.Events
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)*msgs/b.Elapsed().Seconds(), "msgs/s")
+			b.ReportMetric(float64(b.N)*float64(events)/b.Elapsed().Seconds(), "events/s")
+			prof.ReportRuntimeMetrics(b)
+		})
+	}
+}
+
 // --- telemetry export benches (DESIGN.md Sec. 10) ---
 
 // BenchmarkExportStreaming measures the telemetry pipeline's per-message

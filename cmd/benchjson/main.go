@@ -174,16 +174,19 @@ func compareBaseline(cur Doc, path string, warnPct float64, keep *regexp.Regexp)
 	}
 }
 
-// compareUnits lists the comparable metrics of one entry: ns/op and B/op
-// (both lower-is-better) plus any throughput ("/s") metrics, in a
+// compareUnits lists the comparable metrics of one entry: ns/op, B/op and
+// allocs/op (all lower-is-better) plus any throughput ("/s") metrics, in a
 // deterministic order.
 func compareUnits(m map[string]float64) []string {
-	units := make([]string, 0, 3)
+	units := make([]string, 0, 4)
 	if _, ok := m["ns/op"]; ok {
 		units = append(units, "ns/op")
 	}
 	if _, ok := m["B/op"]; ok {
 		units = append(units, "B/op")
+	}
+	if _, ok := m["allocs/op"]; ok {
+		units = append(units, "allocs/op")
 	}
 	var th []string
 	for u := range m {

@@ -960,9 +960,14 @@ func runScale(cli scaleCLI) {
 		T: cli.t, Messages: cli.msgs, Window: cli.window,
 		MsgBytes: cli.size, Routing: cli.routing, Seed: cli.seed,
 		SolverWorkers: cli.solverJ,
-		Progress: func(delivered uint64, now sim.Time) {
-			fmt.Fprintf(os.Stderr, "\rscale: %d delivered  sim %.3fs  wall %s ",
-				delivered, float64(now), time.Since(start).Round(time.Second))
+		Progress: func(delivered uint64, now sim.Time, events uint64) {
+			wall := time.Since(start)
+			evps := 0.0
+			if s := wall.Seconds(); s > 0 {
+				evps = float64(events) / s
+			}
+			fmt.Fprintf(os.Stderr, "\rscale: %d delivered  sim %.3fs  wall %s  %.2fM events/s ",
+				delivered, float64(now), wall.Round(time.Second), evps/1e6)
 		},
 	}
 	res, err := exp.RunScale(spec)
@@ -973,9 +978,10 @@ func runScale(cli scaleCLI) {
 	fmt.Printf("scale run: %d terminals over %d switches\n", res.Terminals, res.Switches)
 	fmt.Printf("delivered %d messages (%.2f GiB) in %.3f simulated s\n",
 		res.Delivered, res.DeliveredBytes/(1<<30), float64(res.SimElapsed))
-	fmt.Printf("build %s | run %s (%.0f msgs/s) | %d flow recomputes | solver-j %d\n",
+	fmt.Printf("build %s | run %s (%.0f msgs/s, %.0f events/s) | %d events | %d flow recomputes | solver-j %d\n",
 		res.BuildWall.Round(time.Millisecond), res.RunWall.Round(time.Millisecond),
-		float64(res.Delivered)/res.RunWall.Seconds(), res.Recomputes, res.SolverWorkers)
+		float64(res.Delivered)/res.RunWall.Seconds(), float64(res.Events)/res.RunWall.Seconds(),
+		res.Events, res.Recomputes, res.SolverWorkers)
 	if res.PeakRSSBytes > 0 {
 		fmt.Printf("peak RSS %.1f MiB\n", float64(res.PeakRSSBytes)/(1<<20))
 	}

@@ -8,6 +8,7 @@ import (
 	"github.com/hpcsim/t2hx/internal/prof"
 	"github.com/hpcsim/t2hx/internal/route"
 	"github.com/hpcsim/t2hx/internal/sim"
+	"github.com/hpcsim/t2hx/internal/telemetry"
 	"github.com/hpcsim/t2hx/internal/topo"
 )
 
@@ -48,9 +49,18 @@ type ScaleSpec struct {
 	// solver sequential; negative selects GOMAXPROCS. The run's results
 	// are bit-identical at every setting — only wall time changes.
 	SolverWorkers int
+	// Instrumented attaches the full observability stack — IB-style
+	// channel counters, per-message FCT records, the engine queue-depth
+	// probe and a streaming sink — exactly as a counter-reading experiment
+	// would. Since the event core went allocation-free and counter
+	// integration became region-local, the instrumented run costs within a
+	// few percent of the blind run (EXPERIMENTS.md); the flag exists so
+	// BenchmarkScaleInstrumented can hold the comparison to that.
+	Instrumented bool
 	// Progress, when set, is invoked every ProgressEvery deliveries (and
-	// once at the end) with the running total and the simulated clock.
-	Progress      func(delivered uint64, now sim.Time)
+	// once at the end) with the running total, the simulated clock, and
+	// the engine's executed-event count.
+	Progress      func(delivered uint64, now sim.Time, events uint64)
 	ProgressEvery uint64
 }
 
@@ -69,6 +79,9 @@ type ScaleResult struct {
 	RunWall   time.Duration
 	// Recomputes counts flow-network rate recomputations.
 	Recomputes uint64
+	// Events is the engine's executed-event count — with RunWall, the
+	// events/s throughput of the event core itself.
+	Events uint64
 	// SolverWorkers is the effective flow-solver shard parallelism the run
 	// used (after GOMAXPROCS resolution); 1 means fully sequential.
 	SolverWorkers int
@@ -157,6 +170,17 @@ func RunScale(spec ScaleSpec) (*ScaleResult, error) {
 	params := fabric.DefaultParams()
 	params.SolverWorkers = spec.SolverWorkers
 	f := fabric.New(eng, tb, params, spec.Seed)
+	var col *telemetry.Collector
+	var sink *telemetry.CountSink
+	if spec.Instrumented {
+		// The full observability stack of a counter-reading experiment:
+		// channel counters, message records, the engine probe, and a
+		// streaming sink draining closed records as they happen.
+		col = telemetry.New(hx.Graph, telemetry.Options{Counters: true, Messages: true})
+		sink = telemetry.NewCountSink()
+		col.SetSink(sink)
+		f.AttachTelemetry(col)
+	}
 	res := &ScaleResult{
 		Terminals:     hx.Graph.NumTerminals(),
 		Switches:      hx.Graph.NumSwitches(),
@@ -191,7 +215,7 @@ func RunScale(spec ScaleSpec) (*ScaleResult, error) {
 		delivered++
 		if spec.Progress != nil && delivered%spec.ProgressEvery == 0 {
 			lastProgress = delivered
-			spec.Progress(delivered, at)
+			spec.Progress(delivered, at, eng.Processed)
 		}
 		sendNext()
 	}
@@ -206,12 +230,28 @@ func RunScale(spec ScaleSpec) (*ScaleResult, error) {
 	res.Delivered = f.Delivered
 	res.DeliveredBytes = f.DeliveredBytes
 	res.Recomputes = f.Net.Recomputes
+	res.Events = eng.Processed
 	res.PeakRSSBytes = prof.ReadRuntimeMetrics().PeakRSSBytes
+	if spec.Instrumented {
+		// End-of-run snapshot boundary: the footer's accessors flush the
+		// lazily-deferred counter integrals, after which the conservation
+		// identity must hold exactly for the delivered traffic.
+		if err := col.FinishStream(); err != nil {
+			return res, err
+		}
+		want := float64(res.Delivered) * float64(spec.MsgBytes)
+		if got := sink.Count("msg"); got != res.Delivered {
+			return res, fmt.Errorf("exp: instrumented scale run streamed %d msg lines, delivered %d", got, res.Delivered)
+		}
+		if total := col.Chans.TotalXmitData(); total < want {
+			return res, fmt.Errorf("exp: instrumented scale run moved %.0f fabric bytes < %.0f delivered payload bytes", total, want)
+		}
+	}
 	// Final progress call only when the drain left deliveries unreported:
 	// when Messages is a multiple of ProgressEvery, the last delivery
 	// already fired the callback with these exact totals.
 	if spec.Progress != nil && delivered != lastProgress {
-		spec.Progress(delivered, res.SimElapsed)
+		spec.Progress(delivered, res.SimElapsed, res.Events)
 	}
 	if res.Delivered != spec.Messages {
 		return res, fmt.Errorf("exp: scale run drained with %d of %d messages delivered",

@@ -16,7 +16,7 @@ func TestRunScaleSmall(t *testing.T) {
 		S: []int{4, 4}, T: 8,
 		Window: 32, Messages: 5000, MsgBytes: 4096,
 		Strides: 4, Seed: 1,
-		Progress:      func(uint64, sim.Time) { ticks++ },
+		Progress:      func(uint64, sim.Time, uint64) { ticks++ },
 		ProgressEvery: 1000,
 	})
 	if err != nil {
@@ -94,7 +94,7 @@ func TestScaleProgressNoDuplicateFinal(t *testing.T) {
 			S: []int{2, 2}, T: 2,
 			Window: 8, Messages: messages, MsgBytes: 4096,
 			Strides: 4, Seed: 1,
-			Progress:      func(d uint64, _ sim.Time) { calls = append(calls, d) },
+			Progress:      func(d uint64, _ sim.Time, _ uint64) { calls = append(calls, d) },
 			ProgressEvery: 500,
 		})
 		if err != nil {

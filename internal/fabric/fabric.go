@@ -175,6 +175,13 @@ func (f *Fabric) AttachTelemetry(c *telemetry.Collector) {
 	c.AttachEngine(f.Eng)
 }
 
+// FlushCounters forces the flow network's lazily-deferred counter
+// integrals up to the current instant — the barrier to invoke before
+// reading the attached collector's counter slices directly at a snapshot
+// boundary (fault teardown, end-of-run, mid-run export). The collector's
+// own accessors flush implicitly.
+func (f *Fabric) FlushCounters() { f.Net.FlushCounters() }
+
 // EnableBFO switches the fabric to the modified bfo PML for PARX tables on
 // the given HyperX. threshold <= 0 selects the paper's 512-byte default.
 func (f *Fabric) EnableBFO(hx *topo.HyperX, threshold int64) error {

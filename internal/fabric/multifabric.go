@@ -243,3 +243,11 @@ func (mf *MultiFabric) AttachTelemetry(tm *telemetry.Multi) error {
 	}
 	return nil
 }
+
+// FlushCounters fans the counter-integration barrier out to every plane's
+// flow network (see Fabric.FlushCounters).
+func (mf *MultiFabric) FlushCounters() {
+	for _, f := range mf.planes {
+		f.FlushCounters()
+	}
+}

@@ -229,6 +229,11 @@ func pathBroken(g *topo.Graph, p []topo.ChannelID) bool {
 // loop (the IB transport's timeout/retransmit path). It returns the number
 // of flows torn down. Callers flip the topo.Link Down flags before calling.
 func (f *Fabric) FailChannels(dead func(topo.ChannelID) bool) int {
+	// Snapshot boundary: integrate every flow to the fault instant before
+	// any teardown, so the counters credit exactly the bytes that crossed
+	// the fabric while the links were still up. (Cancel would advance each
+	// victim anyway; this also closes the intervals of the survivors.)
+	f.Net.FlushCounters()
 	f.InvalidatePaths()
 	if f.res == nil {
 		return 0

@@ -75,7 +75,7 @@ func TestMaxMinProperty(t *testing.T) {
 		maxRateOn := map[topo.ChannelID]float64{}
 		var active []int32
 		for i := range net.tab.live {
-			if net.tab.live[i] && net.tab.zeroEv[i] == nil {
+			if net.tab.live[i] && net.tab.zeroEv[i] == 0 {
 				active = append(active, int32(i))
 			}
 		}

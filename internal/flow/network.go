@@ -65,8 +65,13 @@ type Network struct {
 	tab flowTable
 
 	dirty    bool
-	settleEv *sim.Event
-	doneEv   *sim.Event
+	settleEv sim.EventID
+	doneEv   sim.EventID
+	// settleFn/doneFn are the recurring settle/completion callbacks,
+	// built once and re-Scheduled forever: the event arena recycles their
+	// slots, so steady-state scheduling churn allocates nothing.
+	settleFn func(*sim.Engine)
+	doneFn   func(*sim.Engine)
 
 	solver Solver
 
@@ -186,11 +191,38 @@ func (n *Network) AddNodeChannels(count int, capacity float64) topo.ChannelID {
 }
 
 // SetCounters attaches an IB-style counter set. Pass nil to detach. With
-// counters attached, every advance() interval credits each flow's moved
+// counters attached, each advance() interval credits the flow's moved
 // bytes to its channels (XmitData) and its stalled-time fraction to its
 // bottleneck channel (XmitWait), so the counters integrate the exact
-// piecewise-constant rate trajectory the max-min model computes.
-func (n *Network) SetCounters(cc *telemetry.ChannelCounters) { n.cc = cc }
+// piecewise-constant rate trajectory the max-min model computes. Flows
+// integrate lazily — only when their own rate is about to change — so the
+// counter set is wired back to FlushCounters and any read through its
+// accessors forces the outstanding intervals in first (DESIGN.md §13).
+func (n *Network) SetCounters(cc *telemetry.ChannelCounters) {
+	if n.cc != nil && n.cc != cc {
+		n.cc.SetFlusher(nil)
+	}
+	n.cc = cc
+	if cc != nil {
+		cc.SetFlusher(n.FlushCounters)
+	}
+}
+
+// FlushCounters integrates every live flow up to the current instant, the
+// barrier that makes lazily-integrated counters readable: rates are
+// piecewise-constant and each flow's integral depends only on its own
+// (rate, last), so advancing everyone to now — without recomputing
+// anything — completes every partial interval and restores the exact
+// bytes×hops conservation identity at this instant. Called at every read/
+// export/snapshot boundary (telemetry accessors via the flusher hook,
+// fault teardown, end-of-run); a no-op without counters attached, where
+// nothing observes the integrals between completions.
+func (n *Network) FlushCounters() {
+	if n.cc == nil {
+		return
+	}
+	n.advanceAll()
+}
 
 // Active reports the number of in-flight flows (zero-size flows, which
 // complete at the current instant, are not counted).
@@ -213,7 +245,7 @@ func (n *Network) Start(path []topo.ChannelID, size float64, onDone func(at sim.
 		t.zeroCount++
 		t.zeroEv[idx] = n.eng.After(0, func(e *sim.Engine) {
 			done := t.onDone[idx]
-			t.zeroEv[idx] = nil
+			t.zeroEv[idx] = 0
 			t.zeroCount--
 			t.freeSlot(idx)
 			done(e.Now())
@@ -222,9 +254,6 @@ func (n *Network) Start(path []topo.ChannelID, size float64, onDone func(at sim.
 	}
 	if len(path) == 0 {
 		panic("flow: positive-size flow with empty path")
-	}
-	if n.cc != nil || n.solver == SolverReference {
-		n.advanceAll()
 	}
 	n.ensureChanArrays()
 	idx, id := n.tab.alloc()
@@ -267,16 +296,18 @@ func (n *Network) Cancel(id FlowID) {
 		}
 		return
 	}
-	if ev := n.tab.zeroEv[idx]; ev != nil {
+	if ev := n.tab.zeroEv[idx]; ev != 0 {
 		n.eng.Cancel(ev)
-		n.tab.zeroEv[idx] = nil
+		n.tab.zeroEv[idx] = 0
 		n.tab.zeroCount--
 		n.tab.freeSlot(idx)
 		return
 	}
-	if n.cc != nil || n.solver == SolverReference {
-		n.advanceAll()
-	}
+	// Integrate the cancelled flow itself up to now — it is about to leave
+	// the table, so this is its last chance to credit its partial bytes.
+	// Every other flow whose rate the departure changes is in the settle's
+	// dirty region and advances there, at this same instant.
+	n.advanceFlow(idx, n.eng.Now())
 	n.removeFlow(idx)
 	n.markDirty()
 }
@@ -315,15 +346,16 @@ func (n *Network) advanceFlow(idx int32, now sim.Time) {
 	t.last[idx] = now
 }
 
-// advanceAll integrates every flow up to the current time. Mandatory with
-// counters attached (the integrals must cover every interval); the
-// incremental solver otherwise advances lazily per flow.
+// advanceAll integrates every live flow up to the current time — the
+// flush barrier's workhorse and the reference solver's eager pre-settle
+// step. Walks the dense live list, so a post-churn table with mostly-free
+// capacity costs O(live), not O(capacity).
 func (n *Network) advanceAll() {
 	now := n.eng.Now()
 	t := &n.tab
-	for idx := range t.live {
-		if t.live[idx] && t.zeroEv[idx] == nil {
-			n.advanceFlow(int32(idx), now)
+	for _, idx := range t.liveList {
+		if t.zeroEv[idx] == 0 {
+			n.advanceFlow(idx, now)
 		}
 	}
 }
@@ -332,11 +364,14 @@ func (n *Network) advanceAll() {
 // once, no matter how many flows were added/removed at this instant.
 func (n *Network) markDirty() {
 	n.dirty = true
-	if n.settleEv == nil {
-		n.settleEv = n.eng.After(0, func(*sim.Engine) {
-			n.settleEv = nil
-			n.settle()
-		})
+	if n.settleEv == 0 {
+		if n.settleFn == nil {
+			n.settleFn = func(*sim.Engine) {
+				n.settleEv = 0
+				n.settle()
+			}
+		}
+		n.settleEv = n.eng.After(0, n.settleFn)
 	}
 }
 
@@ -353,9 +388,9 @@ func (n *Network) settle() {
 		n.scheduleNextDoneScan()
 		return
 	}
-	if n.cc != nil {
-		n.advanceAll()
-	}
+	// No advanceAll here: only the dirty region's rates change, and
+	// recomputeIncremental advances exactly those flows before re-rating
+	// them. Everyone else's (rate, last) stays valid and integrates lazily.
 	n.recomputeIncremental()
 	n.scheduleNextDoneHeap()
 }
@@ -408,23 +443,26 @@ func (n *Network) finishFlows(done []int32) {
 	n.cbScratch = cbs[:0]
 }
 
-// scheduleDoneAt points the completion event at t, reusing the queued
-// event when possible.
+// scheduleDoneAt points the completion event at t, rescheduling the
+// queued event in place when possible.
 func (n *Network) scheduleDoneAt(t sim.Time) {
-	if n.doneEv != nil && n.eng.Reschedule(n.doneEv, t) {
+	if n.doneEv != 0 && n.eng.Reschedule(n.doneEv, t) {
 		return
 	}
-	n.doneEv = n.eng.Schedule(t, func(*sim.Engine) {
-		n.doneEv = nil
-		n.completeDue()
-	})
+	if n.doneFn == nil {
+		n.doneFn = func(*sim.Engine) {
+			n.doneEv = 0
+			n.completeDue()
+		}
+	}
+	n.doneEv = n.eng.Schedule(t, n.doneFn)
 }
 
 // cancelDoneEv drops the pending completion event, if any.
 func (n *Network) cancelDoneEv() {
-	if n.doneEv != nil {
+	if n.doneEv != 0 {
 		n.eng.Cancel(n.doneEv)
-		n.doneEv = nil
+		n.doneEv = 0
 	}
 }
 

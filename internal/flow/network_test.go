@@ -234,7 +234,7 @@ func TestConservationProperty(t *testing.T) {
 	e.Step() // settle event
 	usage := map[topo.ChannelID]float64{}
 	for i := range n.tab.live {
-		if !n.tab.live[i] || n.tab.zeroEv[i] != nil {
+		if !n.tab.live[i] || n.tab.zeroEv[i] != 0 {
 			continue
 		}
 		idx := int32(i)

@@ -278,12 +278,25 @@ func (n *Network) recomputeIncremental() {
 	if len(comps) == 0 {
 		return
 	}
+	// Integrate every region flow to now under its outgoing rate before
+	// any re-rating: the region is exactly the set of flows whose rates
+	// may change, so this closes their current piecewise-constant interval
+	// (and credits it to the attached counters) while everyone outside the
+	// region keeps integrating lazily. Done here, sequentially in
+	// component-discovery order, so shard workers never write the shared
+	// counter sums.
+	t := &n.tab
+	for ci := range comps {
+		comp := &comps[ci]
+		for _, idx := range n.regionFlows[comp.flowOff : comp.flowOff+comp.flowLen] {
+			n.advanceFlow(idx, now)
+		}
+	}
 	n.solveComponents(comps, now)
 	// Merge: predict completions for every re-rated flow, sequentially in
 	// ascending component-root order (the canonical order fixed by
 	// discoverComponents), flows in discovery order within a component —
 	// the same total order the unsharded solve produced.
-	t := &n.tab
 	for ci := range comps {
 		comp := &comps[ci]
 		for _, idx := range n.regionFlows[comp.flowOff : comp.flowOff+comp.flowLen] {
@@ -320,9 +333,6 @@ func (n *Network) scheduleNextDoneHeap() {
 // corrected, strictly-future time, guaranteeing progress.
 func (n *Network) completeDueHeap() {
 	now := n.eng.Now()
-	if n.cc != nil {
-		n.advanceAll()
-	}
 	t := &n.tab
 	done := n.doneScratch[:0]
 	h := &n.doneHeap

@@ -130,7 +130,7 @@ func runPropInstance(t *testing.T, inst propInstance, s Solver, workers int) pro
 		op := op
 		if op.cancel {
 			eng.Schedule(op.at, func(*sim.Engine) {
-				if idx, ok := net.lookup(ids[op.idx]); ok && net.tab.zeroEv[idx] == nil {
+				if idx, ok := net.lookup(ids[op.idx]); ok && net.tab.zeroEv[idx] == 0 {
 					// Integrate up to now, then measure the partial bytes
 					// this cancel strands: they must stay credited.
 					net.advanceAll()
@@ -161,7 +161,7 @@ func runPropInstance(t *testing.T, inst propInstance, s Solver, workers int) pro
 		idxOf[id] = k
 	}
 	for i := range net.tab.live {
-		if !net.tab.live[i] || net.tab.zeroEv[i] != nil {
+		if !net.tab.live[i] || net.tab.zeroEv[i] != 0 {
 			continue
 		}
 		id := handleOf(int32(i), net.tab.gen[i])

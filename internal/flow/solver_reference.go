@@ -34,17 +34,19 @@ func (n *Network) recomputeReference() {
 	n.ensureChanArrays()
 	t := &n.tab
 	// Rebuild the channel -> flows index for channels actually used,
-	// initializing each channel's scratch on first touch this epoch.
-	// Slots are walked in index order, so the rebuild is deterministic
-	// (the old map-backed rebuild iterated flows in map order).
+	// initializing each channel's scratch on first touch this epoch. The
+	// dense live list is walked (O(live), not O(capacity)); its order is
+	// event-driven and thus deterministic, and progressive filling is
+	// order-independent anyway — epsilon-equal bottlenecks resolve toward
+	// the smallest channel ID and every flow frozen on a bottleneck
+	// subtracts the identical share.
 	n.refEpoch++
 	ep := n.refEpoch
 	touched := n.refTouched[:0]
-	for i := range t.live {
-		if !t.live[i] || t.zeroEv[i] != nil {
+	for _, idx := range t.liveList {
+		if t.zeroEv[idx] != 0 {
 			continue
 		}
-		idx := int32(i)
 		t.rate[idx] = -1 // unfrozen
 		for _, c := range t.path(idx) {
 			if n.refStamp[c] != ep {
@@ -119,11 +121,10 @@ func (n *Network) scheduleNextDoneScan() {
 	t := &n.tab
 	now := n.eng.Now()
 	soonest := sim.Infinity
-	for i := range t.live {
-		if !t.live[i] || t.zeroEv[i] != nil {
+	for _, idx := range t.liveList {
+		if t.zeroEv[idx] != 0 {
 			continue
 		}
-		idx := int32(i)
 		n.checkRate(idx)
 		at := now + sim.Time(t.remaining[idx]/t.rate[idx])
 		if at < soonest {
@@ -138,9 +139,9 @@ func (n *Network) completeDueScan() {
 	n.advanceAll()
 	t := &n.tab
 	done := n.doneScratch[:0]
-	for i := range t.live {
-		if t.live[i] && t.zeroEv[i] == nil && n.drained(int32(i)) {
-			done = append(done, int32(i))
+	for _, idx := range t.liveList {
+		if t.zeroEv[idx] == 0 && n.drained(idx) {
+			done = append(done, idx)
 		}
 	}
 	n.doneScratch = done[:0]

@@ -34,8 +34,8 @@ import (
 //  3. Telemetry writes from workers are per-channel and therefore
 //     disjoint (ChannelCounters.NoteActive touches only the channel's own
 //     slot); the time-integration writes (AddXmit/AddWait and the shared
-//     HCAWait accumulator) happen in advanceAll on the event goroutine
-//     before dispatch whenever counters are attached.
+//     HCAWait accumulator) happen in recomputeIncremental's sequential
+//     region-advance pass on the event goroutine before dispatch.
 //
 // When the workload couples every flow (e.g. uniform all-to-all traffic
 // where node channels chain the whole network together), discovery finds
@@ -188,14 +188,9 @@ func (n *Network) solveComponent(comp *component, sc *solverScratch, now sim.Tim
 	t := &n.tab
 	chans := n.regionChans[comp.chanOff : comp.chanOff+comp.chanLen]
 	flows := n.regionFlows[comp.flowOff : comp.flowOff+comp.flowLen]
-	// Integrate the component's flows to now under their outgoing rates
-	// before re-rating them (with counters attached, settle's advanceAll
-	// already did — and the shared counter sums must not be written here).
-	if n.cc == nil {
-		for _, idx := range flows {
-			n.advanceFlow(idx, now)
-		}
-	}
+	// The component's flows were already integrated to now by
+	// recomputeIncremental, sequentially, before dispatch — workers must
+	// never write the shared counter sums.
 	h := &sc.shareHeap
 	*h = (*h)[:0]
 	for _, c := range chans {

@@ -84,10 +84,21 @@ type flowTable struct {
 	pathCap []int32
 	onDone  []func(at sim.Time)
 	// zeroEv is the same-instant completion event of a zero-size flow;
-	// nil for positive-size flows.
-	zeroEv []*sim.Event
+	// 0 for positive-size flows.
+	zeroEv []sim.EventID
 
 	free []int32 // LIFO slot free list
+
+	// liveList is the dense list of live slots (zero-size included);
+	// livePos is each slot's position in it (-1 when free). Every whole-
+	// table walk — advanceAll, the reference solver's scans — iterates
+	// liveList, so post-churn tables with mostly-free capacity cost O(live)
+	// per walk, not O(capacity). Maintained by alloc/freeSlot via
+	// swap-remove; its order is event-driven and therefore deterministic,
+	// but it is NOT index order — nothing may derive an ordering from it
+	// (orderings come from seq).
+	liveList []int32
+	livePos  []int32
 
 	arena    []topo.ChannelID // all paths, addressed by (pathOff, pathLen)
 	posArena []int32          // per-hop chanFlows back-pointers, parallel to arena
@@ -120,11 +131,14 @@ func (t *flowTable) alloc() (int32, FlowID) {
 		t.pathLen = append(t.pathLen, 0)
 		t.pathCap = append(t.pathCap, 0)
 		t.onDone = append(t.onDone, nil)
-		t.zeroEv = append(t.zeroEv, nil)
+		t.zeroEv = append(t.zeroEv, 0)
+		t.livePos = append(t.livePos, -1)
 	}
 	t.live[idx] = true
 	t.nextSeq++
 	t.seq[idx] = t.nextSeq
+	t.livePos[idx] = int32(len(t.liveList))
+	t.liveList = append(t.liveList, idx)
 	t.liveCount++
 	return idx, handleOf(idx, t.gen[idx])
 }
@@ -135,7 +149,18 @@ func (t *flowTable) alloc() (int32, FlowID) {
 func (t *flowTable) freeSlot(idx int32) {
 	t.live[idx] = false
 	t.onDone[idx] = nil
-	t.zeroEv[idx] = nil
+	t.zeroEv[idx] = 0
+	// Swap-remove from the dense live list, repairing the moved slot's
+	// back-pointer.
+	p := t.livePos[idx]
+	last := int32(len(t.liveList) - 1)
+	if p != last {
+		moved := t.liveList[last]
+		t.liveList[p] = moved
+		t.livePos[moved] = p
+	}
+	t.liveList = t.liveList[:last]
+	t.livePos[idx] = -1
 	t.doneGen[idx]++
 	t.gen[idx]++
 	if t.gen[idx] == 0 {

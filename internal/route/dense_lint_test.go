@@ -114,6 +114,39 @@ func TestNoMapsInComponentIndexHotPath(t *testing.T) {
 	}
 }
 
+// TestNoContainerHeapInEventAndFlowHotPaths bans container/heap from the
+// event core and the flow solvers: its interface-typed Push/Pop boxes
+// every entry, which is exactly the per-event/per-entry allocation the
+// hand-rolled value heaps (sim.Engine's 4-ary event heap, flow's share and
+// done heaps) were written to remove. Test files are exempt.
+func TestNoContainerHeapInEventAndFlowHotPaths(t *testing.T) {
+	fset := token.NewFileSet()
+	for _, dir := range []string{"../sim", "../flow"} {
+		files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(files) == 0 {
+			t.Fatalf("no Go files found in %s", dir)
+		}
+		for _, file := range files {
+			if strings.HasSuffix(file, "_test.go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, file, nil, parser.ImportsOnly)
+			if err != nil {
+				t.Fatalf("parsing %s: %v", file, err)
+			}
+			for _, imp := range f.Imports {
+				if imp.Path.Value == `"container/heap"` {
+					t.Errorf("%s: imports container/heap — use a hand-rolled value-indexed heap (engine.go / solver_incremental.go pattern) instead",
+						fset.Position(imp.Pos()))
+				}
+			}
+		}
+	}
+}
+
 func isIdent(e ast.Expr, name string) bool {
 	id, ok := e.(*ast.Ident)
 	return ok && id.Name == name

@@ -1,17 +1,26 @@
 // Package sim provides the discrete-event simulation core used by every
-// other package in this repository: a monotone virtual clock, a binary-heap
-// event queue with deterministic tie-breaking, and a seeded deterministic
-// random number generator.
+// other package in this repository: a monotone virtual clock, an
+// allocation-free event queue with deterministic tie-breaking, and a seeded
+// deterministic random number generator.
 //
-// The engine is intentionally minimal: an Engine owns a clock and a queue of
-// (time, sequence, callback) events. Callbacks run strictly in (time,
+// The engine is intentionally minimal: an Engine owns a clock and a queue
+// of (time, sequence, callback) events. Callbacks run strictly in (time,
 // sequence) order, so two events scheduled for the same instant execute in
 // scheduling order, which makes every simulation in this repository
 // reproducible bit-for-bit for a given seed.
+//
+// Event state lives in a dense SoA arena on the flow-table pattern
+// (DESIGN.md §13): parallel slices indexed by the slot half of a
+// generation-tagged EventID handle, with a LIFO free list recycling slots.
+// The pending queue is a hand-rolled value-indexed 4-ary min-heap of slot
+// indices — container/heap's interface Push/Pop boxed a *Event per
+// Schedule, and at AI-scale event churn (hundreds of millions of events
+// per endurance run) those boxes plus their heap rebalancing were most of
+// the event core's allocation and GC bill. Steady-state Schedule/Cancel/
+// Reschedule churn allocates nothing.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -35,51 +44,53 @@ const (
 // Infinity is a time later than any event the engine will ever run.
 const Infinity Time = math.MaxFloat64
 
-// Event is a scheduled callback. The callback receives the engine so it can
-// schedule follow-up events.
-type Event struct {
-	At  Time
-	Seq uint64 // tie-breaker: FIFO among same-time events
-	Fn  func(*Engine)
+// EventID is the handle of a pending event: the low 32 bits index the
+// dense event arena, the high 32 bits carry the slot generation at
+// scheduling time (the same packing as flow.FlowID). Handles are always
+// positive and nonzero, so 0 is the universal "no event" sentinel. A
+// handle outliving its event — the event fired or was canceled, and its
+// slot possibly recycled — goes stale rather than aliasing the slot's
+// next occupant: Cancel ignores it, Reschedule returns false.
+type EventID int64
 
-	index int // heap bookkeeping; -1 when not queued
+// eventIdxBits is the slot-index width of an EventID handle.
+const eventIdxBits = 32
+
+// eventIDOf packs a slot index and its generation into an EventID.
+func eventIDOf(idx int32, gen uint32) EventID {
+	return EventID(int64(gen)<<eventIdxBits | int64(uint32(idx)))
 }
 
-type eventHeap []*Event
+// eventIndex extracts the dense slot index of an event handle.
+func eventIndex(id EventID) int32 { return int32(uint32(uint64(id))) }
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].At != h[j].At {
-		return h[i].At < h[j].At
-	}
-	return h[i].Seq < h[j].Seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
-}
+// eventGen extracts the generation tag of an event handle.
+func eventGen(id EventID) uint32 { return uint32(uint64(id) >> eventIdxBits) }
 
 // Engine is a discrete-event simulator.
 type Engine struct {
 	now    Time
 	seq    uint64
-	queue  eventHeap
 	halted bool
+
+	// Event arena (SoA): per-slot parallel slices. A slot is either free
+	// (on evFree, evPos == -1) or queued (evPos is its heap position).
+	// evGen is bumped on every free, never zero, so stale handles are
+	// detected instead of acting on a recycled slot.
+	evAt  []Time
+	evSeq []uint64
+	evGen []uint32
+	evPos []int32
+	evFn  []func(*Engine)
+	// evFree is the LIFO slot free list: a recurring event (the flow
+	// network's settle) keeps reusing the same hot slot.
+	evFree []int32
+
+	// queue is the 4-ary min-heap of queued slot indices, ordered by
+	// (evAt, evSeq). 4-ary over binary: half the depth, and the wider
+	// node fits two cache lines of int32 children — sift-downs dominate a
+	// pop-heavy workload.
+	queue []int32
 
 	// Processed counts events actually executed; useful for ablation
 	// benchmarks and runaway detection.
@@ -100,50 +111,171 @@ func NewEngine() *Engine {
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
 
-// Schedule enqueues fn to run at absolute time at. Scheduling in the past is
-// a programming error and panics.
-func (e *Engine) Schedule(at Time, fn func(*Engine)) *Event {
+// Schedule enqueues fn to run at absolute time at and returns its handle.
+// Scheduling in the past is a programming error and panics.
+func (e *Engine) Schedule(at Time, fn func(*Engine)) EventID {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
 	}
-	ev := &Event{At: at, Seq: e.seq, Fn: fn}
+	var idx int32
+	if k := len(e.evFree); k > 0 {
+		idx = e.evFree[k-1]
+		e.evFree = e.evFree[:k-1]
+	} else {
+		idx = int32(len(e.evGen))
+		e.evGen = append(e.evGen, 1)
+		e.evAt = append(e.evAt, 0)
+		e.evSeq = append(e.evSeq, 0)
+		e.evPos = append(e.evPos, -1)
+		e.evFn = append(e.evFn, nil)
+	}
+	e.evAt[idx] = at
+	e.evSeq[idx] = e.seq
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return ev
+	e.evFn[idx] = fn
+	pos := len(e.queue)
+	e.queue = append(e.queue, idx)
+	e.evPos[idx] = int32(pos)
+	e.up(pos)
+	return eventIDOf(idx, e.evGen[idx])
 }
 
 // After enqueues fn to run d seconds from now.
-func (e *Engine) After(d Duration, fn func(*Engine)) *Event {
+func (e *Engine) After(d Duration, fn func(*Engine)) EventID {
 	return e.Schedule(e.now+d, fn)
 }
 
 // Reschedule moves a still-pending event to a new absolute time without
-// the Cancel+Schedule allocation and double heap rebalance. The event is
+// the Cancel+Schedule round trip and double heap rebalance. The event is
 // re-sequenced as if freshly scheduled, preserving FIFO order among
-// same-time events. Returns false if the event already fired or was
-// canceled (the caller should Schedule anew). Rescheduling into the past
-// panics, like Schedule.
-func (e *Engine) Reschedule(ev *Event, at Time) bool {
-	if ev == nil || ev.index < 0 {
+// same-time events. Returns false for stale handles — the event already
+// fired or was canceled (possibly with its slot since recycled); the
+// caller should Schedule anew. Rescheduling into the past panics, like
+// Schedule.
+func (e *Engine) Reschedule(id EventID, at Time) bool {
+	idx, ok := e.resolve(id)
+	if !ok {
 		return false
 	}
 	if at < e.now {
 		panic(fmt.Sprintf("sim: reschedule at %v before now %v", at, e.now))
 	}
-	ev.At = at
-	ev.Seq = e.seq
+	e.evAt[idx] = at
+	e.evSeq[idx] = e.seq
 	e.seq++
-	heap.Fix(&e.queue, ev.index)
+	e.fix(int(e.evPos[idx]))
 	return true
 }
 
-// Cancel removes a pending event. Canceling an already-fired or canceled
-// event is a no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.index < 0 {
+// Cancel removes a pending event. Stale handles — already-fired or
+// already-canceled events, including slots since recycled by a later
+// Schedule — are ignored: a late cancel can never remove the slot's next
+// occupant.
+func (e *Engine) Cancel(id EventID) {
+	idx, ok := e.resolve(id)
+	if !ok {
 		return
 	}
-	heap.Remove(&e.queue, ev.index)
+	pos := int(e.evPos[idx])
+	last := len(e.queue) - 1
+	if pos != last {
+		e.swap(pos, last)
+	}
+	e.queue = e.queue[:last]
+	if pos != last {
+		e.fix(pos)
+	}
+	e.freeSlot(idx)
+}
+
+// resolve authenticates a handle against its slot: in-range, queued, and
+// generation-matched.
+func (e *Engine) resolve(id EventID) (int32, bool) {
+	idx := eventIndex(id)
+	if idx < 0 || int(idx) >= len(e.evGen) {
+		return idx, false
+	}
+	if e.evPos[idx] < 0 || e.evGen[idx] != eventGen(id) {
+		return idx, false
+	}
+	return idx, true
+}
+
+// freeSlot returns an arena slot to the free list, bumping its generation
+// so outstanding handles go stale, and dropping the callback so the arena
+// retains nothing.
+func (e *Engine) freeSlot(idx int32) {
+	e.evFn[idx] = nil
+	e.evPos[idx] = -1
+	e.evGen[idx]++
+	if e.evGen[idx] == 0 {
+		e.evGen[idx] = 1 // generation wrap: skip 0 so handles stay nonzero
+	}
+	e.evFree = append(e.evFree, idx)
+}
+
+// --- value-indexed 4-ary heap over queue ---
+
+// before is the strict (time, sequence) order between two queued slots.
+func (e *Engine) before(a, b int32) bool {
+	if e.evAt[a] != e.evAt[b] {
+		return e.evAt[a] < e.evAt[b]
+	}
+	return e.evSeq[a] < e.evSeq[b]
+}
+
+// swap exchanges two heap positions, repairing the slots' back-pointers.
+func (e *Engine) swap(i, j int) {
+	q := e.queue
+	q[i], q[j] = q[j], q[i]
+	e.evPos[q[i]] = int32(i)
+	e.evPos[q[j]] = int32(j)
+}
+
+// up sifts position i toward the root; returns the final position.
+func (e *Engine) up(i int) int {
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !e.before(e.queue[i], e.queue[p]) {
+			break
+		}
+		e.swap(i, p)
+		i = p
+	}
+	return i
+}
+
+// down sifts position i toward the leaves; returns the final position.
+func (e *Engine) down(i int) int {
+	n := len(e.queue)
+	for {
+		c := 4*i + 1
+		if c >= n {
+			return i
+		}
+		m := c
+		hi := c + 4
+		if hi > n {
+			hi = n
+		}
+		for j := c + 1; j < hi; j++ {
+			if e.before(e.queue[j], e.queue[m]) {
+				m = j
+			}
+		}
+		if !e.before(e.queue[m], e.queue[i]) {
+			return i
+		}
+		e.swap(i, m)
+		i = m
+	}
+}
+
+// fix restores heap order at position i after its key changed either way.
+func (e *Engine) fix(i int) {
+	if e.up(i) == i {
+		e.down(i)
+	}
 }
 
 // Halt stops Run/RunUntil after the currently executing event returns.
@@ -157,20 +289,33 @@ func (e *Engine) PeekTime() Time {
 	if len(e.queue) == 0 {
 		return Infinity
 	}
-	return e.queue[0].At
+	return e.evAt[e.queue[0]]
 }
 
 // Step executes the single next event, returning false when the queue is
-// empty.
+// empty. The event's slot is freed before its callback runs, so a
+// recurring callback that immediately re-Schedules reuses the slot it just
+// vacated (and its own handle is stale by the time it runs, per contract).
 func (e *Engine) Step() bool {
 	if len(e.queue) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*Event)
-	if ev.At < e.now {
+	idx := e.queue[0]
+	last := len(e.queue) - 1
+	if last > 0 {
+		e.swap(0, last)
+	}
+	e.queue = e.queue[:last]
+	if last > 0 {
+		e.down(0)
+	}
+	at := e.evAt[idx]
+	if at < e.now {
 		panic("sim: event queue time went backwards")
 	}
-	e.now = ev.At
+	e.now = at
+	fn := e.evFn[idx]
+	e.freeSlot(idx)
 	e.Processed++
 	if e.MaxEvents > 0 && e.Processed > e.MaxEvents {
 		panic(fmt.Sprintf("sim: exceeded MaxEvents=%d (runaway simulation?)", e.MaxEvents))
@@ -178,7 +323,7 @@ func (e *Engine) Step() bool {
 	if e.OnStep != nil {
 		e.OnStep(e.now, len(e.queue))
 	}
-	ev.Fn(e)
+	fn(e)
 	return true
 }
 
@@ -194,7 +339,7 @@ func (e *Engine) Run() {
 func (e *Engine) RunUntil(deadline Time) {
 	e.halted = false
 	for !e.halted {
-		if len(e.queue) == 0 || e.queue[0].At > deadline {
+		if len(e.queue) == 0 || e.evAt[e.queue[0]] > deadline {
 			break
 		}
 		e.Step()

@@ -91,8 +91,8 @@ func TestEngineReschedule(t *testing.T) {
 	if e.Reschedule(ev, 10) {
 		t.Error("Reschedule of a fired event returned true")
 	}
-	if e.Reschedule(nil, 10) {
-		t.Error("Reschedule(nil) returned true")
+	if e.Reschedule(0, 10) {
+		t.Error("Reschedule(0) returned true")
 	}
 }
 
@@ -185,6 +185,112 @@ func TestEnginePeekTime(t *testing.T) {
 	e.Schedule(7, func(*Engine) {})
 	if e.PeekTime() != 7 {
 		t.Errorf("PeekTime = %v, want 7", e.PeekTime())
+	}
+}
+
+// TestEngineStaleHandlesOnRecycledSlot pins the generation-tag contract:
+// once an event fires or is canceled, its handle must never act on the
+// slot's next occupant, even though the LIFO free list guarantees the very
+// next Schedule reuses that slot.
+func TestEngineStaleHandlesOnRecycledSlot(t *testing.T) {
+	e := NewEngine()
+	victim := false
+	old := e.Schedule(1, func(*Engine) {})
+	e.Cancel(old)
+	// LIFO free list: this reuses old's slot with a bumped generation.
+	repl := e.Schedule(2, func(*Engine) { victim = true })
+	if eventIndex(repl) != eventIndex(old) {
+		t.Fatalf("free list did not recycle slot %d (got %d)", eventIndex(old), eventIndex(repl))
+	}
+	if eventGen(repl) == eventGen(old) {
+		t.Fatal("recycled slot kept its generation")
+	}
+	e.Cancel(old) // stale: must not cancel repl
+	if e.Reschedule(old, 50) {
+		t.Error("Reschedule of a stale handle returned true")
+	}
+	e.Run()
+	if !victim {
+		t.Error("stale Cancel removed the slot's new occupant")
+	}
+	// Out-of-range and zero handles are stale too.
+	e.Cancel(eventIDOf(1000, 1))
+	if e.Reschedule(eventIDOf(1000, 1), 99) {
+		t.Error("Reschedule of an out-of-range handle returned true")
+	}
+}
+
+// TestEngineFIFOAfterSlotReuse checks that slot recycling never perturbs
+// FIFO order among same-time events: ordering is by sequence number, which
+// keeps increasing across reuse of the same arena slot.
+func TestEngineFIFOAfterSlotReuse(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	// Churn: allocate and cancel to stack the free list.
+	for i := 0; i < 8; i++ {
+		e.Cancel(e.Schedule(1, func(*Engine) {}))
+	}
+	// These all land at t=1 on recycled slots; FIFO order must hold.
+	for i := 0; i < 8; i++ {
+		i := i
+		e.Schedule(1, func(*Engine) { got = append(got, i) })
+	}
+	// Cancel-and-rescheduled event lands after the existing t=1 cohort.
+	late := e.Schedule(0.5, func(*Engine) { got = append(got, 8) })
+	e.Reschedule(late, 1)
+	e.Run()
+	for i := 0; i <= 8; i++ {
+		if got[i] != i {
+			t.Fatalf("order after slot reuse = %v, want 0..8 in sequence", got)
+		}
+	}
+}
+
+// TestEngineOnStepQueueDepth checks the OnStep probe under the arena:
+// pending is reported after the pop, before the callback runs.
+func TestEngineOnStepQueueDepth(t *testing.T) {
+	e := NewEngine()
+	var depths []int
+	var times []Time
+	e.OnStep = func(at Time, pending int) {
+		times = append(times, at)
+		depths = append(depths, pending)
+	}
+	for i := 0; i < 5; i++ {
+		e.Schedule(Time(i), func(*Engine) {})
+	}
+	e.Run()
+	wantDepths := []int{4, 3, 2, 1, 0}
+	for i := range wantDepths {
+		if depths[i] != wantDepths[i] {
+			t.Fatalf("depths = %v, want %v", depths, wantDepths)
+		}
+		if times[i] != Time(i) {
+			t.Fatalf("times = %v, want 0..4", times)
+		}
+	}
+}
+
+// TestEngineSteadyStateAllocFree is the in-suite version of
+// BenchmarkEventChurn's headline claim: steady-state schedule/cancel/
+// reschedule/fire churn does not allocate.
+func TestEngineSteadyStateAllocFree(t *testing.T) {
+	e := NewEngine()
+	fn := func(*Engine) {}
+	// Warm up the arena, heap, and free list.
+	for i := 0; i < 64; i++ {
+		e.After(1, fn)
+	}
+	e.Run()
+	allocs := testing.AllocsPerRun(100, func() {
+		a := e.After(1, fn)
+		b := e.After(2, fn)
+		e.Reschedule(b, 3)
+		e.Cancel(a)
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state event churn allocates %v allocs/op, want 0", allocs)
 	}
 }
 

@@ -31,6 +31,14 @@ type ChannelCounters struct {
 	// HCAWait aggregates wait time attributed to per-node aggregate
 	// bandwidth channels (host bottleneck, not a fabric cable).
 	HCAWait sim.Duration
+
+	// flush, when set (flow.SetCounters wires it to Network.FlushCounters),
+	// forces the flow network's lazily-deferred rate integrals before a
+	// read: flows only credit their intervals when their own rate changes,
+	// so any accessor below flushes first to make the counters exact as of
+	// the current instant (DESIGN.md §13). Readers going straight to the
+	// exported slices must call Flush themselves.
+	flush func()
 }
 
 // NewChannelCounters sizes the counter set for g's channels.
@@ -41,6 +49,18 @@ func NewChannelCounters(g *topo.Graph) *ChannelCounters {
 		XmitData:  make([]float64, n),
 		XmitWait:  make([]sim.Duration, n),
 		ActiveHWM: make([]int32, n),
+	}
+}
+
+// SetFlusher registers the producer's integration barrier; nil detaches.
+func (cc *ChannelCounters) SetFlusher(f func()) { cc.flush = f }
+
+// Flush forces every outstanding lazily-deferred interval into the
+// counters. Called implicitly by the read accessors; exported for readers
+// that index the counter slices directly.
+func (cc *ChannelCounters) Flush() {
+	if cc.flush != nil {
+		cc.flush()
 	}
 }
 
@@ -72,6 +92,7 @@ func (cc *ChannelCounters) NoteActive(c topo.ChannelID, n int) {
 // TotalXmitData sums transmitted bytes over all fabric channels — the
 // left-hand side of the conservation identity.
 func (cc *ChannelCounters) TotalXmitData() float64 {
+	cc.Flush()
 	var sum float64
 	for _, b := range cc.XmitData {
 		sum += b
@@ -82,6 +103,7 @@ func (cc *ChannelCounters) TotalXmitData() float64 {
 // MaxWait returns the largest per-channel wait and the channel holding it
 // (-1 when all zero).
 func (cc *ChannelCounters) MaxWait() (topo.ChannelID, sim.Duration) {
+	cc.Flush()
 	best := topo.ChannelID(-1)
 	var w sim.Duration
 	for c, d := range cc.XmitWait {
@@ -97,6 +119,7 @@ func (cc *ChannelCounters) MaxWait() (topo.ChannelID, sim.Duration) {
 // channels, maintained for every PML (Fabric.MaxChannelOccupancy surfaces
 // it fabric-side, replacing the removed AdaptiveStats accessor).
 func (cc *ChannelCounters) MaxActive() int32 {
+	cc.Flush()
 	var m int32
 	for _, v := range cc.ActiveHWM {
 		if v > m {
@@ -125,6 +148,7 @@ type HotLink struct {
 // the `ibqueryerrors`/perfquery-style readout the paper used to find hot
 // Fat-Tree uplinks. Channels with zero traffic are skipped.
 func (cc *ChannelCounters) HotLinks(n int, elapsed sim.Duration) []HotLink {
+	cc.Flush()
 	var out []HotLink
 	for c := range cc.XmitData {
 		if cc.XmitData[c] == 0 && cc.XmitWait[c] == 0 {
@@ -165,6 +189,7 @@ func (cc *ChannelCounters) HotLinks(n int, elapsed sim.Duration) []HotLink {
 // over their direct links (parallel links summed). Terminal links are
 // excluded. The index is the graph's switch creation order.
 func (cc *ChannelCounters) SwitchMatrix() [][]float64 {
+	cc.Flush()
 	sws := cc.g.Switches()
 	idx := make(map[topo.NodeID]int, len(sws))
 	for i, s := range sws {

@@ -120,7 +120,7 @@ func (c *Collector) makeRunLine() runLine {
 		Events: c.EventsProcessed(), MaxQueue: c.MaxQueueDepth,
 	}
 	if c.Chans != nil {
-		run.XmitData = c.Chans.TotalXmitData()
+		run.XmitData = c.Chans.TotalXmitData() // flushes outstanding integrals
 		run.HCAWaitS = float64(c.Chans.HCAWait)
 	}
 	return run
@@ -138,6 +138,7 @@ func (c *Collector) histLines() []histLine {
 		out = append(out, makeHistLine(c.Plane, c.QueueHist))
 	}
 	if c.Chans != nil {
+		c.Chans.Flush() // reading the XmitWait slice directly
 		xw := NewHist("xmit_wait", "s", 1e9)
 		for _, w := range c.Chans.XmitWait {
 			if w > 0 {
